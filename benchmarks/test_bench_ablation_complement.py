@@ -1,0 +1,119 @@
+"""Ablation — per-component periods in complement (our refinement).
+
+The paper's negation algorithm (Appendix A.6) normalizes the whole
+relation to one period k and enumerates k^m free extensions.  Columns
+that are never constrained against each other can keep *independent*
+periods, shrinking the enumeration to Π k_comp^|comp|.  This bench
+quantifies the gap and confirms both implementations agree.
+
+Run standalone:  python benchmarks/test_bench_ablation_complement.py
+"""
+
+import pytest
+
+from repro.analysis import time_callable
+from repro.core.negation import complement_tuples
+from repro.core.relations import GeneralizedRelation, Schema
+
+
+def independent_columns_relation(periods: list[int]) -> GeneralizedRelation:
+    """One tuple per period mix; no cross-column constraints."""
+    names = [f"X{i}" for i in range(len(periods))]
+    rel = GeneralizedRelation.empty(Schema.make(temporal=names))
+    rel.add_tuple([f"{k}n" for k in periods], f"X0 >= 0")
+    rel.add_tuple([f"1 + {k}n" for k in periods], f"X0 <= 100")
+    return rel
+
+
+def coupled_columns_relation(periods: list[int]) -> GeneralizedRelation:
+    """Same lrps but a constraint chain linking every column."""
+    names = [f"X{i}" for i in range(len(periods))]
+    rel = GeneralizedRelation.empty(Schema.make(temporal=names))
+    chain = " & ".join(
+        f"X{i} <= X{i + 1} + 3" for i in range(len(periods) - 1)
+    )
+    rel.add_tuple([f"{k}n" for k in periods], chain)
+    return rel
+
+
+def test_bench_decomposed_complement(benchmark):
+    rel = independent_columns_relation([4, 5, 6])
+    out = benchmark(lambda: complement_tuples(list(rel), 3))
+    assert out
+
+
+def test_bench_uniform_complement(benchmark):
+    rel = independent_columns_relation([2, 3, 5])
+    out = benchmark(
+        lambda: complement_tuples(
+            list(rel), 3, uniform_period=True, max_extensions=10_000_000
+        )
+    )
+    assert out
+
+
+def ablation_report() -> list[str]:
+    lines = [
+        "Ablation — complement free-extension enumeration: per-component "
+        "periods vs the paper's uniform k",
+        "-" * 78,
+        f"{'workload':<28} {'uniform ext.':>13} {'decomposed ext.':>16} "
+        f"{'uniform':>10} {'decomposed':>11}",
+    ]
+    ok = True
+    cases = [
+        ("independent (4,5)", independent_columns_relation([4, 5]),
+         20 ** 2, 4 * 5),
+        ("independent (9,10)", independent_columns_relation([9, 10]),
+         90 ** 2, 9 * 10),
+        ("independent (2,3,5)", independent_columns_relation([2, 3, 5]),
+         30 ** 3, 2 * 3 * 5),
+        ("chained (4,5)", coupled_columns_relation([4, 5]),
+         20 ** 2, 20 ** 2),
+    ]
+    window = (-6, 6)
+    for name, rel, uniform_ext, decomposed_ext in cases:
+        arity = rel.schema.temporal_arity
+        dec_tuples = complement_tuples(list(rel), arity)
+        uni_tuples = complement_tuples(
+            list(rel), arity, uniform_period=True, max_extensions=10_000_000
+        )
+        t_dec = time_callable(
+            lambda r=rel, a=arity: complement_tuples(list(r), a), repeat=1
+        )
+        t_uni = time_callable(
+            lambda r=rel, a=arity: complement_tuples(
+                list(r), a, uniform_period=True, max_extensions=10_000_000
+            ),
+            repeat=1,
+        )
+        dec = GeneralizedRelation(rel.schema, dec_tuples)
+        uni = GeneralizedRelation(rel.schema, uni_tuples)
+        agree = dec.snapshot(*window) == uni.snapshot(*window)
+        ok = ok and agree
+        lines.append(
+            f"{name:<28} {uniform_ext:>13,} {decomposed_ext:>16,} "
+            f"{t_uni * 1000:>8.0f}ms {t_dec * 1000:>9.0f}ms"
+            + ("" if agree else "  DISAGREE")
+        )
+    lines.append("-" * 78)
+    lines.append(
+        "shape: with unconstrained column pairs the decomposed enumeration "
+        "is orders of magnitude smaller; with a full constraint chain the "
+        "two coincide.  Semantics agree on every case."
+    )
+    lines.append(f"verdict: {'OK' if ok else 'SUSPECT'}")
+    return lines
+
+
+def test_ablation_complement_report(benchmark):
+    lines = benchmark.pedantic(ablation_report, rounds=1, iterations=1)
+    print()
+    for line in lines:
+        print(line)
+    assert lines[-1].endswith("OK")
+
+
+if __name__ == "__main__":
+    for line in ablation_report():
+        print(line)

@@ -1,0 +1,92 @@
+"""Ablation (Section 3.8) — normalization cost is governed by the lcm.
+
+"Clearly, if the least common multiple of the initial periods is large,
+normalization can imply a substantial increase in the size of the
+database.  However, this will only be the case if the periods appearing
+in the database are not closely related."
+
+The report normalizes same-shape relations whose periods are (a) nested
+powers of two, (b) small mixed, (c) pairwise coprime, and compares the
+output tuple counts and times.  It also shows the payoff of the *partial*
+normalization inside projection: dropping an unconstrained column costs
+nothing even when the relation's global lcm is huge.
+
+Run standalone:  python benchmarks/test_bench_ablation_lcm.py
+"""
+
+import pytest
+
+from repro.analysis import time_callable
+from repro.arith import lcm_many
+from repro.core import algebra
+from repro.core.normalize import normalize_relation_tuples
+
+try:
+    from benchmarks.workloads import mixed_period_relation
+except ImportError:
+    from workloads import mixed_period_relation
+
+N_TUPLES = 6
+PERIOD_MIXES = {
+    "nested (2,4,8)": [2, 4, 8],
+    "mixed (2,3,4)": [2, 3, 4],
+    "coprime (3,5,7)": [3, 5, 7],
+    "coprime (5,7,9)": [5, 7, 9],
+}
+
+
+def test_bench_normalize_related_periods(benchmark):
+    rel = mixed_period_relation(N_TUPLES, 2, [2, 4, 8], seed=3)
+    benchmark(lambda: normalize_relation_tuples(list(rel)))
+
+
+def test_bench_normalize_coprime_periods(benchmark):
+    rel = mixed_period_relation(N_TUPLES, 2, [3, 5, 7], seed=3)
+    benchmark(lambda: normalize_relation_tuples(list(rel)))
+
+
+def ablation_report() -> list[str]:
+    lines = [
+        "Ablation — normalization blow-up tracks lcm of the periods "
+        f"(N = {N_TUPLES}, m = 2)",
+        "-" * 78,
+        f"{'period mix':<18} {'lcm':>6} {'tuples out':>11} {'time':>10}",
+    ]
+    outputs = {}
+    for name, periods in PERIOD_MIXES.items():
+        rel = mixed_period_relation(N_TUPLES, 2, periods, seed=3)
+        period, normalized = normalize_relation_tuples(list(rel))
+        t = time_callable(
+            lambda r=rel: normalize_relation_tuples(list(r)), repeat=3
+        )
+        outputs[name] = len(normalized)
+        lines.append(
+            f"{name:<18} {lcm_many(periods):>6} {len(normalized):>11} "
+            f"{t * 1000:>8.2f}ms"
+        )
+    ok = outputs["coprime (5,7,9)"] > 5 * outputs["nested (2,4,8)"]
+    lines.append("-" * 78)
+    # Partial normalization: dropping an unconstrained column is free.
+    rel = mixed_period_relation(N_TUPLES, 3, [5, 7, 9], seed=4)
+    projected = algebra.project(rel, ["X0", "X1"])
+    lines.append(
+        "partial normalization: projecting an unconstrained column out of "
+        f"the (5,7,9) relation yields {len(projected)} tuples "
+        f"(no split; global lcm would be {lcm_many([5, 7, 9])})"
+    )
+    ok = ok and len(projected) <= N_TUPLES
+    lines.append(f"verdict: {'OK' if ok else 'SUSPECT'}")
+    return lines
+
+
+def test_ablation_lcm_report(benchmark):
+    lines = benchmark.pedantic(ablation_report, rounds=1, iterations=1)
+    print()
+    for line in lines:
+        print(line)
+    assert lines[-1].endswith("OK")
+
+
+if __name__ == "__main__":
+    for line in ablation_report():
+        print(line)

@@ -1,0 +1,101 @@
+"""Figure 2 — the projection problem: real elimination is unsound over Z.
+
+The paper's example tuple::
+
+    [4n+3, 8n+1] ∧ X1 >= X2 ∧ X1 <= X2 + 5 ∧ X2 >= 2
+
+has real-projection points 3, 7, 15, 23 on X1 "even though there are no
+corresponding points in the tuple".  The report reproduces exactly this:
+the naive (real) projection admits the spurious points, the
+normalization-based integer projection rejects them, and the true
+projection is ``{8n + 3 : X1 >= 11}``.
+
+Run standalone:  python benchmarks/test_bench_fig2_projection.py
+"""
+
+from repro.core import algebra
+from repro.core.lrp import LRP
+
+try:
+    from benchmarks.workloads import figure2_relation
+except ImportError:
+    from workloads import figure2_relation
+
+SPURIOUS = [3, 7, 15, 23]
+TRUE_POINTS = [11, 19, 27, 35]
+
+
+def test_bench_integer_projection(benchmark):
+    """Time the normalization-based projection of the Figure 2 tuple."""
+    rel = figure2_relation()
+    result = benchmark(lambda: algebra.project(rel, ["X1"]))
+    points = sorted(x for (x,) in result.snapshot(0, 40))
+    assert points == TRUE_POINTS
+
+
+def test_bench_naive_real_projection(benchmark):
+    """Time the naive DBM projection (the unsound-over-lattices one)."""
+    rel = figure2_relation()
+    (gtuple,) = rel.tuples
+
+    def naive():
+        return gtuple.dbm.copy().project([0])
+
+    naive_dbm = benchmark(naive)
+    # The naive result admits every spurious point (they satisfy the
+    # relaxed constraints and lie on the 4n+3 lattice).
+    for x in SPURIOUS:
+        assert gtuple.lrps[0].contains(x)
+        assert naive_dbm.satisfied_by([x])
+
+
+def figure2_report() -> list[str]:
+    rel = figure2_relation()
+    (gtuple,) = rel.tuples
+    naive_dbm = gtuple.dbm.copy().project([0])
+    exact = algebra.project(rel, ["X1"])
+    lines = [
+        "Figure 2 — projection of [4n+3, 8n+1] ∧ X1>=X2 ∧ X1<=X2+5 ∧ X2>=2 "
+        "onto X1",
+        "-" * 78,
+        f"{'x':>4}  {'on 4n+3 lattice':>16}  {'naive (real) proj':>18}  "
+        f"{'integer-exact proj':>19}  {'in the tuple':>13}",
+    ]
+    ok = True
+    for x in SPURIOUS + TRUE_POINTS:
+        on_lattice = gtuple.lrps[0].contains(x)
+        naive = on_lattice and naive_dbm.satisfied_by([x])
+        integer = exact.contains([x])
+        # ground truth: does any X2 complete x into the tuple?
+        truth = any(
+            gtuple.contains([x, y]) for y in range(x - 10, x + 10)
+        )
+        lines.append(
+            f"{x:>4}  {on_lattice!s:>16}  {naive!s:>18}  "
+            f"{integer!s:>19}  {truth!s:>13}"
+        )
+        if integer != truth:
+            ok = False
+        if x in SPURIOUS and not naive:
+            ok = False
+    (projected,) = exact.tuples
+    lines.append("-" * 78)
+    lines.append(f"integer-exact projection: {projected}")
+    expected_paper = "[3 + 8n] with X1 >= 11"
+    lines.append(f"paper's answer:           {expected_paper}")
+    ok = ok and projected.lrps[0] == LRP.make(3, 8)
+    lines.append(f"verdict: {'OK' if ok else 'SUSPECT'}")
+    return lines
+
+
+def test_figure2_report(benchmark):
+    lines = benchmark.pedantic(figure2_report, rounds=1, iterations=1)
+    print()
+    for line in lines:
+        print(line)
+    assert lines[-1].endswith("OK")
+
+
+if __name__ == "__main__":
+    for line in figure2_report():
+        print(line)

@@ -1,0 +1,83 @@
+"""Figure 3 / Example 3.2 — the five-step normalization, reproduced exactly.
+
+The paper normalizes ``[4n+3, 8n+1] ∧ X1>=X2 ∧ X1<=X2+5 ∧ X2>=2`` into
+two period-8 tuples, one of which is contradictory and dropped; the
+surviving tuple is ``[8n+3, 8n+1] ∧ X1 = X2 + 2 ∧ X2 >= 9``, whose
+projection is ``8n+3 ∧ X1 >= 11``.  The report replays every step.
+
+Run standalone:  python benchmarks/test_bench_fig3_normalization.py
+"""
+
+from repro.core import algebra
+from repro.core.lrp import LRP
+from repro.core.normalize import normalize_tuple
+
+try:
+    from benchmarks.workloads import figure2_relation
+except ImportError:
+    from workloads import figure2_relation
+
+
+def test_bench_normalization(benchmark):
+    """Time the 5-step normalization of the Example 3.2 tuple."""
+    (gtuple,) = figure2_relation().tuples
+    result = benchmark(lambda: normalize_tuple(gtuple, keep_empty=True))
+    assert len(result) == 2
+
+
+def figure3_report() -> list[str]:
+    (gtuple,) = figure2_relation().tuples
+    lines = [
+        "Figure 3 / Example 3.2 — normalization of "
+        "[4n+3, 8n+1] ∧ X1>=X2 ∧ X1<=X2+5 ∧ X2>=2",
+        "-" * 78,
+        "step 1-2 (Lemma 3.1 split of 4n+3 onto period 8, cross product):",
+    ]
+    ok = True
+    split = LRP.make(3, 4).split(8)
+    lines.append(f"  4n+3 -> {', '.join(str(p) for p in split)}")
+    ok = ok and split == [LRP.make(3, 8), LRP.make(7, 8)]
+    results = normalize_tuple(gtuple, keep_empty=True)
+    lines.append("steps 3-5 (constraint rewriting, filtering, snapping):")
+    for nt in results:
+        empty = nt.is_empty()
+        lines.append(
+            f"  offsets {nt.offsets}: "
+            + ("eliminated (contradictory constraints)" if empty else
+               f"survives as {nt.to_generalized()}")
+        )
+    survivors = [nt for nt in results if not nt.is_empty()]
+    ok = ok and len(results) == 2 and len(survivors) == 1
+    ok = ok and survivors[0].offsets == (3, 1)
+    survivor = survivors[0].to_generalized()
+    # The paper's normal form: X1 = X2 + 2 and X2 >= 9 on [8n+3, 8n+1].
+    checks = [
+        survivor.contains([11, 9]),
+        survivor.contains([19, 17]),
+        not survivor.contains([3, 1]),   # X2 >= 9 (snapped from >= 2)
+        not survivor.contains([19, 9]),  # X1 = X2 + 2
+    ]
+    ok = ok and all(checks)
+    lines.append("paper's surviving normal form matches: "
+                 f"{all(checks)}")
+    projection = algebra.project(figure2_relation(), ["X1"])
+    (ptuple,) = projection.tuples
+    lines.append(f"final projection on X1: {ptuple}")
+    ok = ok and ptuple.lrps[0] == LRP.make(3, 8)
+    ok = ok and ptuple.dbm.lower(0) == 11
+    lines.append("paper's answer:         [3 + 8n] : X1 >= 11")
+    lines.append(f"verdict: {'OK' if ok else 'SUSPECT'}")
+    return lines
+
+
+def test_figure3_report(benchmark):
+    lines = benchmark.pedantic(figure3_report, rounds=1, iterations=1)
+    print()
+    for line in lines:
+        print(line)
+    assert lines[-1].endswith("OK")
+
+
+if __name__ == "__main__":
+    for line in figure3_report():
+        print(line)

@@ -1,0 +1,136 @@
+"""Table 2 — fixed-schema complexity of the algebra operations.
+
+Paper's claims (schema fixed, N = number of tuples):
+
+    union O(N)   cross-product O(N²)   intersection O(N²)   join O(N²)
+    projection O(N)   emptiness O(N)   negation O(N^c)
+
+The benchmark times each operation at a representative size, and the
+report sweeps N, fits a power law to the timings, and prints a
+Table 2-style comparison of claimed vs measured exponents.
+
+Run standalone for the report:  python benchmarks/test_bench_table2_fixed_schema.py
+"""
+
+import pytest
+
+from repro.analysis import fit_power_law, format_complexity_row, time_callable
+from repro.core import algebra
+from repro.core.emptiness import relation_is_empty
+
+try:
+    from benchmarks.workloads import normalized_relation
+except ImportError:  # standalone: python benchmarks/<file>.py
+    from workloads import normalized_relation
+
+N_BENCH = 48
+SWEEP = [8, 16, 32, 64, 128]
+
+CLAIMS = {
+    "union": ("O(N)", 1.0),
+    "cross-product": ("O(N^2)", 2.0),
+    "intersection": ("O(N^2)", 2.0),
+    "join": ("O(N^2)", 2.0),
+    "projection": ("O(N)", 1.0),
+    "emptiness": ("O(N)", 1.0),
+    "negation": ("O(N^c)", None),  # polynomial; degree depends on m
+}
+
+
+def _pair(n, seed=0):
+    return (
+        normalized_relation(n, 2, seed=seed),
+        normalized_relation(n, 2, seed=seed + 1),
+    )
+
+
+def _operations():
+    def do_union(n, seed=0):
+        r1, r2 = _pair(n, seed)
+        return lambda: algebra.union(r1, r2)
+
+    def do_product(n, seed=0):
+        r1 = normalized_relation(n, 1, seed=seed)
+        r2 = algebra.rename(
+            normalized_relation(n, 1, seed=seed + 1), {"X0": "Y0"}
+        )
+        return lambda: algebra.product(r1, r2)
+
+    def do_intersection(n, seed=0):
+        r1, r2 = _pair(n, seed)
+        return lambda: algebra.intersect(r1, r2)
+
+    def do_join(n, seed=0):
+        r1 = algebra.rename(
+            normalized_relation(n, 2, seed=seed), {"X0": "A", "X1": "B"}
+        )
+        r2 = algebra.rename(
+            normalized_relation(n, 2, seed=seed + 1), {"X0": "B", "X1": "C"}
+        )
+        return lambda: algebra.join(r1, r2)
+
+    def do_projection(n, seed=0):
+        r = normalized_relation(n, 2, seed=seed)
+        return lambda: algebra.project(r, ["X0"])
+
+    def do_emptiness(n, seed=0):
+        r = normalized_relation(n, 2, seed=seed)
+        return lambda: relation_is_empty(r)
+
+    def do_negation(n, seed=0):
+        r = normalized_relation(n, 2, seed=seed, period=4)
+        return lambda: algebra.complement(r)
+
+    return {
+        "union": do_union,
+        "cross-product": do_product,
+        "intersection": do_intersection,
+        "join": do_join,
+        "projection": do_projection,
+        "emptiness": do_emptiness,
+        "negation": do_negation,
+    }
+
+
+@pytest.mark.parametrize("op_name", list(CLAIMS))
+def test_bench_operation(benchmark, op_name):
+    """Time each Table 2 operation at N=48 tuples, m=2 columns."""
+    op = _operations()[op_name](N_BENCH)
+    benchmark(op)
+
+
+def table2_report() -> list[str]:
+    """Sweep N, fit exponents, and render the Table 2 comparison."""
+    lines = [
+        "Table 2 — fixed-schema complexity (m = 2, N swept over "
+        f"{SWEEP})",
+        "-" * 78,
+    ]
+    ops = _operations()
+    for name, (claimed, expected) in CLAIMS.items():
+        sizes = SWEEP if name != "negation" else [8, 16, 32, 64]
+        times = []
+        for n in sizes:
+            op = ops[name](n)
+            times.append(time_callable(op, repeat=3))
+        fit = fit_power_law(sizes, times)
+        if expected is None:
+            verdict = "polynomial" if fit.exponent < 4.5 else "SUSPECT"
+        else:
+            verdict = "OK" if fit.exponent < expected + 0.8 else "SUSPECT"
+        lines.append(format_complexity_row(name, claimed, fit, verdict))
+    return lines
+
+
+def test_table2_shape_report(benchmark):
+    """The headline check: measured exponents match the paper's orders."""
+    lines = benchmark.pedantic(table2_report, rounds=1, iterations=1)
+    print()
+    for line in lines:
+        print(line)
+    assert not any("SUSPECT" in line for line in lines)
+
+
+if __name__ == "__main__":
+    for line in table2_report():
+        print(line)

@@ -1,0 +1,121 @@
+"""Table 3 — general complexity: schema width varies too.
+
+Paper's claims: union, cross-product, intersection, join, projection and
+emptiness stay PTIME when both N and m grow; negation is EXPTIME (the
+complement enumerates k^m free extensions), and nonemptiness of the
+complement is NP-complete (benchmarked separately in
+``test_bench_thm36_npcomplete.py``).
+
+The report sweeps the column count m at fixed N and shows that the
+PTIME operations grow modestly while negation's cost explodes with m —
+the qualitative separation Table 3 asserts.
+
+Run standalone:  python benchmarks/test_bench_table3_general.py
+"""
+
+import pytest
+
+from repro.analysis import time_callable
+from repro.core import algebra
+from repro.core.emptiness import relation_is_empty
+
+try:
+    from benchmarks.workloads import normalized_relation
+except ImportError:
+    from workloads import normalized_relation
+
+N_FIXED = 12
+M_SWEEP = [1, 2, 3, 4, 5]
+PERIOD = 4  # complement enumerates PERIOD^m free extensions
+
+
+def _ptime_ops(m: int):
+    r1 = normalized_relation(N_FIXED, m, period=PERIOD, seed=1)
+    r2 = normalized_relation(N_FIXED, m, period=PERIOD, seed=2)
+    keep = [f"X{i}" for i in range(max(1, m - 1))]
+    return {
+        "union": lambda: algebra.union(r1, r2),
+        "intersection": lambda: algebra.intersect(r1, r2),
+        "projection": lambda: algebra.project(r1, keep),
+        "emptiness": lambda: relation_is_empty(r1),
+    }
+
+
+def _negation(m: int):
+    r = normalized_relation(N_FIXED, m, period=PERIOD, seed=1)
+    return lambda: algebra.complement(r)
+
+
+@pytest.mark.parametrize("m", [2, 4])
+def test_bench_ptime_ops_scale_in_m(benchmark, m):
+    """Join-free PTIME bundle at width m (one call runs all four ops)."""
+    ops = _ptime_ops(m)
+
+    def bundle():
+        for op in ops.values():
+            op()
+
+    benchmark(bundle)
+
+
+@pytest.mark.parametrize("m", [1, 2, 3])
+def test_bench_negation_scales_exponentially(benchmark, m):
+    """Complement at width m: cost tracks PERIOD^m free extensions."""
+    benchmark(_negation(m))
+
+
+def table3_report() -> list[str]:
+    lines = [
+        f"Table 3 — general complexity (N = {N_FIXED}, m swept over "
+        f"{M_SWEEP}, period {PERIOD})",
+        "-" * 78,
+        f"{'operation':<16}" + "".join(f"m={m:<10}" for m in M_SWEEP),
+    ]
+    rows: dict[str, list[float]] = {
+        "union": [],
+        "intersection": [],
+        "projection": [],
+        "emptiness": [],
+        "negation": [],
+    }
+    for m in M_SWEEP:
+        ops = _ptime_ops(m)
+        for name, op in ops.items():
+            rows[name].append(time_callable(op, repeat=3))
+        rows["negation"].append(time_callable(_negation(m), repeat=1))
+    for name, times in rows.items():
+        cells = "".join(f"{t * 1000:8.2f}ms " for t in times)
+        lines.append(f"{name:<16}{cells}")
+    # Qualitative check: negation's m=4/m=1 blow-up dwarfs the others'.
+    def ratio(times):
+        return times[-1] / max(times[0], 1e-9)
+
+    neg_ratio = ratio(rows["negation"])
+    ptime_ratio = max(ratio(rows[n]) for n in rows if n != "negation")
+    lines.append("-" * 78)
+    lines.append(
+        f"negation m={M_SWEEP[-1]}/m=1 cost ratio: {neg_ratio:9.1f}x   "
+        f"worst PTIME-op ratio: {ptime_ratio:6.1f}x"
+    )
+    lines.append(
+        "verdict: "
+        + (
+            "negation separates (exponential in m), rest stay modest — OK"
+            if neg_ratio > 3 * ptime_ratio
+            else "SUSPECT: no separation observed"
+        )
+    )
+    return lines
+
+
+def test_table3_shape_report(benchmark):
+    lines = benchmark.pedantic(table3_report, rounds=1, iterations=1)
+    print()
+    for line in lines:
+        print(line)
+    assert not any("SUSPECT" in line for line in lines)
+
+
+if __name__ == "__main__":
+    for line in table3_report():
+        print(line)

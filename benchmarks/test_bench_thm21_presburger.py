@@ -1,0 +1,124 @@
+"""Theorem 2.1 — unary Presburger ⇔ weak lrp definable.
+
+The report compiles a battery of unary Presburger formulas (basic forms
+and boolean combinations) into restricted generalized relations, checks
+each against direct formula evaluation over a window, and round-trips
+relations back to formulas (the reverse direction).
+
+Run standalone:  python benchmarks/test_bench_thm21_presburger.py
+"""
+
+import random
+
+from repro.presburger import (
+    Rel,
+    comparison,
+    compile_unary,
+    congruence,
+    conj,
+    disj,
+    neg,
+    parse_formula,
+    relation_to_formula,
+    solutions,
+)
+
+WINDOW = (-24, 24)
+N_RANDOM = 40
+
+FIXED_FORMULAS = [
+    "3v = 6",
+    "2v < 7",
+    "2v > -7",
+    "v = 1 mod 3",
+    "2v = 3 mod 7",
+    "v = 1 mod 3 & ~(v = 0 mod 2)",
+    "v < 0 | v = 0 mod 5",
+    "~(v = 0 mod 2 | v = 0 mod 3)",
+]
+
+
+def _random_formula(seed: int):
+    rng = random.Random(seed)
+
+    def atom():
+        if rng.random() < 0.5:
+            return comparison(
+                {"v": rng.randint(-4, 4)},
+                rng.choice(list(Rel)),
+                rng.randint(-8, 8),
+            )
+        return congruence(
+            {"v": rng.randint(1, 4)}, rng.randint(-4, 4), rng.randint(1, 6)
+        )
+
+    formula = atom()
+    for _ in range(rng.randint(0, 3)):
+        connective = rng.random()
+        if connective < 0.33:
+            formula = neg(formula)
+        elif connective < 0.66:
+            formula = conj(formula, atom())
+        else:
+            formula = disj(formula, atom())
+    return formula
+
+
+def test_bench_compile_unary(benchmark):
+    """Time compiling the fixed unary formula battery."""
+    formulas = [parse_formula(text) for text in FIXED_FORMULAS]
+
+    def run():
+        return [compile_unary(f, variable="v") for f in formulas]
+
+    relations = benchmark(run)
+    assert len(relations) == len(formulas)
+
+
+def thm21_report() -> list[str]:
+    lines = [
+        "Theorem 2.1 — unary Presburger predicates are weak lrp definable",
+        "-" * 78,
+    ]
+    ok = True
+    for text in FIXED_FORMULAS:
+        formula = parse_formula(text)
+        rel = compile_unary(formula, variable="v")
+        got = {x for (x,) in rel.snapshot(*WINDOW)}
+        want = {x for (x,) in solutions(formula, ["v"], *WINDOW)}
+        match = got == want
+        ok = ok and match
+        lines.append(
+            f"  {text:<40} -> {len(rel)} tuple(s); window agrees: {match}"
+        )
+    agree = 0
+    round_trips = 0
+    for seed in range(N_RANDOM):
+        formula = _random_formula(seed)
+        rel = compile_unary(formula, variable="v")
+        got = {x for (x,) in rel.snapshot(*WINDOW)}
+        want = {x for (x,) in solutions(formula, ["v"], *WINDOW)}
+        agree += got == want
+        back = relation_to_formula(rel, variable="v")
+        back_points = {x for (x,) in solutions(back, ["v"], *WINDOW)}
+        round_trips += back_points == want
+    lines.append(
+        f"  random formulas: {agree}/{N_RANDOM} compile correctly, "
+        f"{round_trips}/{N_RANDOM} round-trip (relation -> formula)"
+    )
+    ok = ok and agree == N_RANDOM and round_trips == N_RANDOM
+    lines.append(f"verdict: {'OK' if ok else 'SUSPECT'}")
+    return lines
+
+
+def test_thm21_report(benchmark):
+    lines = benchmark.pedantic(thm21_report, rounds=1, iterations=1)
+    print()
+    for line in lines:
+        print(line)
+    assert lines[-1].endswith("OK")
+
+
+if __name__ == "__main__":
+    for line in thm21_report():
+        print(line)

@@ -1,0 +1,93 @@
+"""Theorem 3.5 — nonemptiness of a generalized relation is PTIME.
+
+The report sweeps both complexity parameters: the tuple count N (claimed
+O(N) fixed-schema) and the column count m (claimed polynomial under the
+general measure), fitting growth exponents.  Worst-case inputs are used
+for the N sweep — every tuple *empty*, so no early exit fires.
+
+Run standalone:  python benchmarks/test_bench_thm35_emptiness.py
+"""
+
+import pytest
+
+from repro.analysis import fit_power_law, time_callable
+from repro.core.emptiness import relation_is_empty
+from repro.core.relations import GeneralizedRelation, Schema
+
+try:
+    from benchmarks.workloads import normalized_relation
+except ImportError:
+    from workloads import normalized_relation
+
+N_SWEEP = [8, 16, 32, 64, 128]
+M_SWEEP = [1, 2, 3, 4, 5]
+
+
+def _all_empty_relation(n: int, arity: int = 2) -> GeneralizedRelation:
+    """N tuples, each empty — the no-early-exit worst case for emptiness.
+
+    Each tuple is satisfiable over the reals (so the tuples are distinct
+    and the decision cannot shortcut on the constraint system alone) but
+    holds no lattice point: ``X0 ∈ 6Z`` boxed into ``[6i+1, 6i+5]``.
+    """
+    schema = Schema.make(temporal=[f"X{i}" for i in range(arity)])
+    out = GeneralizedRelation.empty(schema)
+    for i in range(n):
+        out.add_tuple(
+            ["6n"] * arity, f"X0 >= {6 * i + 1} & X0 <= {6 * i + 5}"
+        )
+    assert len(out) == n
+    return out
+
+
+def test_bench_emptiness_nonempty_input(benchmark):
+    """Emptiness with early exit (common case)."""
+    rel = normalized_relation(64, 2, seed=5)
+    assert benchmark(lambda: relation_is_empty(rel)) is False
+
+
+def test_bench_emptiness_worst_case(benchmark):
+    """Emptiness with no early exit (all tuples empty)."""
+    rel = _all_empty_relation(64)
+    assert benchmark(lambda: relation_is_empty(rel)) is True
+
+
+def thm35_report() -> list[str]:
+    lines = [
+        "Theorem 3.5 — emptiness is PTIME (O(N) fixed-schema, "
+        "polynomial in m generally)",
+        "-" * 78,
+    ]
+    times_n = []
+    for n in N_SWEEP:
+        rel = _all_empty_relation(n)
+        times_n.append(time_callable(lambda: relation_is_empty(rel), repeat=3))
+    fit_n = fit_power_law(N_SWEEP, times_n)
+    lines.append(
+        f"  N sweep {N_SWEEP} (m=2, all-empty worst case): {fit_n}"
+    )
+    ok = fit_n.exponent < 1.6
+    times_m = []
+    for m in M_SWEEP:
+        rel = _all_empty_relation(24, arity=m)
+        times_m.append(time_callable(lambda: relation_is_empty(rel), repeat=3))
+    fit_m = fit_power_law(M_SWEEP, times_m)
+    lines.append(f"  m sweep {M_SWEEP} (N=24): {fit_m}")
+    ok = ok and fit_m.exponent < 4.0  # polynomial in m (DBM closure is m^3)
+    lines.append(
+        f"verdict: {'OK — linear in N, polynomial in m' if ok else 'SUSPECT'}"
+    )
+    return lines
+
+
+def test_thm35_report(benchmark):
+    lines = benchmark.pedantic(thm35_report, rounds=1, iterations=1)
+    print()
+    for line in lines:
+        print(line)
+    assert "OK" in lines[-1]
+
+
+if __name__ == "__main__":
+    for line in thm35_report():
+        print(line)

@@ -1,0 +1,84 @@
+"""Theorem 4.1 — query evaluation is PTIME under data complexity.
+
+Data complexity fixes the query and grows the database.  The report
+runs a fixed yes/no query (an Example 4.1-style interval property) over
+schedule databases of increasing tuple count and fits the growth
+exponent, which must be polynomial (and is low in practice).
+
+Run standalone:  python benchmarks/test_bench_thm41_query.py
+"""
+
+import pytest
+
+from repro.analysis import fit_power_law, time_callable
+from repro.query import Database
+
+try:
+    from benchmarks.workloads import schedule_database
+except ImportError:
+    from workloads import schedule_database
+
+N_SWEEP = [2, 4, 8, 16, 32]
+
+# Fixed query: "is there a service that departs and, before it arrives,
+# some other departure happens?" — a join-and-compare query with an
+# existential block, plus a universal sanity property.
+QUERY_EXISTS = (
+    "EXISTS d1. EXISTS a1. EXISTS s1. EXISTS d2. EXISTS a2. EXISTS s2. "
+    "Train(d1, a1, s1) & Train(d2, a2, s2) & d1 < d2 & d2 < a1"
+)
+QUERY_FORALL = (
+    "FORALL d. FORALL a. FORALL s. Train(d, a, s) -> d < a"
+)
+
+
+def _db(n: int) -> Database:
+    db = Database()
+    db.register("Train", schedule_database(n, seed=7))
+    return db
+
+
+def test_bench_exists_query(benchmark):
+    db = _db(16)
+    assert benchmark(lambda: db.ask(QUERY_EXISTS)) is True
+
+
+def test_bench_forall_query(benchmark):
+    db = _db(16)
+    assert benchmark(lambda: db.ask(QUERY_FORALL)) is True
+
+
+def thm41_report() -> list[str]:
+    lines = [
+        "Theorem 4.1 — yes/no query evaluation is PTIME in database size",
+        "-" * 78,
+        f"fixed queries over schedule databases with N services, "
+        f"N in {N_SWEEP}",
+    ]
+    ok = True
+    for name, query in [("EXISTS-join", QUERY_EXISTS), ("FORALL", QUERY_FORALL)]:
+        times = []
+        for n in N_SWEEP:
+            db = _db(n)
+            times.append(time_callable(lambda: db.ask(query), repeat=2))
+        fit = fit_power_law(N_SWEEP, times)
+        cells = " ".join(f"{t * 1000:7.1f}ms" for t in times)
+        lines.append(f"  {name:<12} {cells}   {fit}")
+        ok = ok and fit.exponent < 3.5
+    lines.append(
+        f"verdict: {'OK — polynomial data complexity' if ok else 'SUSPECT'}"
+    )
+    return lines
+
+
+def test_thm41_report(benchmark):
+    lines = benchmark.pedantic(thm41_report, rounds=1, iterations=1)
+    print()
+    for line in lines:
+        print(line)
+    assert "OK" in lines[-1]
+
+
+if __name__ == "__main__":
+    for line in thm41_report():
+        print(line)

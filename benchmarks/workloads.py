@@ -1,0 +1,114 @@
+"""Synthetic workload generators for the benchmark harness.
+
+The paper's complexity results (Tables 2 and 3, Theorems 3.5/3.6/4.1)
+are stated over *normalized* databases with N tuples and m columns.
+These generators produce random generalized relations with controlled
+N, m, and period structure, seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.constraints import parse_atoms
+from repro.core.dbm import DBM
+from repro.core.lrp import LRP
+from repro.core.relations import GeneralizedRelation, Schema
+from repro.core.tuples import GeneralizedTuple
+
+
+def normalized_relation(
+    n_tuples: int,
+    arity: int,
+    period: int = 6,
+    seed: int = 0,
+    constraint_rate: float = 0.7,
+    bound_range: int = 20,
+) -> GeneralizedRelation:
+    """A random relation already in normal form (common period).
+
+    Every lrp has the same ``period`` with a random offset; constraints
+    are random difference/unary bounds.  This matches the appendix's
+    complexity setting, where analysis assumes normalized inputs.
+    """
+    rng = random.Random(seed)
+    schema = Schema.make(temporal=[f"X{i}" for i in range(arity)])
+    out = GeneralizedRelation.empty(schema)
+    while len(out) < n_tuples:
+        lrps = tuple(
+            LRP.make(rng.randrange(period), period) for _ in range(arity)
+        )
+        dbm = DBM(arity)
+        for i in range(arity):
+            if rng.random() < constraint_rate:
+                kind = rng.random()
+                bound = rng.randint(-bound_range, bound_range)
+                if kind < 0.4 and arity >= 2:
+                    j = rng.randrange(arity)
+                    if j != i:
+                        dbm.add_difference(i, j, bound)
+                        continue
+                if kind < 0.7:
+                    dbm.add_upper(i, bound)
+                else:
+                    dbm.add_lower(i, bound)
+        out.add(GeneralizedTuple(lrps, dbm))
+    return out
+
+
+def mixed_period_relation(
+    n_tuples: int,
+    arity: int,
+    periods: list[int],
+    seed: int = 0,
+) -> GeneralizedRelation:
+    """A relation whose lrps draw from ``periods`` (not normalized)."""
+    rng = random.Random(seed)
+    schema = Schema.make(temporal=[f"X{i}" for i in range(arity)])
+    out = GeneralizedRelation.empty(schema)
+    while len(out) < n_tuples:
+        lrps = tuple(
+            LRP.make(rng.randint(-10, 10), rng.choice(periods))
+            for _ in range(arity)
+        )
+        out.add(GeneralizedTuple(lrps, DBM(arity)))
+    return out
+
+
+def schedule_database(n_services: int, seed: int = 0) -> GeneralizedRelation:
+    """A Train-style schedule with ``n_services`` periodic services."""
+    rng = random.Random(seed)
+    schema = Schema.make(temporal=["dep", "arr"], data=["service"])
+    out = GeneralizedRelation.empty(schema)
+    for i in range(n_services):
+        start = rng.randrange(60)
+        duration = rng.randint(10, 90)
+        out.add_tuple(
+            [f"{start} + 60n", f"{start + duration} + 60n"],
+            f"dep = arr - {duration}",
+            [f"svc{i}"],
+        )
+    return out
+
+
+def robots_table1() -> GeneralizedRelation:
+    """The paper's Table 1, verbatim."""
+    schema = Schema.make(temporal=["t1", "t2"], data=["robot", "task"])
+    out = GeneralizedRelation.empty(schema)
+    out.add_tuple(
+        ["2 + 2n", "4 + 2n"], "t1 = t2 - 2 & t1 >= -1", ["robot1", "task1"]
+    )
+    out.add_tuple(
+        ["6 + 10n", "7 + 10n"], "t1 = t2 - 1 & t1 >= 10", ["robot2", "task2"]
+    )
+    out.add_tuple(["10n", "3 + 10n"], "t1 = t2 - 3", ["robot2", "task1"])
+    return out
+
+
+def figure2_relation() -> GeneralizedRelation:
+    """The Figure 2 / Example 3.2 tuple, as a relation."""
+    out = GeneralizedRelation.empty(Schema.make(temporal=["X1", "X2"]))
+    out.add_tuple(
+        ["4n + 3", "8n + 1"], "X1 >= X2 & X1 <= X2 + 5 & X2 >= 2"
+    )
+    return out

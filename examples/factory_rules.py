@@ -1,0 +1,86 @@
+"""A deductive layer over the robot factory (Section 5's discussion).
+
+The paper notes its database "does not exclude the eventual use of a
+deductive layer" in the style of Chomicki & Imieliński.  This example
+derives new infinite relations from Table 1 with Datalog rules —
+including recursion (reachability through handovers) and stratified
+negation (idle detection) — all over infinite periodic extensions.
+
+Run:  python examples/factory_rules.py
+"""
+
+from repro.deductive import Program
+from repro.query import Database
+
+PROGRAM = """
+# Which robots exist, derived from the activity log.
+declare Robot(robot:D)
+Robot(r) <- Perform(a, b, r, k)
+
+# Instants at which a robot is busy (interval unfolding).
+declare Busy(t:T, robot:D)
+Busy(t, r) <- Perform(a, b, r, k) & a <= t & t <= b
+
+# Direct handover: some robot finishes exactly when another starts.
+declare Handover(t:T, src:D, dst:D)
+Handover(t, r1, r2) <- Perform(a, t, r1, k1) & Perform(t, b, r2, k2) \\
+    & ~(r1 = r2)
+
+# Work can flow from r1 to r2 (transitively, through handovers).
+declare Flows(src:D, dst:D)
+Flows(r1, r2) <- Handover(t, r1, r2)
+Flows(r1, r3) <- Flows(r1, r2) & Handover(t, r2, r3)
+
+# Idle instants within the first cycle (stratified negation).
+declare Idle(t:T, robot:D)
+Idle(t, r) <- Robot(r) & t >= 0 & t <= 9 & \\
+    ~(EXISTS a. EXISTS b. EXISTS k. Perform(a, b, r, k) & a <= t & t <= b)
+"""
+
+
+def main() -> None:
+    db = Database()
+    db.create("Perform", temporal=["t1", "t2"], data=["robot", "task"])
+    perform = db.relation("Perform")
+    perform.add_tuple(
+        ["2 + 2n", "4 + 2n"], "t1 = t2 - 2 & t1 >= -1", ["robot1", "task1"]
+    )
+    perform.add_tuple(
+        ["6 + 10n", "7 + 10n"], "t1 = t2 - 1 & t1 >= 10", ["robot2", "task2"]
+    )
+    perform.add_tuple(["10n", "3 + 10n"], "t1 = t2 - 3", ["robot2", "task1"])
+
+    program = Program.from_text(PROGRAM)
+    print("program rules:")
+    for rule in program.rules:
+        print("  ", rule)
+    result = program.evaluate(db)
+
+    print("\nRobot/1 (projection rule):")
+    for point in result.relation("Robot").enumerate(0, 0):
+        print("  ", point[0])
+
+    busy = result.relation("Busy")
+    print("\nBusy robots at t = 1000000..1000003:")
+    for t in range(1000000, 1000004):
+        names = [r for r in ("robot1", "robot2") if busy.contains([t], [r])]
+        print(f"  t={t}: {', '.join(names) or '(none)'}")
+
+    handover = result.relation("Handover")
+    print("\nHandover instants in [0, 30]:")
+    for point in sorted(handover.enumerate(0, 30)):
+        print(f"  t={point[0]}: {point[1]} -> {point[2]}")
+
+    flows = result.relation("Flows")
+    print("\nWork flow (transitive closure over handovers):")
+    for point in sorted(flows.enumerate(0, 0)):
+        print(f"  {point[0]} ~> {point[1]}")
+
+    idle = result.relation("Idle")
+    print("\nIdle instants in the cycle [0, 9]:")
+    for point in sorted(idle.enumerate(0, 9)):
+        print(f"  t={point[0]}: {point[1]}")
+
+
+if __name__ == "__main__":
+    main()

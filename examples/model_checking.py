@@ -1,0 +1,104 @@
+"""Temporal-logic model checking on infinite periodic behaviour.
+
+The paper's introduction borrows "infinite and repeating temporal
+information" from concurrent-program verification, where temporal logic
+"easily expresses that something happens eventually or infinitely
+often" and model checking is "a form of query evaluation on a special
+type of database".  Here a cyclic scheduler's infinite trace is stored
+as generalized relations, and liveness/safety properties are decided
+exactly — including "infinitely often", which no finite trace prefix
+can decide.
+
+Run:  python examples/model_checking.py
+"""
+
+from repro.core.relations import GeneralizedRelation, Schema, relation
+from repro.tl import (
+    Model,
+    Next,
+    always,
+    atom,
+    conj,
+    disj,
+    eventually,
+    eventually_always,
+    infinitely_often,
+    negate,
+    until,
+)
+
+
+def build_scheduler_model() -> Model:
+    """A round-robin scheduler with a 9-tick cycle, forever.
+
+    Process A runs at ticks 9n..9n+2, B at 9n+3..9n+5, C at 9n+6..9n+7;
+    tick 9n+8 is a context-switch gap.  A one-off crash blocks C during
+    the first cycle only (ticks 6..7 replaced by downtime).
+    """
+    running = GeneralizedRelation.empty(
+        Schema.make(temporal=["t"], data=["proc"])
+    )
+    for phase in (0, 1, 2):
+        running.add_tuple([f"{phase} + 9n"], data=["A"])
+    for phase in (3, 4, 5):
+        running.add_tuple([f"{phase} + 9n"], data=["B"])
+    for phase in (6, 7):
+        running.add_tuple([f"{phase} + 9n"], "t >= 9", data=["C"])
+    down = relation(temporal=["t"])
+    down.add_tuple(["n"], "t >= 6 & t <= 7")
+    model = Model({"Running": running, "Down": down})
+    return model
+
+
+def main() -> None:
+    model = build_scheduler_model()
+    run_a = atom("Running", proc="A")
+    run_b = atom("Running", proc="B")
+    run_c = atom("Running", proc="C")
+    down = atom("Down")
+
+    print("The scheduler trace is an infinite periodic structure.")
+    sat_a = model.sat(run_a)
+    print("A runs at:", sorted(x for (x,) in sat_a.enumerate(0, 20)), "...")
+
+    print("\nSafety — mutual exclusion (no two processes at once):")
+    for left, right in [(run_a, run_b), (run_a, run_c), (run_b, run_c)]:
+        exclusive = model.holds_everywhere(negate(conj(left, right)))
+        print(f"  G !({left} & {right}) : {exclusive}")
+
+    print("\nLiveness — every process runs infinitely often:")
+    for proc in (run_a, run_b, run_c):
+        print(f"  G F {proc} : {model.holds_everywhere(infinitely_often(proc))}")
+
+    print("\nThe crash is transient — eventually the system is never down:")
+    print(
+        "  F G !Down :",
+        model.holds_everywhere(eventually_always(negate(down))),
+    )
+    print(
+        "  G !Down   :",
+        model.holds_everywhere(always(negate(down))),
+        " (false: the crash did happen)",
+    )
+
+    print("\nResponse — whenever A runs, B runs later in the same cycle:")
+    # G (A -> F B), expressed as G(!A | F B)
+    response = always(disj(negate(run_a), eventually(run_b)))
+    print("  G (A -> F B) :", model.holds_everywhere(response))
+
+    print("\nUntil — from a context-switch gap, nothing runs until A does:")
+    nothing = negate(disj(run_a, run_b, run_c))
+    sat = model.sat(until(nothing, run_a))
+    gap_ticks = [17, 26, 35]  # ticks 9n+8
+    print(
+        "  (idle U A) at gap ticks", gap_ticks, ":",
+        [sat.contains([t]) for t in gap_ticks],
+    )
+
+    print("\nNext — at tick 9n+2 (A's last slot) the very next tick is B:")
+    at_2 = model.sat(conj(run_a, Next(run_b)))
+    print("  A & X B at:", sorted(x for (x,) in at_2.enumerate(0, 20)), "...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Presburger arithmetic as data: the expressiveness theorems at work.
+
+Theorem 2.1: unary Presburger predicates are exactly what restricted
+generalized relations express.  Theorem 2.2: binary ones need general
+constraints.  This example compiles formulas both ways and inspects the
+resulting relations.
+
+Run:  python examples/presburger_sets.py
+"""
+
+from repro.presburger import (
+    compile_binary,
+    compile_unary,
+    parse_formula,
+    relation_to_formula,
+    solutions,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Unary: boolean combinations compile through the closed algebra.
+    # ------------------------------------------------------------------
+    text = "v = 1 mod 3 & ~(v = 0 mod 2) & v > -10"
+    formula = parse_formula(text)
+    rel = compile_unary(formula)
+    print(f"formula: {text}")
+    print("compiled relation (restricted constraints only):")
+    print(rel)
+    print("members in [-12, 30]:", sorted(x for (x,) in rel.snapshot(-12, 30)))
+    print(
+        "direct evaluation agrees:",
+        {x for (x,) in rel.snapshot(-12, 30)}
+        == {x for (x,) in solutions(formula, ["v"], -12, 30)},
+    )
+
+    # Round trip back to a formula (the reverse direction of Thm 2.1).
+    back = relation_to_formula(rel)
+    print("\nround-tripped formula:", back)
+
+    # ------------------------------------------------------------------
+    # Unary congruence: the paper's case 4, k1*v ≡ c (mod k2).
+    # ------------------------------------------------------------------
+    cong = parse_formula("2v = 3 mod 7")
+    rel2 = compile_unary(cong)
+    print("\nformula: 2v = 3 mod 7   (2v ≡ 3 (mod 7))")
+    print("compiled:", rel2)
+    print("members in [0, 30]:", sorted(x for (x,) in rel2.snapshot(0, 30)))
+
+    # ------------------------------------------------------------------
+    # Binary: general constraints (coefficients != 1).
+    # ------------------------------------------------------------------
+    btext = "3x < 2y + 1 & x = y mod 4"
+    bform = parse_formula(btext)
+    brel = compile_binary(bform, variables=("x", "y"))
+    print(f"\nbinary formula: {btext}")
+    print("compiled general relation:")
+    print(brel)
+    got = brel.snapshot(-6, 6)
+    want = solutions(bform, ["x", "y"], -6, 6)
+    print("window [-6,6]^2 agreement:", got == want, f"({len(got)} pairs)")
+
+    # A pure congruence compiles into constraint-free lattice classes:
+    lattice = compile_binary(parse_formula("2x = 3y + 1 mod 5"))
+    print("\n2x ≡ 3y + 1 (mod 5) — pure lattice classes, no constraints:")
+    print(lattice)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Quickstart: linear repeating points, generalized relations, queries.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import LRP, GeneralizedRelation, Schema
+from repro.core import algebra
+from repro.query import Database
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Linear repeating points: infinite sets, finitely represented.
+    # ------------------------------------------------------------------
+    every_5_from_3 = LRP.parse("3 + 5n")  # {..., -7, -2, 3, 8, 13, ...}
+    print("lrp:", every_5_from_3)
+    print("  contains 13?", every_5_from_3.contains(13))
+    print("  contains 14?", every_5_from_3.contains(14))
+    print("  members in [0, 30]:", list(every_5_from_3.enumerate(0, 30)))
+
+    # Intersection is computed by the Chinese Remainder Theorem:
+    meet = every_5_from_3.intersect(LRP.parse("2n + 1"))
+    print("  (3 + 5n) ∩ (1 + 2n) =", meet)
+
+    # ------------------------------------------------------------------
+    # 2. Generalized relations: infinite temporal extensions as data.
+    # ------------------------------------------------------------------
+    # A sensor fires every 6 minutes starting at minute 2, forever, and
+    # a maintenance window covers minutes 100..200 of every day-like
+    # 1440-minute cycle.  Both are single generalized tuples.
+    fires = GeneralizedRelation.empty(Schema.make(temporal=["t"]))
+    fires.add_tuple(["2 + 6n"])
+
+    maintenance = GeneralizedRelation.empty(Schema.make(temporal=["t"]))
+    maintenance.add_tuple(["n"], "t >= 100 & t <= 200")
+
+    # Which firings land inside the maintenance window?  Pure symbolic
+    # intersection — no enumeration, no horizon.
+    risky = algebra.intersect(fires, maintenance)
+    print("\nfirings inside the window:", sorted(risky.enumerate(0, 300)))
+
+    # The complement is *also* a generalized relation (closure!):
+    quiet = algebra.complement(fires)
+    print("minutes 0..12 with no firing:", sorted(quiet.enumerate(0, 12)))
+
+    # ------------------------------------------------------------------
+    # 3. Intervals + data attributes + first-order queries.
+    # ------------------------------------------------------------------
+    db = Database()
+    db.create("Shift", temporal=["start", "end"], data=["worker"])
+    shifts = db.relation("Shift")
+    # alice works [0, 8] every 24 "hours", forever; bob works [8, 16].
+    shifts.add_tuple(["24n", "8 + 24n"], "start = end - 8", ["alice"])
+    shifts.add_tuple(["8 + 24n", "16 + 24n"], "start = end - 8", ["bob"])
+
+    print("\nIs someone on shift at t = 1000012?")
+    print(
+        " ",
+        db.ask("EXISTS w. EXISTS s. EXISTS e. "
+               "Shift(s, e, w) & s <= 1000012 & 1000012 <= e"),
+    )
+
+    print("Does alice ever hand over directly to bob?")
+    print(
+        " ",
+        db.ask('EXISTS t. EXISTS s. EXISTS e. '
+               'Shift(s, t, "alice") & Shift(t, e, "bob")'),
+    )
+
+    print("Who is on shift at t = 12?")
+    answer = db.query("EXISTS s. EXISTS e. Shift(s, e, w) & s <= 12 & 12 <= e")
+    for point in answer.enumerate(0, 0):
+        print("  worker:", point[0])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Table 1 and Example 4.1 from the paper: robot activities.
+
+The relation ``Perform(t1, t2, robot, task)`` stores which robot
+performs which task over which interval — each row a periodically
+repeating, infinite family of intervals.
+
+Run:  python examples/robot_factory.py
+"""
+
+from repro.query import Database
+from repro.storage import textio
+
+TABLE_1 = """
+relation Perform(t1:T, t2:T, robot:D, task:D)
+[2 + 2n, 4 + 2n]   : t1 = t2 - 2 & t1 >= -1 | robot1, task1
+[6 + 10n, 7 + 10n] : t1 = t2 - 1 & t1 >= 10 | robot2, task2
+[10n, 3 + 10n]     : t1 = t2 - 3            | robot2, task1
+"""
+
+EXAMPLE_4_1 = """
+EXISTS x. EXISTS y. EXISTS t1. EXISTS t2.
+FORALL t3. FORALL t4. FORALL z.
+  (Perform(t1, t2, x, "task2")
+     & t1 <= t3 & t3 <= t4 & t4 <= t2 & t1 + 5 <= t2)
+  -> ~Perform(t3, t4, y, z)
+"""
+
+
+def main() -> None:
+    name, perform = textio.loads(TABLE_1)
+    print("Loaded", name, "with", len(perform), "generalized tuples:")
+    print(perform)
+
+    db = Database()
+    db.register("Perform", perform)
+
+    # ------------------------------------------------------------------
+    # Concrete facts implied by the infinite table.
+    # ------------------------------------------------------------------
+    print("\nSome concrete activities:")
+    for t1, t2, robot, task in [
+        (2, 4, "robot1", "task1"),
+        (1000000, 1000002, "robot1", "task1"),
+        (16, 17, "robot2", "task2"),
+        (6, 7, "robot2", "task2"),  # excluded by t1 >= 10
+    ]:
+        verdict = perform.contains([t1, t2], [robot, task])
+        print(f"  Perform({t1}, {t2}, {robot}, {task}) = {verdict}")
+
+    # ------------------------------------------------------------------
+    # First-order queries.
+    # ------------------------------------------------------------------
+    print("\nWhich robots ever perform task2?")
+    res = db.query('EXISTS t1. EXISTS t2. Perform(t1, t2, r, "task2")')
+    for (robot,) in res.enumerate(0, 0):
+        print("  ", robot)
+
+    print("\nWhen does robot2 start task2 (first few start times >= 0)?")
+    res = db.query('EXISTS t2. Perform(t, t2, "robot2", "task2")')
+    print("  ", sorted(x for (x,) in res.enumerate(0, 60)))
+
+    print("\nIs robot1 a task1 specialist (never performs anything else)?")
+    print(
+        "  ",
+        db.ask(
+            'FORALL t1. FORALL t2. FORALL k. '
+            'Perform(t1, t2, "robot1", k) -> k = "task1"'
+        ),
+    )
+
+    print("\nAre robot1 and robot2 ever active simultaneously "
+          "(overlapping intervals)?")
+    print(
+        "  ",
+        db.ask(
+            "EXISTS a1. EXISTS b1. EXISTS a2. EXISTS b2. "
+            "EXISTS k1. EXISTS k2. "
+            'Perform(a1, b1, "robot1", k1) & Perform(a2, b2, "robot2", k2) '
+            "& a2 <= b1 & a1 <= b2"
+        ),
+    )
+
+    # ------------------------------------------------------------------
+    # The paper's Example 4.1.
+    # ------------------------------------------------------------------
+    print("\nExample 4.1: is there a robot x and a robot y such that, if")
+    print("x performs task2 over an interval of length >= 5, then y is")
+    print("not performing any task during any part of that interval?")
+    print("  ", db.ask(EXAMPLE_4_1))
+    print("  (vacuously true on Table 1: task2 intervals have length 1)")
+
+    # Make the antecedent satisfiable and ask again.
+    perform.add_tuple(
+        ["20n", "6 + 20n"], "t1 = t2 - 6", ["robot3", "task2"]
+    )
+    print("\nAfter adding robot3 performing task2 on [20n, 20n + 6]:")
+    print("  ", db.ask(EXAMPLE_4_1))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""repro — infinite temporal databases via linear repeating points.
+
+A faithful, production-quality reproduction of
+
+    F. Kabanza, J.-M. Stevenne, P. Wolper,
+    "Handling Infinite Temporal Data", PODS 1990.
+
+The library stores *infinite* temporal extensions finitely as
+generalized relations over linear repeating points (``c + k*n``) with
+restricted constraints, supports the full relational algebra on them
+(union, intersection, difference, projection, selection, product, join,
+complement), characterizes their expressiveness against Presburger
+arithmetic, and evaluates a two-sorted first-order query language.
+
+Quickstart::
+
+    from repro import GeneralizedRelation, Schema
+
+    trains = GeneralizedRelation.empty(
+        Schema.make(temporal=["dep", "arr"], data=["service"])
+    )
+    trains.add_tuple(["2 + 60n", "80 + 60n"], "dep = arr - 78", ["slow"])
+    trains.add_tuple(["46 + 60n", "110 + 60n"], "dep = arr - 64", ["express"])
+    assert trains.contains([62, 140], ["slow"])   # the 1:02 train
+"""
+
+from repro.core import (
+    DBM,
+    Atom,
+    Attribute,
+    ConstraintError,
+    DomainError,
+    EvaluationError,
+    GeneralizedRelation,
+    GeneralizedTuple,
+    LRP,
+    NormalizationLimitError,
+    Op,
+    ParseError,
+    ReproError,
+    Schema,
+    SchemaError,
+    VarConstAtom,
+    VarVarAtom,
+    parse_atom,
+    parse_atoms,
+    relation,
+)
+from repro.periodic import PeriodicSet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "Attribute",
+    "ConstraintError",
+    "DBM",
+    "DomainError",
+    "EvaluationError",
+    "GeneralizedRelation",
+    "GeneralizedTuple",
+    "LRP",
+    "NormalizationLimitError",
+    "Op",
+    "ParseError",
+    "PeriodicSet",
+    "ReproError",
+    "Schema",
+    "SchemaError",
+    "VarConstAtom",
+    "VarVarAtom",
+    "__version__",
+    "parse_atom",
+    "parse_atoms",
+    "relation",
+]

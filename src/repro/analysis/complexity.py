@@ -1,0 +1,103 @@
+"""Empirical complexity analysis: power-law fits for the benchmarks.
+
+Tables 2 and 3 of the paper state asymptotic bounds; the benchmark
+harness validates their *shape* by timing each operation over a sweep of
+input sizes and fitting a power law ``t = a * n^b`` by least squares on
+the log-log points.  The fitted exponent ``b`` is then compared with the
+paper's stated degree.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of fitting ``y = a * x^exponent``."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def __str__(self) -> str:
+        return (
+            f"~ n^{self.exponent:.2f} "
+            f"(R² = {self.r_squared:.3f})"
+        )
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Least-squares fit of ``log y = log a + b log x``.
+
+    Zero or negative measurements are clamped to a tiny epsilon so that
+    fast, timer-resolution-limited runs do not break the fit.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) points")
+    eps = 1e-9
+    lx = [math.log(max(x, eps)) for x in xs]
+    ly = [math.log(max(y, eps)) for y in ys]
+    n = len(lx)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    sxx = sum((x - mean_x) ** 2 for x in lx)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(lx, ly))
+    if sxx == 0:
+        raise ValueError("x values must not all be equal")
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum(
+        (y - (intercept + slope * x)) ** 2 for x, y in zip(lx, ly)
+    )
+    ss_tot = sum((y - mean_y) ** 2 for y in ly)
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(
+        exponent=slope,
+        coefficient=math.exp(intercept),
+        r_squared=r_squared,
+    )
+
+
+def time_callable(
+    fn: Callable[[], object], repeat: int = 3, number: int = 1
+) -> float:
+    """Best-of-``repeat`` wall time of calling ``fn`` ``number`` times."""
+    best = math.inf
+    for _ in range(repeat):
+        start = time.perf_counter()
+        for _ in range(number):
+            fn()
+        elapsed = (time.perf_counter() - start) / number
+        best = min(best, elapsed)
+    return best
+
+
+def sweep(
+    sizes: Sequence[int],
+    make_input: Callable[[int], object],
+    operation: Callable[[object], object],
+    repeat: int = 3,
+) -> list[tuple[int, float]]:
+    """Time ``operation`` over inputs built per size; returns (size, seconds)."""
+    out: list[tuple[int, float]] = []
+    for size in sizes:
+        prepared = make_input(size)
+        out.append(
+            (size, time_callable(lambda: operation(prepared), repeat=repeat))
+        )
+    return out
+
+
+def format_complexity_row(
+    name: str,
+    claimed: str,
+    fit: PowerLawFit,
+    verdict: str | None = None,
+) -> str:
+    """One aligned row of a Tables 2/3-style report."""
+    verdict = verdict if verdict is not None else ""
+    return f"{name:<24} {claimed:<16} measured {fit!s:<28} {verdict}"

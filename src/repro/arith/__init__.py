@@ -1,0 +1,32 @@
+"""Integer arithmetic kernel used throughout the library.
+
+The algorithms here back Section 3.2.1 of the paper: intersecting two
+linear repeating points reduces to solving a linear congruence, which in
+turn reduces to the extended Euclidean algorithm.
+"""
+
+from repro.arith.congruence import (
+    CongruenceSolution,
+    crt_pair,
+    crt_system,
+    solve_linear_congruence,
+)
+from repro.arith.euclid import (
+    extended_gcd,
+    floor_div,
+    lcm,
+    lcm_many,
+    mod_inverse,
+)
+
+__all__ = [
+    "CongruenceSolution",
+    "crt_pair",
+    "crt_system",
+    "extended_gcd",
+    "floor_div",
+    "lcm",
+    "lcm_many",
+    "mod_inverse",
+    "solve_linear_congruence",
+]

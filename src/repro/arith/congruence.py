@@ -1,0 +1,104 @@
+"""Linear congruences and the Chinese Remainder Theorem.
+
+Intersecting two linear repeating points ``c1 + k1*n1`` and ``c2 + k2*n2``
+(Section 3.2.1 of the paper) asks for the integers lying on both
+progressions, i.e. the solutions of the simultaneous congruences
+``x ≡ c1 (mod k1)`` and ``x ≡ c2 (mod k2)``.  This module provides the
+general machinery; :mod:`repro.core.lrp` applies it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arith.euclid import extended_gcd, lcm
+
+
+@dataclass(frozen=True)
+class CongruenceSolution:
+    """All solutions of a congruence: ``x ≡ residue (mod modulus)``.
+
+    ``modulus == 0`` encodes a unique solution ``x == residue``.
+    """
+
+    residue: int
+    modulus: int
+
+    def __post_init__(self) -> None:
+        if self.modulus < 0:
+            raise ValueError("modulus must be non-negative")
+        if self.modulus > 0 and not 0 <= self.residue < self.modulus:
+            raise ValueError(
+                f"residue {self.residue} not reduced modulo {self.modulus}"
+            )
+
+    def contains(self, x: int) -> bool:
+        """Return whether ``x`` is a solution."""
+        if self.modulus == 0:
+            return x == self.residue
+        return x % self.modulus == self.residue
+
+
+def solve_linear_congruence(a: int, b: int, m: int) -> CongruenceSolution | None:
+    """Solve ``a*x ≡ b (mod m)`` for ``m > 0``.
+
+    Returns the full solution set as a :class:`CongruenceSolution`
+    (``x ≡ x0 (mod m/g)`` with ``g = gcd(a, m)``), or ``None`` when there
+    is no solution (``g`` does not divide ``b``).
+
+    This is exactly the computation the paper performs to find the ``j``
+    with ``(k1*j + (c1 - c2)) mod k2 == 0``.
+    """
+    if m <= 0:
+        raise ValueError(f"modulus must be positive, got {m}")
+    g, x, _ = extended_gcd(a, m)
+    if b % g != 0:
+        return None
+    m_reduced = m // g
+    x0 = (x * (b // g)) % m_reduced
+    return CongruenceSolution(residue=x0, modulus=m_reduced)
+
+
+def crt_pair(r1: int, m1: int, r2: int, m2: int) -> CongruenceSolution | None:
+    """Solve ``x ≡ r1 (mod m1)`` and ``x ≡ r2 (mod m2)`` simultaneously.
+
+    Either modulus may be 0, meaning the corresponding congruence pins
+    ``x`` to exactly ``r1`` (resp. ``r2``).  Returns ``None`` when the
+    system is unsatisfiable.
+    """
+    if m1 < 0 or m2 < 0:
+        raise ValueError("moduli must be non-negative")
+    if m1 == 0 and m2 == 0:
+        return CongruenceSolution(r1, 0) if r1 == r2 else None
+    if m1 == 0:
+        return CongruenceSolution(r1, 0) if (r1 - r2) % m2 == 0 else None
+    if m2 == 0:
+        return CongruenceSolution(r2, 0) if (r2 - r1) % m1 == 0 else None
+    g = math.gcd(m1, m2)
+    if (r2 - r1) % g != 0:
+        return None
+    m = lcm(m1, m2)
+    # x = r1 + m1*t; need m1*t ≡ r2 - r1 (mod m2).
+    t_sol = solve_linear_congruence(m1, r2 - r1, m2)
+    assert t_sol is not None  # divisibility by g was already checked
+    x0 = (r1 + m1 * t_sol.residue) % m
+    return CongruenceSolution(residue=x0, modulus=m)
+
+
+def crt_system(pairs: list[tuple[int, int]]) -> CongruenceSolution | None:
+    """Solve a system of congruences ``x ≡ r_i (mod m_i)``.
+
+    ``pairs`` is a list of ``(residue, modulus)`` entries; moduli may be 0
+    (exact pins).  An empty system is satisfied by every integer, encoded
+    as ``x ≡ 0 (mod 1)``.
+    """
+    acc = CongruenceSolution(residue=0, modulus=1)
+    for residue, modulus in pairs:
+        if modulus > 0:
+            residue %= modulus
+        merged = crt_pair(acc.residue, acc.modulus, residue, modulus)
+        if merged is None:
+            return None
+        acc = merged
+    return acc

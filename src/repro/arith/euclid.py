@@ -1,0 +1,84 @@
+"""Extended Euclidean algorithm and related integer helpers.
+
+The paper (Section 3.2.1) observes that the modular inverse needed for
+intersecting linear repeating points "can be obtained by an extension of
+Euclid's algorithm for computing the greatest common divisor requiring an
+O(ln max(k1, k2)) time computation".
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+
+def extended_gcd(a: int, b: int) -> tuple[int, int, int]:
+    """Return ``(g, x, y)`` such that ``a*x + b*y == g == gcd(a, b)``.
+
+    ``g`` is always non-negative.  Works for negative inputs; for
+    ``a == b == 0`` it returns ``(0, 1, 0)`` (the identity still holds).
+    """
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r != 0:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+        old_y, y = y, old_y - q * y
+    if old_r < 0:
+        old_r, old_x, old_y = -old_r, -old_x, -old_y
+    return old_r, old_x, old_y
+
+
+def mod_inverse(a: int, m: int) -> int:
+    """Return the inverse of ``a`` modulo ``m`` (``m > 0``).
+
+    Raises :class:`ValueError` when ``a`` is not invertible modulo ``m``,
+    i.e. when ``gcd(a, m) != 1``.
+    """
+    if m <= 0:
+        raise ValueError(f"modulus must be positive, got {m}")
+    g, x, _ = extended_gcd(a, m)
+    if g != 1:
+        raise ValueError(f"{a} has no inverse modulo {m} (gcd is {g})")
+    return x % m
+
+
+def lcm(a: int, b: int) -> int:
+    """Return the least common multiple of ``|a|`` and ``|b|``.
+
+    By convention ``lcm(0, b) == lcm(a, 0) == 0``; the paper only ever
+    takes lcms of non-zero periods, and period 0 means a singleton lrp
+    which never contributes to the common period.
+    """
+    if a == 0 or b == 0:
+        return 0
+    return abs(a) * abs(b) // math.gcd(a, b)
+
+
+def lcm_many(values: Iterable[int]) -> int:
+    """Return the lcm of the absolute values of ``values``, skipping zeros.
+
+    Returns 1 when every value is zero (or the iterable is empty): a
+    "common period" of 1 is the neutral choice for a tuple whose lrps are
+    all singletons.
+    """
+    result = 1
+    for v in values:
+        if v != 0:
+            result = lcm(result, v)
+    return result
+
+
+def floor_div(a: int, b: int) -> int:
+    """Floor division that insists on exact integer semantics for ``b != 0``.
+
+    Python's ``//`` already floors toward negative infinity for ints,
+    which is the convention the paper's normalization step 5 requires
+    (constants are shifted *down* onto the period grid).  This wrapper
+    exists to make that intent explicit and to reject ``b == 0`` loudly.
+    """
+    if b == 0:
+        raise ZeroDivisionError("floor_div by zero")
+    return a // b

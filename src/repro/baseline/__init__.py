@@ -1,0 +1,5 @@
+"""Finite-horizon baseline engine (the paper's Section 1 strawman)."""
+
+from repro.baseline.finite import FiniteRelation
+
+__all__ = ["FiniteRelation"]

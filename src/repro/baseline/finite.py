@@ -1,0 +1,160 @@
+"""The classical finite baseline: materialized tuples up to a horizon.
+
+Section 1 of the paper argues against finite materialization: "it is
+preferable to state that something happens every year forever than to
+state that it happens in 1989, 1990, 1991, ... 2090".  This module is
+that strawman, built honestly: a conventional relational engine over
+explicitly stored tuples, produced by truncating an infinite relation to
+a time horizon.  The benchmarks compare its storage and query costs
+against the generalized (symbolic) representation as the horizon grows;
+the generalized side is horizon-independent.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Hashable, Iterable, Sequence
+
+from repro.core.relations import GeneralizedRelation, Schema
+
+
+class FiniteRelation:
+    """A plain in-memory relation: a set of concrete schema-order tuples."""
+
+    __slots__ = ("schema", "rows")
+
+    def __init__(self, schema: Schema, rows: Iterable[tuple] = ()) -> None:
+        self.schema = schema
+        self.rows: set[tuple] = set()
+        for row in rows:
+            self.add(row)
+
+    @classmethod
+    def materialize(
+        cls,
+        relation: GeneralizedRelation,
+        low: int,
+        high: int,
+    ) -> FiniteRelation:
+        """Truncate a generalized relation to the horizon ``[low, high]``.
+
+        This is exactly the "1989 ... 2090" encoding: every concrete
+        point with temporal coordinates inside the horizon becomes one
+        stored row.
+        """
+        return cls(relation.schema, relation.enumerate(low, high))
+
+    def add(self, row: Sequence) -> None:
+        """Insert one concrete row (arity-checked)."""
+        row = tuple(row)
+        if len(row) != len(self.schema):
+            raise ValueError(
+                f"row has {len(row)} fields, schema has {len(self.schema)}"
+            )
+        self.rows.add(row)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def contains(self, row: Sequence) -> bool:
+        """Membership test."""
+        return tuple(row) in self.rows
+
+    # ------------------------------------------------------------------
+    # classical algebra
+    # ------------------------------------------------------------------
+
+    def union(self, other: FiniteRelation) -> FiniteRelation:
+        """Set union."""
+        self._check(other)
+        return FiniteRelation(self.schema, self.rows | other.rows)
+
+    def intersect(self, other: FiniteRelation) -> FiniteRelation:
+        """Set intersection."""
+        self._check(other)
+        return FiniteRelation(self.schema, self.rows & other.rows)
+
+    def subtract(self, other: FiniteRelation) -> FiniteRelation:
+        """Set difference."""
+        self._check(other)
+        return FiniteRelation(self.schema, self.rows - other.rows)
+
+    def select(self, predicate: Callable[[tuple], bool]) -> FiniteRelation:
+        """Selection by an arbitrary row predicate."""
+        return FiniteRelation(
+            self.schema, (row for row in self.rows if predicate(row))
+        )
+
+    def project(self, names: Sequence[str]) -> FiniteRelation:
+        """Projection onto named attributes (order taken from ``names``)."""
+        indices = [self.schema.names.index(name) for name in names]
+        new_schema = Schema(
+            tuple(self.schema.attribute(name) for name in names)
+        )
+        return FiniteRelation(
+            new_schema,
+            (tuple(row[i] for i in indices) for row in self.rows),
+        )
+
+    def product(self, other: FiniteRelation) -> FiniteRelation:
+        """Cross product (attribute names must be disjoint)."""
+        overlap = set(self.schema.names) & set(other.schema.names)
+        if overlap:
+            raise ValueError(f"shared attribute names: {sorted(overlap)}")
+        new_schema = Schema(self.schema.attributes + other.schema.attributes)
+        return FiniteRelation(
+            new_schema,
+            (
+                a + b
+                for a, b in itertools.product(self.rows, other.rows)
+            ),
+        )
+
+    def join(self, other: FiniteRelation) -> FiniteRelation:
+        """Natural hash join on shared attribute names."""
+        shared = [n for n in self.schema.names if n in set(other.schema.names)]
+        my_idx = [self.schema.names.index(n) for n in shared]
+        their_idx = [other.schema.names.index(n) for n in shared]
+        their_rest_idx = [
+            i
+            for i, n in enumerate(other.schema.names)
+            if n not in set(shared)
+        ]
+        new_schema = Schema(
+            self.schema.attributes
+            + tuple(other.schema.attributes[i] for i in their_rest_idx)
+        )
+        index: dict[tuple, list[tuple]] = {}
+        for row in other.rows:
+            key = tuple(row[i] for i in their_idx)
+            index.setdefault(key, []).append(row)
+        out = FiniteRelation(new_schema)
+        for row in self.rows:
+            key = tuple(row[i] for i in my_idx)
+            for match in index.get(key, ()):
+                out.add(row + tuple(match[i] for i in their_rest_idx))
+        return out
+
+    def complement(self, domains: dict[str, Sequence[Hashable]]) -> FiniteRelation:
+        """Complement w.r.t. explicit finite domains per attribute.
+
+        The finite engine cannot complement against Z — the defining
+        limitation the paper's symbolic representation removes.
+        """
+        for name in self.schema.names:
+            if name not in domains:
+                raise ValueError(f"no domain for attribute {name!r}")
+        axes = [list(domains[name]) for name in self.schema.names]
+        universe = set(itertools.product(*axes))
+        return FiniteRelation(self.schema, universe - self.rows)
+
+    def storage_cells(self) -> int:
+        """Total stored field count — the memory-footprint proxy."""
+        return len(self.rows) * len(self.schema)
+
+    def _check(self, other: FiniteRelation) -> None:
+        if self.schema != other.schema:
+            raise ValueError("schemas differ")

@@ -1,0 +1,251 @@
+"""A small interactive shell / batch interpreter for temporal databases.
+
+Usage::
+
+    python -m repro.cli                      # interactive REPL
+    python -m repro.cli script.itql          # run a command file
+    python -m repro.cli -c 'ask EXISTS t. P(t)' -c 'quit'
+
+Commands:
+
+    create NAME(attr:T, attr:D, ...)   declare an empty relation
+    insert NAME [lrps] : constraints | data
+                                       add one generalized tuple
+    load FILE                          load relations from a text file
+    save FILE [NAME ...]               write relations to a text file
+    list                               show the catalog
+    show NAME                          print a relation
+    window NAME LO HI                  enumerate concrete points
+    ask QUERY                          yes/no first-order query
+    query QUERY                        open query; prints the result
+    explain QUERY                      show the algebraic evaluation plan
+    rules FILE                         run a Datalog program file; derived
+                                       relations join the catalog
+    next NAME.COLUMN AFTER             exact next event at/after AFTER
+    prev NAME.COLUMN BEFORE            exact previous event at/before BEFORE
+    help                               this text
+    quit                               leave
+
+The query syntax is the library's two-sorted first-order language
+(``EXISTS t. Train(t, a, "slow") & t >= 60``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.errors import ReproError
+from repro.core.relations import GeneralizedRelation
+from repro.core.temporal import next_event, prev_event
+from repro.query import Database
+from repro.storage import textio
+
+HELP_TEXT = __doc__.split("Commands:", 1)[1].rsplit("The query", 1)[0]
+
+
+class Session:
+    """One CLI session: a database plus command dispatch."""
+
+    def __init__(self) -> None:
+        self.db = Database()
+        self.done = False
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def execute(self, line: str) -> str:
+        """Run one command line; returns the printable response."""
+        line = line.strip()
+        if not line or line.startswith("#"):
+            return ""
+        verb, _, rest = line.partition(" ")
+        handler = getattr(self, f"_cmd_{verb.lower()}", None)
+        if handler is None:
+            return f"error: unknown command {verb!r} (try 'help')"
+        try:
+            return handler(rest.strip())
+        except ReproError as exc:
+            return f"error: {exc}"
+        except (ValueError, KeyError, OSError) as exc:
+            return f"error: {exc}"
+
+    # ------------------------------------------------------------------
+    # commands
+    # ------------------------------------------------------------------
+
+    def _cmd_help(self, _rest: str) -> str:
+        return HELP_TEXT.strip()
+
+    def _cmd_quit(self, _rest: str) -> str:
+        self.done = True
+        return "bye"
+
+    def _cmd_exit(self, rest: str) -> str:
+        return self._cmd_quit(rest)
+
+    def _cmd_create(self, rest: str) -> str:
+        name, schema = textio.parse_header("relation " + rest)
+        self.db.register(name, GeneralizedRelation.empty(schema))
+        return f"created {name}{schema}"
+
+    def _cmd_insert(self, rest: str) -> str:
+        name, _, tuple_text = rest.partition(" ")
+        relation = self.db.relation(name)
+        before = len(relation)
+        textio.parse_tuple_line(relation, tuple_text.strip())
+        added = len(relation) - before
+        return f"inserted {added} tuple(s) into {name}" if added else (
+            f"tuple already present in {name}"
+        )
+
+    def _cmd_load(self, rest: str) -> str:
+        with open(rest) as handle:
+            relations = textio.loads_all(handle.read())
+        for name, relation in relations.items():
+            self.db.register(name, relation)
+        return f"loaded {', '.join(relations)} from {rest}"
+
+    def _cmd_save(self, rest: str) -> str:
+        parts = rest.split()
+        if not parts:
+            return "error: save needs a file name"
+        path, names = parts[0], parts[1:] or list(self.db.names)
+        payload = textio.dumps_all(
+            {name: self.db.relation(name) for name in names}
+        )
+        with open(path, "w") as handle:
+            handle.write(payload)
+        return f"saved {', '.join(names)} to {path}"
+
+    def _cmd_list(self, _rest: str) -> str:
+        if not self.db.names:
+            return "(no relations)"
+        lines = []
+        for name in self.db.names:
+            relation = self.db.relation(name)
+            lines.append(
+                f"{name}{relation.schema} — {len(relation)} generalized "
+                "tuple(s)"
+            )
+        return "\n".join(lines)
+
+    def _cmd_show(self, rest: str) -> str:
+        return textio.format_relation(self.db.relation(rest), rest).rstrip()
+
+    def _cmd_window(self, rest: str) -> str:
+        parts = rest.split()
+        if len(parts) != 3:
+            return "error: usage: window NAME LO HI"
+        name, lo, hi = parts[0], int(parts[1]), int(parts[2])
+        points = sorted(self.db.relation(name).enumerate(lo, hi))
+        if not points:
+            return "(no points in window)"
+        shown = points[:50]
+        lines = [", ".join(map(str, point)) for point in shown]
+        if len(points) > len(shown):
+            lines.append(f"... and {len(points) - len(shown)} more")
+        return "\n".join(lines)
+
+    def _cmd_ask(self, rest: str) -> str:
+        return "true" if self.db.ask(rest) else "false"
+
+    def _cmd_query(self, rest: str) -> str:
+        result = self.db.query(rest)
+        header = f"result{result.schema}: {len(result)} generalized tuple(s)"
+        body = "\n".join(f"  {t}" for t in result.tuples[:20])
+        if len(result) > 20:
+            body += f"\n  ... and {len(result) - 20} more"
+        return header + ("\n" + body if body else "")
+
+    def _cmd_explain(self, rest: str) -> str:
+        return str(self.db.explain(rest))
+
+    def _cmd_rules(self, rest: str) -> str:
+        """Run a Datalog program file against the current database."""
+        from repro.deductive import Program
+
+        with open(rest) as handle:
+            program = Program.from_text(handle.read())
+        result = program.evaluate(self.db)
+        for name in program.idb_names:
+            self.db.register(name, result.relation(name))
+        sizes = ", ".join(
+            f"{name} ({len(self.db.relation(name))} tuples)"
+            for name in program.idb_names
+        )
+        return f"derived {sizes}"
+
+    def _cmd_next(self, rest: str) -> str:
+        return self._next_prev(rest, forward=True)
+
+    def _cmd_prev(self, rest: str) -> str:
+        return self._next_prev(rest, forward=False)
+
+    def _next_prev(self, rest: str, forward: bool) -> str:
+        parts = rest.split()
+        if len(parts) != 2 or "." not in parts[0]:
+            which = "next" if forward else "prev"
+            return f"error: usage: {which} NAME.COLUMN INSTANT"
+        target, instant = parts[0], int(parts[1])
+        name, _, column = target.partition(".")
+        relation = self.db.relation(name)
+        fn = next_event if forward else prev_event
+        value = fn(relation, column, instant)
+        return "(none)" if value is None else str(value)
+
+
+def repl(session: Session, stream=None, out=None) -> None:
+    """Read-eval-print loop over ``stream`` (default: stdin/stdout)."""
+    stream = sys.stdin if stream is None else stream
+    out = sys.stdout if out is None else out
+    interactive = stream is sys.stdin and stream.isatty()
+    while not session.done:
+        if interactive:
+            out.write("itql> ")
+            out.flush()
+        line = stream.readline()
+        if not line:
+            break
+        response = session.execute(line)
+        if response:
+            out.write(response + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: interactive, script file, or -c commands."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Infinite temporal database shell",
+    )
+    parser.add_argument(
+        "script", nargs="?", help="command file to run (default: REPL)"
+    )
+    parser.add_argument(
+        "-c",
+        dest="commands",
+        action="append",
+        default=[],
+        help="run one command (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    session = Session()
+    if args.commands:
+        for command in args.commands:
+            response = session.execute(command)
+            if response:
+                print(response)
+            if session.done:
+                break
+        return 0
+    if args.script:
+        with open(args.script) as handle:
+            repl(session, stream=handle)
+        return 0
+    repl(session)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

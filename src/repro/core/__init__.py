@@ -1,0 +1,74 @@
+"""Core data model and algebra for infinite temporal databases.
+
+This package implements the paper's primary contribution: generalized
+relations over linear repeating points with restricted constraints,
+closed under the full relational algebra.
+"""
+
+from repro.core.constraints import (
+    Atom,
+    Op,
+    VarConstAtom,
+    VarVarAtom,
+    parse_atom,
+    parse_atoms,
+)
+from repro.core.dbm import DBM
+from repro.core.errors import (
+    ConstraintError,
+    DomainError,
+    EvaluationError,
+    NormalizationLimitError,
+    ParseError,
+    ReproError,
+    SchemaError,
+)
+from repro.core.lrp import LRP
+from repro.core.relations import (
+    Attribute,
+    GeneralizedRelation,
+    Schema,
+    relation,
+)
+from repro.core.temporal import (
+    ColumnProfile,
+    column_profile,
+    count_points,
+    is_finite,
+    max_value,
+    min_value,
+    next_event,
+    prev_event,
+)
+from repro.core.tuples import GeneralizedTuple
+
+__all__ = [
+    "ColumnProfile",
+    "column_profile",
+    "count_points",
+    "is_finite",
+    "max_value",
+    "min_value",
+    "next_event",
+    "prev_event",
+    "Atom",
+    "Attribute",
+    "ConstraintError",
+    "DBM",
+    "DomainError",
+    "EvaluationError",
+    "GeneralizedRelation",
+    "GeneralizedTuple",
+    "LRP",
+    "NormalizationLimitError",
+    "Op",
+    "ParseError",
+    "ReproError",
+    "Schema",
+    "SchemaError",
+    "VarConstAtom",
+    "VarVarAtom",
+    "parse_atom",
+    "parse_atoms",
+    "relation",
+]

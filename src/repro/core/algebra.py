@@ -1,0 +1,746 @@
+"""Relational algebra on generalized relations (Section 3 of the paper).
+
+Every operation consumes and produces :class:`GeneralizedRelation`
+values; none of them enumerates the (possibly infinite) denoted point
+sets.  The data components are handled "as in a traditional relational
+database" (Section 3's preamble); the temporal components follow the
+paper's algorithms:
+
+* union — merge (3.1);
+* intersection — pairwise tuple intersection via lrp CRT (3.2);
+* subtraction — the Figure 1 decomposition
+  ``t1 - t2 = (t1 - t2*) ∪ (t̄2 ∩ t1)`` folded over the subtrahend (3.3);
+* projection — per-tuple *partial* normalization, then integer-exact
+  elimination in n-space (3.4, Theorems 3.1/3.2);
+* selection — constraint conjunction (3.5);
+* cross product and natural join (3.6, 3.7);
+* complement — Appendix A.6 via :mod:`repro.core.negation`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+from repro.arith import lcm
+from repro.core.constraints import (
+    Atom,
+    VarVarAtom,
+    atoms_to_dbm,
+    parse_atoms,
+)
+from repro.core.dbm import DBM
+from repro.core.errors import DomainError, SchemaError
+from repro.core.lrp import LRP
+from repro.core.negation import (
+    DEFAULT_MAX_EXTENSIONS,
+    complement_tuples,
+)
+from repro.core.normalize import DEFAULT_MAX_TUPLES
+from repro.core.relations import Attribute, GeneralizedRelation, Schema
+from repro.core.tuples import GeneralizedTuple
+
+# ----------------------------------------------------------------------
+# DBM assembly helpers
+# ----------------------------------------------------------------------
+
+
+def _dbm_remap(dbm: DBM, mapping: Sequence[int], new_size: int) -> DBM:
+    """Copy ``dbm``'s bounds into a fresh DBM, renumbering variables.
+
+    ``mapping[i]`` is the new index of old variable ``i``; the zero
+    variable maps to itself.
+    """
+    out = DBM(new_size)
+    for i, j, bound in dbm.iter_bounds():
+        ni = mapping[i] if i >= 0 else -1
+        nj = mapping[j] if j >= 0 else -1
+        if ni >= 0 and nj >= 0:
+            out.add_difference(ni, nj, bound)
+        elif nj < 0:
+            out.add_upper(ni, bound)
+        else:
+            out.add_lower(nj, -bound)
+    return out
+
+
+def _dbm_merge_into(target: DBM, source: DBM, mapping: Sequence[int]) -> None:
+    """Add ``source``'s bounds to ``target`` under an index ``mapping``."""
+    for i, j, bound in source.iter_bounds():
+        ni = mapping[i] if i >= 0 else -1
+        nj = mapping[j] if j >= 0 else -1
+        if ni >= 0 and nj >= 0:
+            target.add_difference(ni, nj, bound)
+        elif nj < 0:
+            target.add_upper(ni, bound)
+        else:
+            target.add_lower(nj, -bound)
+
+
+def _require_same_schema(r1: GeneralizedRelation, r2: GeneralizedRelation) -> None:
+    if r1.schema != r2.schema:
+        raise SchemaError(
+            f"schemas differ: {r1.schema} vs {r2.schema}; "
+            "use rename()/project() to align them"
+        )
+
+
+# ----------------------------------------------------------------------
+# union / intersection (Sections 3.1, 3.2)
+# ----------------------------------------------------------------------
+
+
+def union(r1: GeneralizedRelation, r2: GeneralizedRelation) -> GeneralizedRelation:
+    """Set union: merge the tuple lists (Section 3.1).
+
+    Canonical-key deduplication happens on insertion; deeper redundancy
+    elimination is :func:`repro.core.simplify.simplify_relation`'s job,
+    mirroring the paper's "we do not consider this problem" remark.
+    """
+    _require_same_schema(r1, r2)
+    out = GeneralizedRelation(r1.schema, r1.tuples)
+    for t in r2:
+        out.add(t)
+    return out
+
+
+def intersect(
+    r1: GeneralizedRelation, r2: GeneralizedRelation
+) -> GeneralizedRelation:
+    """Set intersection: pairwise tuple intersections (Section 3.2.2)."""
+    _require_same_schema(r1, r2)
+    out = GeneralizedRelation.empty(r1.schema)
+    for t1 in r1:
+        for t2 in r2:
+            meet = t1.intersect(t2)
+            if meet is not None:
+                out.add(meet)
+    return out
+
+
+# ----------------------------------------------------------------------
+# subtraction (Section 3.3, Figure 1)
+# ----------------------------------------------------------------------
+
+
+def lrp_subtract_pieces(
+    minuend: LRP, meet: LRP
+) -> list[tuple[LRP, int | None, int | None]]:
+    """Subtract ``meet`` (a sub-lrp of ``minuend``) from ``minuend``.
+
+    Returns pieces ``(lrp, upper, lower)`` whose union is the difference;
+    ``upper``/``lower`` are optional extra unary bounds (``X <= upper``,
+    ``X >= lower``) needed when a single point is carved out of an
+    infinite progression — a case the paper's Sub never meets because it
+    subtracts equal-period lrps, but which arises naturally when one
+    operand is a singleton.
+    """
+    if meet == minuend:
+        return []
+    if minuend.period == 0:
+        # meet ⊆ {c} and meet != minuend means meet is empty: impossible
+        # here because callers pass a nonempty intersection.
+        raise ValueError("nonempty sub-lrp of a singleton must equal it")
+    if meet.period == 0:
+        point = meet.offset
+        return [
+            (minuend, point - 1, None),
+            (minuend, None, point + 1),
+        ]
+    pieces = minuend.split(meet.period)
+    return [(piece, None, None) for piece in pieces if piece != meet]
+
+
+def subtract_tuples(
+    t1: GeneralizedTuple, t2: GeneralizedTuple
+) -> list[GeneralizedTuple]:
+    """Subtract one generalized tuple from another (Section 3.3.3).
+
+    Implements ``t1 - t2 = (t1 - t2*) ∪ (t̄2 ∩ t1)`` (Figure 1):
+
+    * ``t1 - t2*`` — free-extension subtraction with ``t1``'s constraints
+      kept, using a disjoint "staircase" decomposition (component ``i``
+      outside the intersection, components before ``i`` inside it);
+    * ``t̄2 ∩ t1`` — for each atomic constraint of ``t2``, a tuple over
+      the intersected free extension carrying ``t1``'s constraints plus
+      the negated atom.
+    """
+    if t1.temporal_arity != t2.temporal_arity:
+        raise SchemaError("temporal arities differ")
+    if not t1.dbm.copy().close():
+        return []  # t1 is empty; so is the difference
+    if not t2.dbm.copy().close():
+        return [t1]  # subtracting the empty set
+    if t1.data != t2.data:
+        return [t1]
+    arity = t1.temporal_arity
+    meets: list[LRP] = []
+    for a, b in zip(t1.lrps, t2.lrps):
+        meet = a.intersect(b)
+        if meet is None:
+            return [t1]
+        meets.append(meet)
+    out: list[GeneralizedTuple] = []
+    # Part 1: t1 restricted to free extensions missing the intersection.
+    for i in range(arity):
+        for piece, upper, lower in lrp_subtract_pieces(t1.lrps[i], meets[i]):
+            lrps = list(t1.lrps)
+            for prefix in range(i):
+                lrps[prefix] = meets[prefix]
+            lrps[i] = piece
+            dbm = t1.dbm.copy()
+            if upper is not None:
+                dbm.add_upper(i, upper)
+            if lower is not None:
+                dbm.add_lower(i, lower)
+            out.append(GeneralizedTuple(tuple(lrps), dbm, t1.data))
+    # Part 2: points on the shared free extension violating t2's constraints.
+    for i, j, bound in t2.dbm.iter_bounds():
+        dbm = t1.dbm.copy()
+        if i >= 0 and j >= 0:
+            dbm.add_difference(j, i, -bound - 1)
+        elif j < 0:
+            dbm.add_lower(i, bound + 1)
+        else:
+            dbm.add_upper(j, -bound - 1)
+        out.append(GeneralizedTuple(tuple(meets), dbm, t1.data))
+    return [t for t in out if t.dbm.copy().close()]
+
+
+def subtract(
+    r1: GeneralizedRelation, r2: GeneralizedRelation
+) -> GeneralizedRelation:
+    """Set difference, folding tuple subtraction over ``r2`` (Section 3.3.2)."""
+    _require_same_schema(r1, r2)
+    out = GeneralizedRelation.empty(r1.schema)
+    subtrahends = list(r2)
+    for t1 in r1:
+        current = [t1]
+        for t2 in subtrahends:
+            next_round: list[GeneralizedTuple] = []
+            for t in current:
+                next_round.extend(subtract_tuples(t, t2))
+            current = _dedup(next_round)
+            if not current:
+                break
+        for t in current:
+            out.add(t)
+    return out
+
+
+def _dedup(tuples: list[GeneralizedTuple]) -> list[GeneralizedTuple]:
+    seen: set[tuple] = set()
+    out: list[GeneralizedTuple] = []
+    for t in tuples:
+        key = t.canonical_key()
+        if key not in seen:
+            seen.add(key)
+            out.append(t)
+    return out
+
+
+# ----------------------------------------------------------------------
+# projection (Section 3.4)
+# ----------------------------------------------------------------------
+
+
+def project(
+    relation: GeneralizedRelation,
+    names: Sequence[str],
+    max_tuples: int = DEFAULT_MAX_TUPLES,
+) -> GeneralizedRelation:
+    """Project onto the named attributes, in the given order.
+
+    Temporal eliminations go through the paper's normalization
+    (Theorem 3.2) restricted to the constraint-connected cluster of the
+    dropped attributes — the "partial normalization" optimization of
+    Section 3.4 — and are integer-exact by Theorem 3.1.  Re-orderings and
+    data-only changes never normalize.
+    """
+    schema = relation.schema
+    for name in names:
+        if not schema.has(name):
+            raise SchemaError(f"cannot project onto unknown attribute {name!r}")
+    if len(set(names)) != len(names):
+        raise SchemaError("projection attribute list has duplicates")
+    new_attrs = tuple(schema.attribute(name) for name in names)
+    new_schema = Schema(new_attrs)
+    keep_t = [
+        schema.temporal_index(a.name) for a in new_attrs if a.temporal
+    ]
+    keep_d = [
+        schema.data_index(a.name) for a in new_attrs if not a.temporal
+    ]
+    dropped_t = [
+        i
+        for i in range(schema.temporal_arity)
+        if i not in set(keep_t)
+    ]
+    out = GeneralizedRelation.empty(new_schema)
+    for gtuple in relation:
+        data = tuple(gtuple.data[i] for i in keep_d)
+        if not dropped_t:
+            projected_dbm = gtuple.dbm.copy().project(keep_t)
+            # Unsatisfiable tuples denote the empty set; dropping them is
+            # semantics-preserving and keeps stored DBMs marker-free.
+            if not projected_dbm.is_satisfiable():
+                continue
+            out.add(
+                GeneralizedTuple(
+                    lrps=tuple(gtuple.lrps[i] for i in keep_t),
+                    dbm=projected_dbm,
+                    data=data,
+                )
+            )
+            continue
+        for projected in project_tuple_temporal(
+            gtuple, keep_t, dropped_t, max_tuples=max_tuples
+        ):
+            out.add(
+                GeneralizedTuple(
+                    lrps=projected.lrps, dbm=projected.dbm, data=data
+                )
+            )
+    return out
+
+
+def project_tuple_temporal(
+    gtuple: GeneralizedTuple,
+    keep: Sequence[int],
+    dropped: Sequence[int],
+    max_tuples: int = DEFAULT_MAX_TUPLES,
+) -> list[GeneralizedTuple]:
+    """Eliminate the ``dropped`` temporal attributes from one tuple.
+
+    Only the constraint-connected cluster of the dropped attributes is
+    normalized; attributes outside the cluster keep their lrps and
+    mutual constraints untouched.
+    """
+    if not gtuple.dbm.copy().close():
+        return []  # empty tuple: empty projection
+    cluster = _constraint_cluster(gtuple, dropped)
+    cluster_order = sorted(cluster)
+    cluster_pos = {attr: idx for idx, attr in enumerate(cluster_order)}
+    outside = [i for i in range(gtuple.temporal_arity) if i not in cluster]
+    outside_pos = {attr: idx for idx, attr in enumerate(outside)}
+    # Period of the cluster only.
+    k = 1
+    for i in cluster_order:
+        if gtuple.lrps[i].period != 0:
+            k = lcm(k, gtuple.lrps[i].period)
+    # Split cluster lrps; explosion bounded by max_tuples.
+    split_sizes = 1
+    for i in cluster_order:
+        if gtuple.lrps[i].period != 0:
+            split_sizes *= k // gtuple.lrps[i].period
+    if split_sizes > max_tuples:
+        from repro.core.errors import NormalizationLimitError
+
+        raise NormalizationLimitError(
+            f"projection would normalize into {split_sizes} tuples "
+            f"(limit {max_tuples})"
+        )
+    import itertools
+
+    choices = [
+        gtuple.lrps[i].split(k) if gtuple.lrps[i].period != 0 else [gtuple.lrps[i]]
+        for i in cluster_order
+    ]
+    cluster_bounds = []
+    outside_bounds = []
+    for i, j, bound in gtuple.dbm.iter_bounds():
+        members = {x for x in (i, j) if x >= 0}
+        if members & cluster:
+            cluster_bounds.append((i, j, bound))
+        else:
+            outside_bounds.append((i, j, bound))
+    kept_cluster = [cluster_pos[i] for i in cluster_order if i not in set(dropped)]
+    results: list[GeneralizedTuple] = []
+    for combo in itertools.product(*choices):
+        offsets = {
+            attr: lrp.offset for attr, lrp in zip(cluster_order, combo)
+        }
+        singles = {
+            attr: lrp.period == 0 for attr, lrp in zip(cluster_order, combo)
+        }
+        n_dbm = DBM(len(cluster_order))
+        for attr in cluster_order:
+            if singles[attr]:
+                n_dbm.add_value(cluster_pos[attr], 0)
+        ok = True
+        for i, j, bound in cluster_bounds:
+            ci = offsets[i] if i >= 0 else 0
+            cj = offsets[j] if j >= 0 else 0
+            n_bound = (bound - ci + cj) // k
+            ni = cluster_pos[i] if i >= 0 else -1
+            nj = cluster_pos[j] if j >= 0 else -1
+            if ni >= 0 and nj >= 0:
+                n_dbm.add_difference(ni, nj, n_bound)
+            elif nj < 0:
+                n_dbm.add_upper(ni, n_bound)
+            else:
+                n_dbm.add_lower(nj, -n_bound)
+        if not n_dbm.close():
+            continue
+        projected_n = n_dbm.project(kept_cluster)
+        if not projected_n.close():
+            continue
+        kept_cluster_attrs = [i for i in cluster_order if i not in set(dropped)]
+        # Assemble the output tuple in `keep` order.
+        lrps: list[LRP] = []
+        for attr in keep:
+            if attr in cluster:
+                lrp = combo[cluster_order.index(attr)]
+                lrps.append(lrp)
+            else:
+                lrps.append(gtuple.lrps[attr])
+        new_index = {attr: idx for idx, attr in enumerate(keep)}
+        out_dbm = DBM(len(keep))
+        # Cluster constraints, mapped back to X-space.
+        kept_cluster_index = {
+            attr: idx for idx, attr in enumerate(kept_cluster_attrs)
+        }
+        for i, j, bound in projected_n.iter_bounds():
+            ai = kept_cluster_attrs[i] if i >= 0 else -1
+            aj = kept_cluster_attrs[j] if j >= 0 else -1
+            if ai >= 0 and singles[ai] and aj < 0:
+                continue
+            if aj >= 0 and singles[aj] and ai < 0:
+                continue
+            ci = offsets[ai] if ai >= 0 else 0
+            cj = offsets[aj] if aj >= 0 else 0
+            x_bound = k * bound + ci - cj
+            ni = new_index[ai] if ai >= 0 else -1
+            nj = new_index[aj] if aj >= 0 else -1
+            if ni >= 0 and nj >= 0:
+                out_dbm.add_difference(ni, nj, x_bound)
+            elif nj < 0:
+                out_dbm.add_upper(ni, x_bound)
+            else:
+                out_dbm.add_lower(nj, -x_bound)
+        # Outside constraints survive verbatim (they touch no cluster attr).
+        for i, j, bound in outside_bounds:
+            ni = new_index[i] if i >= 0 else -1
+            nj = new_index[j] if j >= 0 else -1
+            if ni >= 0 and nj >= 0:
+                out_dbm.add_difference(ni, nj, bound)
+            elif i >= 0 and nj < 0:
+                out_dbm.add_upper(ni, bound)
+            else:
+                out_dbm.add_lower(nj, -bound)
+        results.append(
+            GeneralizedTuple(tuple(lrps), out_dbm, gtuple.data)
+        )
+    return results
+
+
+def _constraint_cluster(
+    gtuple: GeneralizedTuple, seeds: Sequence[int]
+) -> set[int]:
+    """Attributes transitively constraint-connected to the ``seeds``."""
+    adjacency: dict[int, set[int]] = {
+        i: set() for i in range(gtuple.temporal_arity)
+    }
+    for i, j, _bound in gtuple.dbm.iter_bounds():
+        if i >= 0 and j >= 0:
+            adjacency[i].add(j)
+            adjacency[j].add(i)
+    cluster = set(seeds)
+    frontier = list(seeds)
+    while frontier:
+        node = frontier.pop()
+        for neighbor in adjacency[node]:
+            if neighbor not in cluster:
+                cluster.add(neighbor)
+                frontier.append(neighbor)
+    return cluster
+
+
+# ----------------------------------------------------------------------
+# selection (Section 3.5)
+# ----------------------------------------------------------------------
+
+
+def select(
+    relation: GeneralizedRelation, condition: str | Sequence[Atom]
+) -> GeneralizedRelation:
+    """Add restricted constraints to every tuple (Section 3.5).
+
+    The condition refers to the schema's temporal attribute names; data
+    selections go through :func:`select_data`.
+    """
+    atoms = (
+        parse_atoms(condition) if isinstance(condition, str) else list(condition)
+    )
+    for atom in atoms:
+        _check_temporal_atom(relation.schema, atom)
+    extra = atoms_to_dbm(atoms, relation.schema.temporal_names)
+    out = GeneralizedRelation.empty(relation.schema)
+    for gtuple in relation:
+        merged = gtuple.dbm.intersect(extra)
+        # Satisfiability is checked on a copy so the stored constraint
+        # set stays as written (negation cost tracks the written atoms).
+        if merged.copy().close():
+            out.add(GeneralizedTuple(gtuple.lrps, merged, gtuple.data))
+    return out
+
+
+def _check_temporal_atom(schema: Schema, atom: Atom) -> None:
+    names = set(schema.temporal_names)
+    if atom.left not in names:
+        raise SchemaError(
+            f"selection atom {atom} references non-temporal or unknown "
+            f"attribute {atom.left!r}"
+        )
+    if isinstance(atom, VarVarAtom) and atom.right not in names:
+        raise SchemaError(
+            f"selection atom {atom} references non-temporal or unknown "
+            f"attribute {atom.right!r}"
+        )
+
+
+def select_data(
+    relation: GeneralizedRelation, name: str, value: Hashable
+) -> GeneralizedRelation:
+    """Keep tuples whose data attribute ``name`` equals ``value``."""
+    idx = relation.schema.data_index(name)
+    out = GeneralizedRelation.empty(relation.schema)
+    for gtuple in relation:
+        if gtuple.data[idx] == value:
+            out.add(gtuple)
+    return out
+
+
+def select_data_equal(
+    relation: GeneralizedRelation, name1: str, name2: str
+) -> GeneralizedRelation:
+    """Keep tuples whose data attributes ``name1`` and ``name2`` coincide."""
+    i1 = relation.schema.data_index(name1)
+    i2 = relation.schema.data_index(name2)
+    out = GeneralizedRelation.empty(relation.schema)
+    for gtuple in relation:
+        if gtuple.data[i1] == gtuple.data[i2]:
+            out.add(gtuple)
+    return out
+
+
+# ----------------------------------------------------------------------
+# cross product and join (Sections 3.6, 3.7)
+# ----------------------------------------------------------------------
+
+
+def product(
+    r1: GeneralizedRelation, r2: GeneralizedRelation
+) -> GeneralizedRelation:
+    """Cross product: all tuple combinations, constraints side by side."""
+    overlap = set(r1.schema.names) & set(r2.schema.names)
+    if overlap:
+        raise SchemaError(
+            f"cross product requires disjoint attribute names; shared: "
+            f"{sorted(overlap)} (rename first)"
+        )
+    new_schema = Schema(r1.schema.attributes + r2.schema.attributes)
+    a1 = r1.schema.temporal_arity
+    a2 = r2.schema.temporal_arity
+    out = GeneralizedRelation.empty(new_schema)
+    for t1 in r1:
+        if not t1.dbm.copy().close():
+            continue  # empty tuple: nothing to combine
+        for t2 in r2:
+            if not t2.dbm.copy().close():
+                continue
+            dbm = DBM(a1 + a2)
+            _dbm_merge_into(dbm, t1.dbm, list(range(a1)))
+            _dbm_merge_into(dbm, t2.dbm, [a1 + i for i in range(a2)])
+            out.add(
+                GeneralizedTuple(
+                    lrps=t1.lrps + t2.lrps,
+                    dbm=dbm,
+                    data=t1.data + t2.data,
+                )
+            )
+    return out
+
+
+def join(
+    r1: GeneralizedRelation, r2: GeneralizedRelation
+) -> GeneralizedRelation:
+    """Natural join on all shared attribute names (Section 3.7).
+
+    Shared temporal attributes are intersected (lrp CRT + constraint
+    union); shared data attributes must hold equal values.  The result
+    schema is ``r1``'s attributes followed by ``r2``'s non-shared ones.
+    """
+    shared = [a for a in r1.schema.attributes if r2.schema.has(a.name)]
+    for attr in shared:
+        other = r2.schema.attribute(attr.name)
+        if other.temporal != attr.temporal:
+            raise SchemaError(
+                f"attribute {attr.name!r} is temporal on one side and "
+                "data on the other"
+            )
+    r2_only = [a for a in r2.schema.attributes if not r1.schema.has(a.name)]
+    new_schema = Schema(r1.schema.attributes + tuple(r2_only))
+    a1 = r1.schema.temporal_arity
+    result_t_names = new_schema.temporal_names
+    # Map each side's temporal attribute positions into result positions.
+    map1 = [result_t_names.index(n) for n in r1.schema.temporal_names]
+    map2 = [result_t_names.index(n) for n in r2.schema.temporal_names]
+    shared_t = [
+        (r1.schema.temporal_index(a.name), r2.schema.temporal_index(a.name))
+        for a in shared
+        if a.temporal
+    ]
+    shared_d = [
+        (r1.schema.data_index(a.name), r2.schema.data_index(a.name))
+        for a in shared
+        if not a.temporal
+    ]
+    d2_only_idx = [
+        r2.schema.data_index(a.name) for a in r2_only if not a.temporal
+    ]
+    t2_only = [
+        (r2.schema.temporal_index(a.name), result_t_names.index(a.name))
+        for a in r2_only
+        if a.temporal
+    ]
+    out = GeneralizedRelation.empty(new_schema)
+    for t1 in r1:
+        if not t1.dbm.copy().close():
+            continue  # empty tuple: joins with nothing
+        for t2 in r2:
+            if not t2.dbm.copy().close():
+                continue
+            if any(t1.data[i] != t2.data[j] for i, j in shared_d):
+                continue
+            lrps: list[LRP | None] = [None] * len(result_t_names)
+            for i1, pos in zip(range(a1), map1):
+                lrps[pos] = t1.lrps[i1]
+            feasible = True
+            for i1, i2 in shared_t:
+                meet = t1.lrps[i1].intersect(t2.lrps[i2])
+                if meet is None:
+                    feasible = False
+                    break
+                lrps[map1[i1]] = meet
+            if not feasible:
+                continue
+            for i2, pos in t2_only:
+                lrps[pos] = t2.lrps[i2]
+            dbm = DBM(len(result_t_names))
+            _dbm_merge_into(dbm, t1.dbm, map1)
+            _dbm_merge_into(dbm, t2.dbm, map2)
+            if not dbm.copy().close():
+                continue
+            data = t1.data + tuple(t2.data[i] for i in d2_only_idx)
+            out.add(GeneralizedTuple(tuple(lrps), dbm, data))
+    return out
+
+
+# ----------------------------------------------------------------------
+# complement (Appendix A.6)
+# ----------------------------------------------------------------------
+
+
+def complement(
+    relation: GeneralizedRelation,
+    data_domains: dict[str, Sequence[Hashable]] | None = None,
+    max_tuples: int = DEFAULT_MAX_TUPLES,
+    max_extensions: int = DEFAULT_MAX_EXTENSIONS,
+) -> GeneralizedRelation:
+    """Complement w.r.t. ``Z^k`` on the temporal sort.
+
+    Purely temporal relations need no extra input.  Relations with data
+    attributes need ``data_domains``: a finite universe per data
+    attribute (the temporal sort is still complemented symbolically over
+    all of Z).
+    """
+    schema = relation.schema
+    arity = schema.temporal_arity
+    if schema.data_arity == 0:
+        tuples = complement_tuples(
+            list(relation),
+            arity=arity,
+            max_tuples=max_tuples,
+            max_extensions=max_extensions,
+        )
+        return GeneralizedRelation(schema, tuples)
+    if data_domains is None:
+        raise DomainError(
+            "complement of a relation with data attributes requires "
+            "data_domains (a finite universe per data attribute)"
+        )
+    for name in schema.data_names:
+        if name not in data_domains:
+            raise DomainError(f"data_domains is missing attribute {name!r}")
+    import itertools
+
+    by_data: dict[tuple, list[GeneralizedTuple]] = {}
+    for gtuple in relation:
+        by_data.setdefault(gtuple.data, []).append(gtuple)
+    out = GeneralizedRelation.empty(schema)
+    domains = [list(data_domains[name]) for name in schema.data_names]
+    for data in itertools.product(*domains):
+        group = by_data.get(tuple(data), [])
+        for t in complement_tuples(
+            group,
+            arity=arity,
+            data=tuple(data),
+            max_tuples=max_tuples,
+            max_extensions=max_extensions,
+        ):
+            out.add(t)
+    return out
+
+
+# ----------------------------------------------------------------------
+# renaming and shifting (support operations for the query engine)
+# ----------------------------------------------------------------------
+
+
+def rename(
+    relation: GeneralizedRelation, mapping: dict[str, str]
+) -> GeneralizedRelation:
+    """Rename attributes; tuple contents are untouched."""
+    for old in mapping:
+        if not relation.schema.has(old):
+            raise SchemaError(f"cannot rename unknown attribute {old!r}")
+    new_attrs = tuple(
+        Attribute(mapping.get(a.name, a.name), a.temporal)
+        for a in relation.schema.attributes
+    )
+    return GeneralizedRelation(Schema(new_attrs), relation.tuples)
+
+
+def shift_column(
+    relation: GeneralizedRelation, name: str, delta: int
+) -> GeneralizedRelation:
+    """Shift a temporal column: each point's ``name`` value moves by ``delta``.
+
+    Used to evaluate successor terms: the atom ``P(t + c, ...)`` holds
+    exactly when ``(t + c, ...) ∈ P``, i.e. ``t`` ranges over ``P``'s
+    first column shifted by ``-c``.
+    """
+    if delta == 0:
+        return relation
+    idx = relation.schema.temporal_index(name)
+    out = GeneralizedRelation.empty(relation.schema)
+    for gtuple in relation:
+        lrp = gtuple.lrps[idx]
+        shifted = LRP.make(lrp.offset + delta, lrp.period)
+        lrps = list(gtuple.lrps)
+        lrps[idx] = shifted
+        out.add(
+            GeneralizedTuple(
+                tuple(lrps),
+                gtuple.dbm.shift_variable(idx, delta),
+                gtuple.data,
+            )
+        )
+    return out
+
+
+def equivalent(
+    r1: GeneralizedRelation, r2: GeneralizedRelation
+) -> bool:
+    """Semantic equality: both differences are empty."""
+    return subtract(r1, r2).is_empty() and subtract(r2, r1).is_empty()

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class SchemaError(ReproError):
+    """An operation was applied to relations with incompatible schemas."""
+
+
+class ConstraintError(ReproError):
+    """A constraint is malformed or refers to unknown attributes."""
+
+
+class ParseError(ReproError):
+    """A textual lrp, tuple, relation, formula or query failed to parse."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class NormalizationLimitError(ReproError):
+    """Normalization would exceed the configured tuple-explosion budget.
+
+    The paper (Section 3.8) notes that normalization may blow up when the
+    periods in a database "are not closely related"; this error makes
+    that blow-up an explicit, catchable condition instead of an OOM.
+    """
+
+
+class DomainError(ReproError):
+    """An operation needs a finite data domain that was not supplied.
+
+    Complementing a relation with data attributes requires a universe for
+    the data sort; the temporal sort is complemented symbolically over Z.
+    """
+
+
+class EvaluationError(ReproError):
+    """A first-order query could not be evaluated."""

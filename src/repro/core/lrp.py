@@ -1,0 +1,221 @@
+"""Linear repeating points (Definition 2.1 of the paper).
+
+An lrp is the set ``{c + k*n | n ∈ Z}``: a single integer when ``k == 0``
+or an infinite bidirectional arithmetic progression otherwise.  Because
+``n`` ranges over *all* integers, the set is invariant under replacing
+``k`` by ``|k|`` and ``c`` by ``c mod |k|``; :class:`LRP` stores this
+canonical form so that structural equality coincides with set equality.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.arith import crt_pair, lcm
+from repro.core.errors import ParseError
+
+_LRP_RE = re.compile(
+    r"""^\s*
+    (?:(?P<c1>[+-]?\d+)\b(?!\s*\*?\s*n)\s*)?    # leading constant (not a coefficient)
+    (?:(?P<sign>[+-])?\s*(?P<k>\d+)?\s*\*?\s*n(?P<sub>[0-9']*)\s*)?  # optional k*n
+    (?:(?P<c2sign>[+-])\s*(?P<c2>\d+)\s*)?      # optional trailing constant
+    $""",
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True, order=True)
+class LRP:
+    """A linear repeating point in canonical form.
+
+    Attributes:
+        offset: the residue ``c``; satisfies ``0 <= offset < period`` when
+            ``period > 0``.
+        period: the step ``k``; always ``>= 0``, with 0 meaning the lrp is
+            the singleton ``{offset}``.
+    """
+
+    offset: int
+    period: int
+
+    def __post_init__(self) -> None:
+        if self.period < 0:
+            raise ValueError("canonical LRP must have period >= 0")
+        if self.period > 0 and not 0 <= self.offset < self.period:
+            raise ValueError(
+                f"canonical LRP must have 0 <= offset < period, "
+                f"got offset={self.offset}, period={self.period}"
+            )
+
+    @classmethod
+    def make(cls, offset: int, period: int = 0) -> LRP:
+        """Build an lrp from any ``c + k*n`` expression, canonicalizing it."""
+        period = abs(period)
+        if period > 0:
+            offset %= period
+        return cls(offset=offset, period=period)
+
+    @classmethod
+    def point(cls, value: int) -> LRP:
+        """Build the singleton lrp ``{value}``."""
+        return cls(offset=value, period=0)
+
+    @classmethod
+    def parse(cls, text: str) -> LRP:
+        """Parse expressions like ``"3 + 5n"``, ``"5n + 3"``, ``"7"``, ``"n"``.
+
+        Variable subscripts (``n1``, ``n2``, ``n'``) are accepted and
+        ignored: the paper assumes each lrp has its own variable, which
+        canonical set semantics makes irrelevant.
+        """
+        m = _LRP_RE.match(text)
+        if m is None or (m.group("c1") is None and m.group("k") is None
+                         and "n" not in text):
+            raise ParseError(f"cannot parse lrp expression: {text!r}")
+        has_n = "n" in text
+        constant = 0
+        if m.group("c1") is not None:
+            constant += int(m.group("c1"))
+        if m.group("c2") is not None:
+            sign = -1 if m.group("c2sign") == "-" else 1
+            constant += sign * int(m.group("c2"))
+        period = 0
+        if has_n:
+            k = int(m.group("k")) if m.group("k") else 1
+            if m.group("sign") == "-":
+                k = -k
+            period = k
+        return cls.make(constant, period)
+
+    @property
+    def is_singleton(self) -> bool:
+        """Whether the lrp denotes a single point."""
+        return self.period == 0
+
+    def contains(self, x: int) -> bool:
+        """Return whether the integer ``x`` belongs to this lrp."""
+        if self.period == 0:
+            return x == self.offset
+        return x % self.period == self.offset
+
+    def intersect(self, other: LRP) -> LRP | None:
+        """Intersect two lrps (Section 3.2.1), via the CRT.
+
+        Returns the intersection lrp, or ``None`` when it is empty.  For
+        two periodic lrps the result has period ``lcm(k1, k2)``, exactly
+        as the paper derives.
+        """
+        sol = crt_pair(self.offset, self.period, other.offset, other.period)
+        if sol is None:
+            return None
+        return LRP.make(sol.residue, sol.modulus)
+
+    def includes(self, other: LRP) -> bool:
+        """Return whether ``other``'s point set is a subset of this one's."""
+        meet = self.intersect(other)
+        return meet == other
+
+    def split(self, new_period: int) -> list[LRP]:
+        """Rewrite this lrp as a set of lrps of period ``new_period``.
+
+        This is Lemma 3.1: an lrp of period ``k`` equals the union of
+        ``new_period // k`` lrps of period ``new_period``, provided ``k``
+        divides ``new_period``.  A singleton lrp is returned unchanged
+        (the paper's normal form keeps constant attributes as constants).
+        """
+        if self.period == 0:
+            return [self]
+        if new_period <= 0 or new_period % self.period != 0:
+            raise ValueError(
+                f"cannot split period {self.period} into period {new_period}"
+            )
+        count = new_period // self.period
+        return [
+            LRP.make(self.offset + j * self.period, new_period)
+            for j in range(count)
+        ]
+
+    def subtract(self, other: LRP) -> list[LRP]:
+        """Set difference of two lrps (Section 3.3.1), as a list of lrps.
+
+        ``A - B`` equals ``A - (A ∩ B)``; after replacing ``B`` by the
+        intersection, ``A`` is split onto the intersection's period and
+        the residue class belonging to the intersection is dropped.
+        """
+        meet = self.intersect(other)
+        if meet is None:
+            return [self]
+        if meet == self:
+            return []
+        if self.period == 0:
+            # Singleton intersecting a set that is not all of it: since
+            # meet is a subset of {offset}, meet == self; unreachable.
+            raise AssertionError("singleton lrp intersection must be itself")
+        pieces = self.split(meet.period) if meet.period > 0 else None
+        if pieces is None:
+            # meet is a single point inside an infinite progression: the
+            # difference is not an lrp-finite union of the same period...
+            # but it *is* expressible: {c + kn} - {p} has no finite lrp
+            # cover.  The paper only subtracts lrps arising from
+            # intersections of equal-period progressions, where this case
+            # cannot occur (lcm of positive periods is positive).  It can
+            # only occur here if other is a singleton; handle by keeping
+            # the progression split around the point via period doubling
+            # being impossible -- so raise instead.
+            raise ValueError(
+                "difference of an infinite lrp and a single point is not "
+                "a finite union of lrps; subtract within a common period"
+            )
+        return [piece for piece in pieces if piece != meet]
+
+    def enumerate(self, low: int, high: int) -> Iterator[int]:
+        """Yield the members of the lrp within ``[low, high]``, ascending."""
+        if self.period == 0:
+            if low <= self.offset <= high:
+                yield self.offset
+            return
+        # Smallest member >= low.
+        first = low + ((self.offset - low) % self.period)
+        for x in range(first, high + 1, self.period):
+            yield x
+
+    def first_at_or_above(self, low: int) -> int:
+        """Return the smallest member of the lrp that is ``>= low``.
+
+        For a singleton below ``low`` there is no such member and
+        :class:`ValueError` is raised.
+        """
+        if self.period == 0:
+            if self.offset >= low:
+                return self.offset
+            raise ValueError(f"lrp {self} has no member >= {low}")
+        return low + ((self.offset - low) % self.period)
+
+    def last_at_or_below(self, high: int) -> int:
+        """Return the largest member of the lrp that is ``<= high``."""
+        if self.period == 0:
+            if self.offset <= high:
+                return self.offset
+            raise ValueError(f"lrp {self} has no member <= {high}")
+        return high - ((high - self.offset) % self.period)
+
+    def __str__(self) -> str:
+        if self.period == 0:
+            return str(self.offset)
+        if self.offset == 0:
+            return f"{self.period}n"
+        return f"{self.offset} + {self.period}n"
+
+    def __repr__(self) -> str:
+        return f"LRP({self.offset}, {self.period})"
+
+
+def common_period(lrps: list[LRP]) -> int:
+    """Return the lcm of the non-zero periods among ``lrps`` (1 if none)."""
+    k = 1
+    for lrp in lrps:
+        if lrp.period != 0:
+            k = lcm(k, lrp.period)
+    return k

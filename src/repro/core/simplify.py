@@ -1,0 +1,52 @@
+"""Redundancy elimination for generalized relations.
+
+Section 3.1 of the paper notes that "in practice, one would also attempt
+to eliminate the redundancies that might appear between the tuples of
+the merged relation" but leaves the problem aside.  This module supplies
+the practical pieces:
+
+* dropping tuples that denote the empty set;
+* dropping tuples *subsumed* by another single tuple (a sound, cheap
+  approximation of full redundancy: exact minimization would need
+  set-cover reasoning across tuples).
+"""
+
+from __future__ import annotations
+
+from repro.core.emptiness import tuple_is_empty
+from repro.core.relations import GeneralizedRelation
+from repro.core.tuples import GeneralizedTuple
+
+
+def tuple_subsumes(big: GeneralizedTuple, small: GeneralizedTuple) -> bool:
+    """Whether ``big``'s point set contains ``small``'s.
+
+    Checked as emptiness of ``small - big`` via the Figure 1 tuple
+    subtraction, which stays symbolic (no enumeration).
+    """
+    from repro.core.algebra import subtract_tuples
+
+    if big.data != small.data:
+        return tuple_is_empty(small)
+    return all(tuple_is_empty(piece) for piece in subtract_tuples(small, big))
+
+
+def simplify_relation(relation: GeneralizedRelation) -> GeneralizedRelation:
+    """Remove empty tuples and tuples subsumed by another tuple.
+
+    The result denotes exactly the same point set.  Subsumption checks
+    are pairwise (quadratic in the number of tuples); tuples are
+    considered in insertion order, keeping earlier witnesses.
+    """
+    nonempty = [t for t in relation if not tuple_is_empty(t)]
+    kept: list[GeneralizedTuple] = []
+    for candidate in nonempty:
+        if any(tuple_subsumes(existing, candidate) for existing in kept):
+            continue
+        kept = [
+            existing
+            for existing in kept
+            if not tuple_subsumes(candidate, existing)
+        ]
+        kept.append(candidate)
+    return GeneralizedRelation(relation.schema, kept)

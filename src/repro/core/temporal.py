@@ -1,0 +1,204 @@
+"""Exact temporal utilities over generalized relations.
+
+Once infinite extensions are stored symbolically, questions like "when
+is the *next* event after t?" or "is this set finite, and how big?"
+have exact, closed-form answers — no enumeration, no horizon.  These
+helpers operate on one temporal column at a time, going through
+projection (integer-exact, Theorem 3.1) and the normalized unary form:
+an lrp ``c + k·n`` boxed by optional bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arith import lcm
+from repro.core import algebra
+from repro.core.errors import SchemaError
+from repro.core.normalize import iter_normalize_tuple
+from repro.core.relations import GeneralizedRelation
+
+
+@dataclass(frozen=True)
+class ColumnProfile:
+    """Summary of one temporal column's value set.
+
+    Attributes:
+        lower: tightest lower bound, or ``None`` if unbounded below.
+        upper: tightest upper bound, or ``None`` if unbounded above.
+        finite: whether the value set is finite.
+        count: exact cardinality when finite, else ``None``.
+        period: lcm of the periods of the contributing lrps (1 when all
+            contributions are single points).
+    """
+
+    lower: int | None
+    upper: int | None
+    finite: bool
+    count: int | None
+    period: int
+
+
+def _unary_pieces(relation: GeneralizedRelation, column: str):
+    """Normalize the projection onto ``column`` into (offset, k, lo, hi).
+
+    ``lo``/``hi`` are inclusive bounds on the column value (``None`` =
+    unbounded); empty pieces are dropped.
+    """
+    if not relation.schema.has(column):
+        raise SchemaError(f"no attribute named {column!r}")
+    if not relation.schema.attribute(column).temporal:
+        raise SchemaError(f"attribute {column!r} is not temporal")
+    projected = algebra.project(relation, [column])
+    pieces: list[tuple[int, int, int | None, int | None]] = []
+    for gtuple in projected:
+        for nt in iter_normalize_tuple(gtuple):
+            k = nt.period
+            c = nt.offsets[0]
+            if nt.singleton[0]:
+                pieces.append((c, 0, c, c))
+                continue
+            n_lo = nt.n_dbm.lower(0)
+            n_hi = nt.n_dbm.upper(0)
+            lo = None if n_lo is None else c + k * n_lo
+            hi = None if n_hi is None else c + k * n_hi
+            pieces.append((c, k, lo, hi))
+    return pieces
+
+
+def column_profile(
+    relation: GeneralizedRelation, column: str
+) -> ColumnProfile:
+    """Exact summary of the named temporal column's value set."""
+    pieces = _unary_pieces(relation, column)
+    if not pieces:
+        return ColumnProfile(
+            lower=None, upper=None, finite=True, count=0, period=1
+        )
+    lower: int | None = None
+    upper: int | None = None
+    unbounded_below = unbounded_above = False
+    period = 1
+    for c, k, lo, hi in pieces:
+        if k:
+            period = lcm(period, k)
+        if lo is None:
+            unbounded_below = True
+        elif lower is None or lo < lower:
+            lower = lo
+        if hi is None:
+            unbounded_above = True
+        elif upper is None or hi > upper:
+            upper = hi
+    finite = not (unbounded_below or unbounded_above)
+    count: int | None = None
+    if finite:
+        values: set[int] = set()
+        for c, k, lo, hi in pieces:
+            if k == 0:
+                values.add(c)
+            else:
+                assert lo is not None and hi is not None
+                values.update(range(lo, hi + 1, k))
+        count = len(values)
+    return ColumnProfile(
+        lower=None if unbounded_below else lower,
+        upper=None if unbounded_above else upper,
+        finite=finite,
+        count=count,
+        period=period,
+    )
+
+
+def next_event(
+    relation: GeneralizedRelation, column: str, after: int
+) -> int | None:
+    """Smallest value of ``column`` that is ``>= after`` (exact).
+
+    Returns ``None`` when no point of the column lies at or above
+    ``after``.  O(tuples) — no enumeration of the (possibly infinite)
+    extension.
+    """
+    best: int | None = None
+    for c, k, lo, hi in _unary_pieces(relation, column):
+        start = after if lo is None else max(after, lo)
+        if k == 0:
+            candidate = c if c >= start else None
+        else:
+            candidate = start + ((c - start) % k)
+        if candidate is None:
+            continue
+        if hi is not None and candidate > hi:
+            continue
+        if best is None or candidate < best:
+            best = candidate
+    return best
+
+
+def prev_event(
+    relation: GeneralizedRelation, column: str, before: int
+) -> int | None:
+    """Largest value of ``column`` that is ``<= before`` (exact)."""
+    best: int | None = None
+    for c, k, lo, hi in _unary_pieces(relation, column):
+        end = before if hi is None else min(before, hi)
+        if k == 0:
+            candidate = c if c <= end else None
+        else:
+            candidate = end - ((end - c) % k)
+        if candidate is None:
+            continue
+        if lo is not None and candidate < lo:
+            continue
+        if best is None or candidate > best:
+            best = candidate
+    return best
+
+
+def min_value(relation: GeneralizedRelation, column: str) -> int | None:
+    """Tightest lower bound of the column, or ``None`` if unbounded/empty.
+
+    Distinguish the two ``None`` cases with :func:`column_profile`.
+    """
+    return column_profile(relation, column).lower
+
+
+def max_value(relation: GeneralizedRelation, column: str) -> int | None:
+    """Tightest upper bound of the column, or ``None`` if unbounded/empty."""
+    return column_profile(relation, column).upper
+
+
+def is_finite(relation: GeneralizedRelation) -> bool:
+    """Whether the relation denotes finitely many points.
+
+    True iff every temporal column's value set is finite (data columns
+    are always finite — one value per tuple).
+    """
+    return all(
+        column_profile(relation, name).finite
+        for name in relation.schema.temporal_names
+    )
+
+
+def count_points(relation: GeneralizedRelation) -> int | None:
+    """Exact number of denoted points, or ``None`` when infinite.
+
+    Counts by enumeration over the (finite) bounding box, so it is meant
+    for genuinely finite relations; infinite ones return ``None``
+    immediately.
+    """
+    if len(relation) == 0:
+        return 0
+    if not is_finite(relation):
+        return None
+    lows = []
+    highs = []
+    for name in relation.schema.temporal_names:
+        profile = column_profile(relation, name)
+        if profile.count == 0:
+            return 0
+        lows.append(profile.lower)
+        highs.append(profile.upper)
+    if not lows:
+        return sum(1 for _ in relation.enumerate(0, 0))
+    return sum(1 for _ in relation.enumerate(min(lows), max(highs)))

@@ -1,0 +1,12 @@
+"""A Datalog-style deductive layer over generalized relations (Sec. 5)."""
+
+from repro.deductive.program import DEFAULT_MAX_ITERATIONS, Program
+from repro.deductive.rules import HeadArg, Rule, head_relation
+
+__all__ = [
+    "DEFAULT_MAX_ITERATIONS",
+    "HeadArg",
+    "Program",
+    "Rule",
+    "head_relation",
+]

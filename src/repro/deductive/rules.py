@@ -1,0 +1,273 @@
+"""Datalog-style rules over generalized relations.
+
+Section 5 of the paper situates the framework against Chomicki &
+Imieliński's deductive approach: "we incorporate infinite predicates
+with arbitrary arity directly into the database.  This makes operations
+on temporal predicates easier and *does not exclude the eventual use of
+a deductive layer*."  This package is that layer: Datalog rules whose
+EDB and IDB relations are generalized (infinite) relations, evaluated
+through the closed algebra.
+
+A rule looks like::
+
+    Busy(t, r) <- Perform(t1, t2, r, k) & t1 <= t & t <= t2
+
+The body is any conjunction the query language accepts (positive atoms,
+negated atoms, temporal comparisons, data equalities); the head lists
+distinct variables and constants.  Safety requires every head variable
+to be free in the body.
+
+Recursion is supported with *semantic* fixpoint detection: because
+generalized relations are finitely represented and equivalence is
+decidable (Theorem 3.5 via double difference), iteration stops when no
+IDB relation changes as a *set of points* — not merely syntactically.
+A ``max_iterations`` guard keeps genuinely divergent programs (e.g.
+``P(t + 1) <- P(t)`` seeded below an infinite progression) from
+spinning; the paper's framework does not promise termination for those,
+and neither do we.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Hashable
+from dataclasses import dataclass, field
+
+from repro.core import algebra
+from repro.core.errors import ParseError, SchemaError
+from repro.core.relations import GeneralizedRelation, Schema
+from repro.core.tuples import GeneralizedTuple
+from repro.query.ast import Sort, free_variables
+from repro.query.parser import parse_query
+
+_HEAD_RE = re.compile(
+    r"""^\s*(?P<name>[A-Za-z_][A-Za-z_0-9]*)\s*
+    \((?P<args>[^)]*)\)\s*$""",
+    re.VERBOSE,
+)
+_INT_RE = re.compile(r"^-?\d+$")
+_STRING_RE = re.compile(r'^"[^"]*"$|^\'[^\']*\'$')
+
+
+@dataclass(frozen=True)
+class HeadArg:
+    """One argument of a rule head: a variable or a constant."""
+
+    var: str | None = None
+    const: Hashable | None = None
+
+    @property
+    def is_var(self) -> bool:
+        return self.var is not None
+
+
+@dataclass
+class Rule:
+    """A parsed rule: head predicate, head arguments, body query text."""
+
+    head_name: str
+    head_args: tuple[HeadArg, ...]
+    body_text: str
+    body_query: object = field(default=None, repr=False)
+
+    @classmethod
+    def parse(cls, text: str) -> Rule:
+        """Split ``Head(args) <- body`` and parse the head.
+
+        The body is parsed later, once all predicate schemas (EDB and
+        IDB) are known.
+        """
+        if "<-" not in text:
+            raise ParseError(f"rule needs '<-': {text!r}")
+        head_text, body_text = text.split("<-", 1)
+        m = _HEAD_RE.match(head_text)
+        if m is None:
+            raise ParseError(f"malformed rule head: {head_text.strip()!r}")
+        args: list[HeadArg] = []
+        arg_body = m.group("args").strip()
+        pieces = [p.strip() for p in arg_body.split(",")] if arg_body else []
+        seen_vars: set[str] = set()
+        for piece in pieces:
+            if not piece:
+                raise ParseError(f"empty argument in head: {head_text!r}")
+            if _INT_RE.match(piece):
+                args.append(HeadArg(const=int(piece)))
+            elif _STRING_RE.match(piece):
+                args.append(HeadArg(const=piece[1:-1]))
+            else:
+                if piece in seen_vars:
+                    raise ParseError(
+                        f"head variable {piece!r} repeated; bind it once "
+                        "and equate in the body instead"
+                    )
+                seen_vars.add(piece)
+                args.append(HeadArg(var=piece))
+        return cls(
+            head_name=m.group("name"),
+            head_args=tuple(args),
+            body_text=body_text.strip(),
+        )
+
+    @property
+    def head_vars(self) -> tuple[str, ...]:
+        return tuple(a.var for a in self.head_args if a.is_var)
+
+    def bind(self, schemas: dict[str, Schema]) -> None:
+        """Parse the body against the known schemas and check safety."""
+        self.body_query = parse_query(self.body_text, schemas)
+        free = free_variables(self.body_query)
+        _check_negation_safety(self.body_query, self.head_name)
+        head_schema = schemas[self.head_name]
+        if len(self.head_args) != len(head_schema):
+            raise SchemaError(
+                f"head {self.head_name} has {len(self.head_args)} args, "
+                f"schema has {len(head_schema)}"
+            )
+        for arg, attr in zip(self.head_args, head_schema.attributes):
+            if not arg.is_var:
+                if attr.temporal and not isinstance(arg.const, int):
+                    raise SchemaError(
+                        f"constant {arg.const!r} in temporal position of "
+                        f"{self.head_name}"
+                    )
+                continue
+            if arg.var not in free:
+                raise SchemaError(
+                    f"unsafe rule: head variable {arg.var!r} is not free "
+                    f"in the body of {self.head_name}"
+                )
+            var_sort = free[arg.var]
+            want = Sort.TEMPORAL if attr.temporal else Sort.DATA
+            if var_sort != want:
+                raise SchemaError(
+                    f"head variable {arg.var!r} is {var_sort.value} in the "
+                    f"body but {want.value} in {self.head_name}'s schema"
+                )
+
+    def __str__(self) -> str:
+        rendered = ", ".join(
+            a.var if a.is_var else repr(a.const) for a in self.head_args
+        )
+        return f"{self.head_name}({rendered}) <- {self.body_text}"
+
+
+def _check_negation_safety(body_query, head_name: str) -> None:
+    """Reject free variables that occur only under a negation.
+
+    In FO semantics, ``P(x) & ~Q(x, y)`` with ``y`` free derives ``x``
+    whenever *some* ``y`` fails ``Q`` — almost never what a Datalog rule
+    means.  The conventional reading is ``~(EXISTS y. Q(x, y))``; we
+    require the user to write that quantifier, and flag the dangling
+    variable otherwise.
+    """
+    from repro.query.ast import (
+        And,
+        Cmp,
+        DataEq,
+        DataVar,
+        Exists,
+        Forall,
+        Implies,
+        Not,
+        Or,
+        Pred,
+        TempVar,
+    )
+
+    positive: set[str] = set()
+    negated_only: set[str] = set()
+
+    def atom_vars(node) -> set[str]:
+        out: set[str] = set()
+        if isinstance(node, Pred):
+            for arg in node.args:
+                if isinstance(arg, (TempVar, DataVar)):
+                    out.add(arg.name)
+        elif isinstance(node, Cmp):
+            for term in (node.left, node.right):
+                if isinstance(term, TempVar):
+                    out.add(term.name)
+        elif isinstance(node, DataEq):
+            for term in (node.left, node.right):
+                if isinstance(term, DataVar):
+                    out.add(term.name)
+        return out
+
+    def walk(node, negated: bool, bound: set[str]) -> None:
+        if isinstance(node, (Pred, Cmp, DataEq)):
+            names = atom_vars(node) - bound
+            if negated:
+                negated_only.update(names)
+            else:
+                positive.update(names)
+        elif isinstance(node, Not):
+            walk(node.body, not negated, bound)
+        elif isinstance(node, (And, Or)):
+            for part in node.parts:
+                walk(part, negated, bound)
+        elif isinstance(node, Implies):
+            walk(node.antecedent, not negated, bound)
+            walk(node.consequent, negated, bound)
+        elif isinstance(node, (Exists, Forall)):
+            walk(node.body, negated, bound | {node.var})
+
+    walk(body_query, False, set())
+    dangling = negated_only - positive
+    if dangling:
+        raise SchemaError(
+            f"unsafe rule for {head_name}: variable(s) "
+            f"{sorted(dangling)} occur only under negation; quantify "
+            "them inside the negation (e.g. ~(EXISTS v. ...))"
+        )
+
+
+def head_relation(
+    rule: Rule,
+    body_result: GeneralizedRelation,
+    head_schema: Schema,
+) -> GeneralizedRelation:
+    """Shape a body-evaluation result into head-schema tuples.
+
+    Projects onto the head variables, inserts constant columns, and
+    reorders to the head schema's attribute order.
+    """
+    # Project the body result down to the head variables.
+    keep = [v for v in rule.head_vars if body_result.schema.has(v)]
+    projected = algebra.project(body_result, keep)
+    # Rename head variables onto the head attribute names, position by
+    # position, avoiding collisions via a temp prefix.
+    temp_names: dict[str, str] = {}
+    for i, arg in enumerate(rule.head_args):
+        if arg.is_var:
+            temp_names[arg.var] = f"_h{i}"
+    projected = algebra.rename(projected, temp_names)
+    out = GeneralizedRelation.empty(head_schema)
+    order: list[str] = []
+    const_relations: list[GeneralizedRelation] = []
+    for i, (arg, attr) in enumerate(zip(rule.head_args, head_schema.attributes)):
+        col = f"_h{i}"
+        order.append(col)
+        if arg.is_var:
+            continue
+        # Constant column: a singleton relation to product in.
+        if attr.temporal:
+            const_rel = GeneralizedRelation.empty(
+                Schema.make(temporal=[col])
+            )
+            const_rel.add(GeneralizedTuple.make([int(arg.const)]))
+        else:
+            const_rel = GeneralizedRelation.empty(Schema.make(data=[col]))
+            const_rel.add(GeneralizedTuple.make([], data=(arg.const,)))
+        const_relations.append(const_rel)
+    combined = projected
+    for const_rel in const_relations:
+        combined = algebra.product(combined, const_rel)
+    shaped = algebra.project(combined, order)
+    renamed = algebra.rename(
+        shaped,
+        {f"_h{i}": attr.name
+         for i, attr in enumerate(head_schema.attributes)},
+    )
+    for gtuple in renamed:
+        out.add(gtuple)
+    return out

@@ -1,0 +1,59 @@
+"""Interval reasoning on top of generalized relations.
+
+Allen's thirteen relations as constraint templates, plus calendar
+helpers for building periodic schedules (the paper's Example 2.4).
+"""
+
+from repro.intervals.allen import (
+    ALLEN_INVERSES,
+    ALLEN_TEMPLATES,
+    allen_atoms,
+    classify,
+    holds,
+    pairs_related,
+    proper,
+)
+from repro.intervals.composition import (
+    compose,
+    composition_table,
+    feasible_relations,
+)
+from repro.intervals.calendar import (
+    MINUTES_PER_DAY,
+    MINUTES_PER_HOUR,
+    MINUTES_PER_WEEK,
+    RecurringTrip,
+    at_time,
+    daily,
+    every,
+    fmt_time,
+    hourly,
+    liege_brussels_schedule,
+    schedule_relation,
+    weekly,
+)
+
+__all__ = [
+    "ALLEN_INVERSES",
+    "ALLEN_TEMPLATES",
+    "MINUTES_PER_DAY",
+    "MINUTES_PER_HOUR",
+    "MINUTES_PER_WEEK",
+    "RecurringTrip",
+    "allen_atoms",
+    "at_time",
+    "classify",
+    "compose",
+    "composition_table",
+    "daily",
+    "every",
+    "feasible_relations",
+    "fmt_time",
+    "holds",
+    "hourly",
+    "liege_brussels_schedule",
+    "pairs_related",
+    "proper",
+    "schedule_relation",
+    "weekly",
+]

@@ -1,0 +1,142 @@
+"""Allen's thirteen interval relations as restricted constraints.
+
+The paper motivates its two-temporal-attribute relations with interval
+reasoning (Section 1 cites Allen's interval theory; footnote 3 notes
+that pairs of points and intervals coincide under suitable choices).
+This module expresses each of Allen's relations between two intervals
+``(s1, e1)`` and ``(s2, e2)`` as a conjunction of restricted atoms, so
+that interval queries compile directly onto the generalized algebra.
+
+Intervals here are *proper*: ``start < end``.  The constraint templates
+assume nothing about the inputs; combine with :func:`proper` if needed.
+"""
+
+from __future__ import annotations
+
+from repro.core import algebra
+from repro.core.constraints import Atom, parse_atoms
+from repro.core.relations import GeneralizedRelation
+
+#: The thirteen Allen relations, as constraint templates over the
+#: placeholder attribute names s1/e1 (first interval) and s2/e2 (second).
+ALLEN_TEMPLATES: dict[str, str] = {
+    "before": "e1 < s2",
+    "after": "s1 > e2",
+    "meets": "e1 = s2",
+    "met_by": "s1 = e2",
+    "overlaps": "s1 < s2 & s2 < e1 & e1 < e2",
+    "overlapped_by": "s2 < s1 & s1 < e2 & e2 < e1",
+    "during": "s2 < s1 & e1 < e2",
+    "contains": "s1 < s2 & e2 < e1",
+    "starts": "s1 = s2 & e1 < e2",
+    "started_by": "s1 = s2 & e2 < e1",
+    "finishes": "e1 = e2 & s2 < s1",
+    "finished_by": "e1 = e2 & s1 < s2",
+    "equals": "s1 = s2 & e1 = e2",
+}
+
+#: Inverse pairs: interval A rel B  iff  B inverse(rel) A.
+ALLEN_INVERSES: dict[str, str] = {
+    "before": "after",
+    "after": "before",
+    "meets": "met_by",
+    "met_by": "meets",
+    "overlaps": "overlapped_by",
+    "overlapped_by": "overlaps",
+    "during": "contains",
+    "contains": "during",
+    "starts": "started_by",
+    "started_by": "starts",
+    "finishes": "finished_by",
+    "finished_by": "finishes",
+    "equals": "equals",
+}
+
+
+def allen_atoms(
+    relation_name: str,
+    first: tuple[str, str],
+    second: tuple[str, str],
+) -> list[Atom]:
+    """Constraint atoms stating ``first <relation_name> second``.
+
+    ``first`` and ``second`` are (start, end) attribute-name pairs.
+    """
+    template = ALLEN_TEMPLATES.get(relation_name)
+    if template is None:
+        raise KeyError(
+            f"unknown Allen relation {relation_name!r}; "
+            f"choose from {sorted(ALLEN_TEMPLATES)}"
+        )
+    s1, e1 = first
+    s2, e2 = second
+    rendered = (
+        template.replace("s1", s1)
+        .replace("e1", e1)
+        .replace("s2", s2)
+        .replace("e2", e2)
+    )
+    return parse_atoms(rendered)
+
+
+def proper(interval: tuple[str, str]) -> list[Atom]:
+    """Atoms stating the interval is proper (``start < end``)."""
+    start, end = interval
+    return parse_atoms(f"{start} < {end}")
+
+
+def holds(relation_name: str, first: tuple[int, int], second: tuple[int, int]) -> bool:
+    """Evaluate an Allen relation on two concrete intervals."""
+    template = ALLEN_TEMPLATES.get(relation_name)
+    if template is None:
+        raise KeyError(f"unknown Allen relation {relation_name!r}")
+    s1, e1 = first
+    s2, e2 = second
+    env = {"s1": s1, "e1": e1, "s2": s2, "e2": e2}
+    clauses = template.split("&")
+    for clause in clauses:
+        clause = clause.strip()
+        for op in ("<=", ">=", "=", "<", ">"):
+            if op in clause:
+                left, right = clause.split(op)
+                lv, rv = env[left.strip()], env[right.strip()]
+                ok = {
+                    "<=": lv <= rv,
+                    ">=": lv >= rv,
+                    "=": lv == rv,
+                    "<": lv < rv,
+                    ">": lv > rv,
+                }[op]
+                if not ok:
+                    return False
+                break
+    return True
+
+
+def classify(first: tuple[int, int], second: tuple[int, int]) -> str:
+    """The unique Allen relation between two proper concrete intervals."""
+    if not (first[0] < first[1] and second[0] < second[1]):
+        raise ValueError("classify expects proper intervals (start < end)")
+    for name in ALLEN_TEMPLATES:
+        if holds(name, first, second):
+            return name
+    raise AssertionError("Allen relations are exhaustive")  # pragma: no cover
+
+
+def pairs_related(
+    r1: GeneralizedRelation,
+    r2: GeneralizedRelation,
+    relation_name: str,
+    first: tuple[str, str],
+    second: tuple[str, str],
+) -> GeneralizedRelation:
+    """All pairs of intervals from ``r1`` × ``r2`` in the given relation.
+
+    ``first`` names the (start, end) attributes of ``r1``; ``second``
+    those of ``r2``.  Attribute names across the two relations must be
+    disjoint (rename first if not).  The result is the cross product
+    restricted by the Allen constraint — entirely symbolic, so it works
+    on infinite (periodic) interval relations.
+    """
+    product = algebra.product(r1, r2)
+    return algebra.select(product, allen_atoms(relation_name, first, second))

@@ -1,0 +1,251 @@
+"""PeriodicSet: a Pythonic facade over unary generalized relations.
+
+Most day-to-day uses of the paper's machinery are about one time line:
+"every 6 minutes from minute 2", "weekdays at 9", "never during the
+maintenance window".  :class:`PeriodicSet` wraps a unary generalized
+relation behind the interface of a Python set of integers — operators
+``| & - ^ ~``, ``in``, comparisons — while staying exact and infinite
+underneath.
+
+    >>> from repro.periodic import PeriodicSet
+    >>> fires = PeriodicSet.every(6, offset=2)
+    >>> window = PeriodicSet.interval(100, 200)
+    >>> risky = fires & window
+    >>> 104 in risky
+    True
+    >>> (~fires).next_at_or_after(2)
+    3
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.core import algebra
+from repro.core.lrp import LRP
+from repro.core.relations import GeneralizedRelation, Schema
+from repro.core.temporal import (
+    column_profile,
+    count_points,
+    is_finite,
+    next_event,
+    prev_event,
+)
+
+_SCHEMA = Schema.make(temporal=["t"])
+
+
+class PeriodicSet:
+    """An exactly-represented, possibly infinite set of integers.
+
+    Immutable; every operation returns a new set.  Backed by a unary
+    generalized relation, so all the closure and decidability results
+    of the paper apply: complements, differences and emptiness are
+    exact, never approximated by a horizon.
+    """
+
+    __slots__ = ("_relation",)
+
+    def __init__(self, relation: GeneralizedRelation) -> None:
+        if (
+            relation.schema.temporal_arity != 1
+            or relation.schema.data_arity != 0
+        ):
+            raise ValueError("PeriodicSet wraps unary temporal relations")
+        if relation.schema.temporal_names != ("t",):
+            relation = algebra.rename(
+                relation, {relation.schema.temporal_names[0]: "t"}
+            )
+        self._relation = relation
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> PeriodicSet:
+        """The empty set."""
+        return cls(GeneralizedRelation.empty(_SCHEMA))
+
+    @classmethod
+    def all_integers(cls) -> PeriodicSet:
+        """All of Z."""
+        return cls(GeneralizedRelation.universe(_SCHEMA))
+
+    @classmethod
+    def every(cls, period: int, offset: int = 0) -> PeriodicSet:
+        """``{offset + period·n | n ∈ Z}``."""
+        if period <= 0:
+            raise ValueError("period must be positive")
+        rel = GeneralizedRelation.empty(_SCHEMA)
+        rel.add_tuple([LRP.make(offset, period)])
+        return cls(rel)
+
+    @classmethod
+    def points(cls, values: Iterable[int]) -> PeriodicSet:
+        """A finite set of explicit points."""
+        rel = GeneralizedRelation.empty(_SCHEMA)
+        for value in values:
+            rel.add_tuple([int(value)])
+        return cls(rel)
+
+    @classmethod
+    def interval(cls, low: int, high: int) -> PeriodicSet:
+        """The contiguous range ``[low, high]`` (inclusive)."""
+        if low > high:
+            return cls.empty()
+        rel = GeneralizedRelation.empty(_SCHEMA)
+        rel.add_tuple(["n"], f"t >= {low} & t <= {high}")
+        return cls(rel)
+
+    @classmethod
+    def at_or_above(cls, low: int) -> PeriodicSet:
+        """``{x | x >= low}``."""
+        rel = GeneralizedRelation.empty(_SCHEMA)
+        rel.add_tuple(["n"], f"t >= {low}")
+        return cls(rel)
+
+    @classmethod
+    def at_or_below(cls, high: int) -> PeriodicSet:
+        """``{x | x <= high}``."""
+        rel = GeneralizedRelation.empty(_SCHEMA)
+        rel.add_tuple(["n"], f"t <= {high}")
+        return cls(rel)
+
+    @classmethod
+    def from_lrp(cls, text: str, constraint: str = "") -> PeriodicSet:
+        """From the paper's syntax: ``from_lrp("3 + 5n", "t >= 0")``."""
+        rel = GeneralizedRelation.empty(_SCHEMA)
+        rel.add_tuple([text], constraint)
+        return cls(rel)
+
+    # ------------------------------------------------------------------
+    # the wrapped relation
+    # ------------------------------------------------------------------
+
+    @property
+    def relation(self) -> GeneralizedRelation:
+        """The underlying unary generalized relation."""
+        return self._relation
+
+    # ------------------------------------------------------------------
+    # set protocol
+    # ------------------------------------------------------------------
+
+    def __contains__(self, value: int) -> bool:
+        return self._relation.contains([value])
+
+    def __or__(self, other: PeriodicSet) -> PeriodicSet:
+        return PeriodicSet(algebra.union(self._relation, other._relation))
+
+    def __and__(self, other: PeriodicSet) -> PeriodicSet:
+        return PeriodicSet(
+            algebra.intersect(self._relation, other._relation)
+        )
+
+    def __sub__(self, other: PeriodicSet) -> PeriodicSet:
+        return PeriodicSet(
+            algebra.subtract(self._relation, other._relation)
+        )
+
+    def __xor__(self, other: PeriodicSet) -> PeriodicSet:
+        return (self - other) | (other - self)
+
+    def __invert__(self) -> PeriodicSet:
+        return PeriodicSet(algebra.complement(self._relation))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PeriodicSet):
+            return NotImplemented
+        return algebra.equivalent(self._relation, other._relation)
+
+    def __hash__(self) -> int:  # pragma: no cover - sets are mutable-ish
+        raise TypeError(
+            "PeriodicSet is unhashable (semantic equality is not "
+            "canonical); use str(s) or a snapshot as a key"
+        )
+
+    def __le__(self, other: PeriodicSet) -> bool:
+        """Subset test (exact)."""
+        return (self - other).is_empty()
+
+    def __lt__(self, other: PeriodicSet) -> bool:
+        return self <= other and self != other
+
+    def __ge__(self, other: PeriodicSet) -> bool:
+        return other <= self
+
+    def __gt__(self, other: PeriodicSet) -> bool:
+        return other < self
+
+    def isdisjoint(self, other: PeriodicSet) -> bool:
+        """Whether the sets share no point (exact)."""
+        return (self & other).is_empty()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """Exact emptiness (Theorem 3.5)."""
+        return self._relation.is_empty()
+
+    def is_finite(self) -> bool:
+        """Whether the set has finitely many members."""
+        return is_finite(self._relation)
+
+    def __len__(self) -> int:
+        """Exact cardinality; raises :class:`TypeError` when infinite."""
+        count = count_points(self._relation)
+        if count is None:
+            raise TypeError("infinite PeriodicSet has no len()")
+        return count
+
+    def next_at_or_after(self, value: int) -> int | None:
+        """Smallest member ``>= value`` (exact), or ``None``."""
+        return next_event(self._relation, "t", value)
+
+    def prev_at_or_before(self, value: int) -> int | None:
+        """Largest member ``<= value`` (exact), or ``None``."""
+        return prev_event(self._relation, "t", value)
+
+    def minimum(self) -> int | None:
+        """Smallest member, or ``None`` when empty or unbounded below."""
+        return column_profile(self._relation, "t").lower
+
+    def maximum(self) -> int | None:
+        """Largest member, or ``None`` when empty or unbounded above."""
+        return column_profile(self._relation, "t").upper
+
+    def iterate_from(self, start: int) -> Iterator[int]:
+        """Ascending members from ``start`` on (possibly endless)."""
+        current = self.next_at_or_after(start)
+        while current is not None:
+            yield current
+            current = self.next_at_or_after(current + 1)
+
+    def between(self, low: int, high: int) -> list[int]:
+        """Members within ``[low, high]``, ascending."""
+        return sorted(x for (x,) in self._relation.enumerate(low, high))
+
+    def shift(self, delta: int) -> PeriodicSet:
+        """``{x + delta | x ∈ self}``."""
+        return PeriodicSet(
+            algebra.shift_column(self._relation, "t", delta)
+        )
+
+    def simplify(self) -> PeriodicSet:
+        """Remove redundant tuples from the representation."""
+        return PeriodicSet(self._relation.simplify())
+
+    def __repr__(self) -> str:
+        n = len(self._relation)
+        return f"<PeriodicSet {n} tuple(s): {self._preview()}>"
+
+    def _preview(self, limit: int = 4) -> str:
+        parts = []
+        for gtuple in self._relation.tuples[:limit]:
+            parts.append(str(gtuple))
+        if len(self._relation) > limit:
+            parts.append("...")
+        return "; ".join(parts) or "(empty)"

@@ -1,0 +1,71 @@
+"""Presburger arithmetic: AST, parsing, evaluation, and compilation.
+
+Backs the paper's expressiveness results (Section 2.2): unary Presburger
+predicates compile to restricted generalized relations (Theorem 2.1) and
+binary ones to general-constraint relations (Theorem 2.2).
+"""
+
+from repro.presburger.ast import (
+    And,
+    Comparison,
+    Congruence,
+    Formula,
+    Not,
+    Or,
+    Rel,
+    comparison,
+    congruence,
+    conj,
+    disj,
+    neg,
+    to_dnf,
+    to_nnf,
+)
+from repro.presburger.compile import (
+    binary_to_restricted,
+    compile_binary,
+    compile_unary,
+    compile_unary_comparison,
+    compile_unary_congruence,
+    congruence_classes,
+    relation_to_formula,
+)
+from repro.presburger.general import (
+    GeneralAtom,
+    GeneralRelation,
+    GeneralTuple,
+    general_atoms,
+)
+from repro.presburger.parser import parse_formula
+from repro.presburger.window_eval import evaluate, solutions
+
+__all__ = [
+    "And",
+    "Comparison",
+    "Congruence",
+    "Formula",
+    "GeneralAtom",
+    "GeneralRelation",
+    "GeneralTuple",
+    "Not",
+    "Or",
+    "Rel",
+    "binary_to_restricted",
+    "comparison",
+    "compile_binary",
+    "compile_unary",
+    "compile_unary_comparison",
+    "compile_unary_congruence",
+    "congruence",
+    "congruence_classes",
+    "conj",
+    "disj",
+    "evaluate",
+    "general_atoms",
+    "neg",
+    "parse_formula",
+    "relation_to_formula",
+    "solutions",
+    "to_dnf",
+    "to_nnf",
+]

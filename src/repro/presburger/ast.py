@@ -1,0 +1,248 @@
+"""Abstract syntax for (quantifier-free) Presburger formulas.
+
+The paper's expressiveness results (Theorems 2.1 and 2.2) compare
+generalized relations against boolean combinations of the *basic
+Presburger formulas*::
+
+    k1*v ⋈ c                 k1*v ≡ c (mod k2)          (unary)
+    k1*v1 ⋈ k2*v2 + c        k1*v1 ≡ k2*v2 + c (mod k3) (binary)
+
+with ⋈ one of =, <, >.  By Presburger's quantifier elimination, boolean
+combinations of these capture exactly the unary/binary Presburger-
+definable predicates, so a quantifier-free AST suffices for the
+reproduction.  We normalize every atom to the homogeneous form
+``sum(coeff_i * v_i) ⋈ c`` or ``sum(coeff_i * v_i) ≡ c (mod m)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Rel(Enum):
+    """Comparison relations in Presburger atoms."""
+
+    EQ = "="
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+
+    def holds(self, left: int, right: int) -> bool:
+        """Evaluate the comparison on concrete integers."""
+        return {
+            Rel.EQ: left == right,
+            Rel.LT: left < right,
+            Rel.GT: left > right,
+            Rel.LE: left <= right,
+            Rel.GE: left >= right,
+        }[self]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``sum(coeffs[v] * v) rel const``."""
+
+    coeffs: tuple[tuple[str, int], ...]
+    rel: Rel
+    const: int
+
+    def variables(self) -> set[str]:
+        return {v for v, _ in self.coeffs}
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        total = sum(k * env[v] for v, k in self.coeffs)
+        return self.rel.holds(total, self.const)
+
+    def __str__(self) -> str:
+        lhs = " + ".join(f"{k}*{v}" for v, k in self.coeffs) or "0"
+        return f"{lhs} {self.rel.value} {self.const}"
+
+
+@dataclass(frozen=True)
+class Congruence:
+    """``sum(coeffs[v] * v) ≡ const (mod modulus)`` with ``modulus > 0``."""
+
+    coeffs: tuple[tuple[str, int], ...]
+    const: int
+    modulus: int
+
+    def __post_init__(self) -> None:
+        if self.modulus <= 0:
+            raise ValueError("congruence modulus must be positive")
+
+    def variables(self) -> set[str]:
+        return {v for v, _ in self.coeffs}
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        total = sum(k * env[v] for v, k in self.coeffs)
+        return (total - self.const) % self.modulus == 0
+
+    def __str__(self) -> str:
+        lhs = " + ".join(f"{k}*{v}" for v, k in self.coeffs) or "0"
+        return f"{lhs} = {self.const} (mod {self.modulus})"
+
+
+@dataclass(frozen=True)
+class Not:
+    """Logical negation."""
+
+    body: Formula
+
+    def variables(self) -> set[str]:
+        return self.body.variables()
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        return not self.body.evaluate(env)
+
+    def __str__(self) -> str:
+        return f"~({self.body})"
+
+
+@dataclass(frozen=True)
+class And:
+    """Logical conjunction."""
+
+    parts: tuple[Formula, ...]
+
+    def variables(self) -> set[str]:
+        out: set[str] = set()
+        for part in self.parts:
+            out |= part.variables()
+        return out
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        return all(part.evaluate(env) for part in self.parts)
+
+    def __str__(self) -> str:
+        return "(" + " & ".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Or:
+    """Logical disjunction."""
+
+    parts: tuple[Formula, ...]
+
+    def variables(self) -> set[str]:
+        out: set[str] = set()
+        for part in self.parts:
+            out |= part.variables()
+        return out
+
+    def evaluate(self, env: Mapping[str, int]) -> bool:
+        return any(part.evaluate(env) for part in self.parts)
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(p) for p in self.parts) + ")"
+
+
+Formula = Comparison | Congruence | Not | And | Or
+
+
+def comparison(coeffs: Mapping[str, int], rel: Rel | str, const: int) -> Comparison:
+    """Build a comparison atom from a coefficient mapping."""
+    rel = Rel(rel) if isinstance(rel, str) else rel
+    items = tuple(sorted((v, k) for v, k in coeffs.items() if k != 0))
+    return Comparison(coeffs=items, rel=rel, const=const)
+
+
+def congruence(coeffs: Mapping[str, int], const: int, modulus: int) -> Congruence:
+    """Build a congruence atom from a coefficient mapping."""
+    items = tuple(sorted((v, k) for v, k in coeffs.items() if k != 0))
+    return Congruence(coeffs=items, const=const, modulus=modulus)
+
+
+def conj(*parts: Formula) -> Formula:
+    """N-ary conjunction (flattening the trivial cases)."""
+    if len(parts) == 1:
+        return parts[0]
+    return And(parts=tuple(parts))
+
+
+def disj(*parts: Formula) -> Formula:
+    """N-ary disjunction (flattening the trivial cases)."""
+    if len(parts) == 1:
+        return parts[0]
+    return Or(parts=tuple(parts))
+
+
+def neg(part: Formula) -> Formula:
+    """Negation, collapsing double negations."""
+    if isinstance(part, Not):
+        return part.body
+    return Not(body=part)
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Push negations down to atoms (negation normal form).
+
+    Negated comparisons flip into comparisons (``¬(e = c)`` becomes
+    ``e < c ∨ e > c``); negated congruences expand into the disjunction
+    of the other residues, which keeps the result negation-free — the
+    property the binary compiler relies on.
+    """
+    if isinstance(formula, (Comparison, Congruence)):
+        return formula
+    if isinstance(formula, And):
+        return And(tuple(to_nnf(p) for p in formula.parts))
+    if isinstance(formula, Or):
+        return Or(tuple(to_nnf(p) for p in formula.parts))
+    body = formula.body
+    if isinstance(body, Not):
+        return to_nnf(body.body)
+    if isinstance(body, And):
+        return Or(tuple(to_nnf(Not(p)) for p in body.parts))
+    if isinstance(body, Or):
+        return And(tuple(to_nnf(Not(p)) for p in body.parts))
+    if isinstance(body, Comparison):
+        flipped = {
+            Rel.EQ: [Rel.LT, Rel.GT],
+            Rel.LT: [Rel.GE],
+            Rel.GT: [Rel.LE],
+            Rel.LE: [Rel.GT],
+            Rel.GE: [Rel.LT],
+        }[body.rel]
+        parts = tuple(
+            Comparison(body.coeffs, r, body.const) for r in flipped
+        )
+        return parts[0] if len(parts) == 1 else Or(parts)
+    if isinstance(body, Congruence):
+        others = tuple(
+            Congruence(body.coeffs, c, body.modulus)
+            for c in range(body.modulus)
+            if (c - body.const) % body.modulus != 0
+        )
+        if not others:  # modulus 1: congruence is trivially true
+            return Comparison((), Rel.LT, 0)  # 0 < 0: canonical "false"
+        return others[0] if len(others) == 1 else Or(others)
+    raise TypeError(f"unexpected formula node: {body!r}")
+
+
+def to_dnf(formula: Formula) -> list[list[Comparison | Congruence]]:
+    """Disjunctive normal form of an NNF formula, as atom lists."""
+    formula = to_nnf(formula)
+
+    def walk(node: Formula) -> list[list[Comparison | Congruence]]:
+        if isinstance(node, (Comparison, Congruence)):
+            return [[node]]
+        if isinstance(node, Or):
+            out: list[list[Comparison | Congruence]] = []
+            for part in node.parts:
+                out.extend(walk(part))
+            return out
+        if isinstance(node, And):
+            acc: list[list[Comparison | Congruence]] = [[]]
+            for part in node.parts:
+                branches = walk(part)
+                acc = [
+                    existing + branch
+                    for existing in acc
+                    for branch in branches
+                ]
+            return acc
+        raise TypeError(f"negation survived NNF: {node!r}")
+
+    return walk(formula)

@@ -1,0 +1,327 @@
+"""Compiling Presburger formulas to generalized relations.
+
+Implements the constructive directions of the paper's expressiveness
+theorems:
+
+* **Theorem 2.1** — every unary Presburger predicate is *weak lrp
+  definable*: :func:`compile_unary` produces a standard
+  :class:`~repro.core.relations.GeneralizedRelation` with restricted
+  constraints, combining basic-formula translations with the algebra's
+  closure under union, intersection and complement.
+* **Theorem 2.2** — every binary Presburger predicate is *lrp definable*
+  with general constraints: :func:`compile_binary` produces a
+  :class:`~repro.presburger.general.GeneralRelation`.  Comparisons map
+  to general constraints directly; congruences decompose into pure
+  lattice classes (unions of lrp pairs with no constraints at all),
+  following the proof's residue-by-residue construction.
+
+The reverse directions (lrp definable ⇒ Presburger definable) are
+witnessed by :func:`relation_to_formula`, which translates a unary
+generalized relation back into a Presburger formula.
+"""
+
+from __future__ import annotations
+
+from repro.arith import solve_linear_congruence
+from repro.core import algebra
+from repro.core.lrp import LRP
+from repro.core.relations import GeneralizedRelation, Schema
+from repro.presburger.ast import (
+    And,
+    Comparison,
+    Congruence,
+    Formula,
+    Not,
+    Or,
+    Rel,
+    comparison,
+    congruence,
+    disj,
+    to_dnf,
+)
+from repro.presburger.general import (
+    GeneralRelation,
+    GeneralTuple,
+    general_atoms,
+)
+
+_UNARY_SCHEMA = Schema.make(temporal=["v"])
+
+
+def _ceil_div(a: int, b: int) -> int:
+    """Ceiling division for ``b > 0``."""
+    return -((-a) // b)
+
+
+def _unary_relation_for(lrp: LRP | None, atoms: str = "") -> GeneralizedRelation:
+    out = GeneralizedRelation.empty(_UNARY_SCHEMA)
+    if lrp is not None:
+        out.add_tuple([lrp], atoms)
+    return out
+
+
+def compile_unary_comparison(k1: int, rel: Rel, c: int) -> GeneralizedRelation:
+    """Compile the basic formula ``k1 * v  rel  c`` (Theorem 2.1, cases 1-3).
+
+    Handles every comparison operator and every sign of ``k1``; the
+    paper spells out the positive-coefficient cases.
+    """
+    if k1 == 0:
+        holds = rel.holds(0, c)
+        return (
+            GeneralizedRelation.universe(_UNARY_SCHEMA)
+            if holds
+            else GeneralizedRelation.empty(_UNARY_SCHEMA)
+        )
+    if rel is Rel.EQ:
+        if c % k1 == 0:
+            return _unary_relation_for(LRP.point(c // k1))
+        return GeneralizedRelation.empty(_UNARY_SCHEMA)
+    # Reduce strict forms to non-strict integer forms.
+    if rel is Rel.LT:
+        return compile_unary_comparison(k1, Rel.LE, c - 1)
+    if rel is Rel.GT:
+        return compile_unary_comparison(k1, Rel.GE, c + 1)
+    if rel is Rel.LE:
+        if k1 > 0:
+            return _unary_relation_for(LRP.make(0, 1), f"v <= {c // k1}")
+        # k1 < 0: dividing flips the comparison; v >= ceil(c / k1).
+        return _unary_relation_for(
+            LRP.make(0, 1), f"v >= {_ceil_div(-c, -k1)}"
+        )
+    # rel is Rel.GE: k1*v >= c  <=>  -k1*v <= -c
+    return compile_unary_comparison(-k1, Rel.LE, -c)
+
+
+def compile_unary_congruence(k1: int, c: int, k2: int) -> GeneralizedRelation:
+    """Compile ``k1 * v ≡ c (mod k2)`` (Theorem 2.1, case 4).
+
+    The paper rewrites the congruence as an lrp intersection; solving
+    the linear congruence directly is the same computation (both reduce
+    to the extended Euclidean algorithm).
+    """
+    if k2 <= 0:
+        raise ValueError("congruence modulus must be positive")
+    if k1 % k2 == 0:
+        # Constraint degenerates to c ≡ 0 (mod k2).
+        if c % k2 == 0:
+            return GeneralizedRelation.universe(_UNARY_SCHEMA)
+        return GeneralizedRelation.empty(_UNARY_SCHEMA)
+    sol = solve_linear_congruence(k1, c, k2)
+    if sol is None:
+        return GeneralizedRelation.empty(_UNARY_SCHEMA)
+    return _unary_relation_for(LRP.make(sol.residue, sol.modulus))
+
+
+def compile_unary(formula: Formula, variable: str | None = None) -> GeneralizedRelation:
+    """Compile a one-variable Presburger formula to a generalized relation.
+
+    Walks the boolean structure, using the algebra's closure under
+    union, intersection and complement — exactly the strategy of the
+    paper's Theorem 2.1 proof.  The result has schema ``(v:T)``.
+    """
+    variables = formula.variables()
+    if variable is None:
+        if len(variables) > 1:
+            raise ValueError(f"formula has several variables: {variables}")
+        variable = next(iter(variables), "v")
+    elif not variables <= {variable}:
+        raise ValueError(
+            f"formula mentions {variables - {variable}} besides {variable!r}"
+        )
+    return _compile_unary_walk(formula, variable)
+
+
+def _coefficient(atom: Comparison | Congruence, variable: str) -> int:
+    coeffs = dict(atom.coeffs)
+    return coeffs.get(variable, 0)
+
+
+def _compile_unary_walk(formula: Formula, v: str) -> GeneralizedRelation:
+    if isinstance(formula, Comparison):
+        return compile_unary_comparison(
+            _coefficient(formula, v), formula.rel, formula.const
+        )
+    if isinstance(formula, Congruence):
+        return compile_unary_congruence(
+            _coefficient(formula, v), formula.const, formula.modulus
+        )
+    if isinstance(formula, And):
+        out = GeneralizedRelation.universe(_UNARY_SCHEMA)
+        for part in formula.parts:
+            out = algebra.intersect(out, _compile_unary_walk(part, v))
+        return out
+    if isinstance(formula, Or):
+        out = GeneralizedRelation.empty(_UNARY_SCHEMA)
+        for part in formula.parts:
+            out = algebra.union(out, _compile_unary_walk(part, v))
+        return out
+    if isinstance(formula, Not):
+        return algebra.complement(_compile_unary_walk(formula.body, v))
+    raise TypeError(f"unexpected formula node: {formula!r}")
+
+
+# ----------------------------------------------------------------------
+# binary compilation (Theorem 2.2)
+# ----------------------------------------------------------------------
+
+
+def congruence_classes(
+    a1: int, a2: int, c: int, m: int
+) -> list[tuple[LRP, LRP]]:
+    """Lattice classes of ``a1*x + a2*y ≡ c (mod m)``.
+
+    Follows the Theorem 2.2 proof: for each residue ``r`` of ``y``
+    modulo ``m``, solve ``a1*x ≡ c - a2*r (mod m)``; every solvable
+    residue yields a pure lrp pair.  Unary cases (one zero coefficient)
+    collapse to a single free axis.
+    """
+    if m <= 0:
+        raise ValueError("modulus must be positive")
+    free = LRP.make(0, 1)
+    if a1 % m == 0 and a2 % m == 0:
+        return [(free, free)] if c % m == 0 else []
+    if a2 % m == 0:
+        sol = solve_linear_congruence(a1, c, m)
+        if sol is None:
+            return []
+        return [(LRP.make(sol.residue, sol.modulus), free)]
+    if a1 % m == 0:
+        sol = solve_linear_congruence(a2, c, m)
+        if sol is None:
+            return []
+        return [(free, LRP.make(sol.residue, sol.modulus))]
+    out: list[tuple[LRP, LRP]] = []
+    for r in range(m):
+        sol = solve_linear_congruence(a1, c - a2 * r, m)
+        if sol is not None:
+            out.append(
+                (LRP.make(sol.residue, sol.modulus), LRP.make(r, m))
+            )
+    return out
+
+
+def compile_binary(
+    formula: Formula, variables: tuple[str, str] | None = None
+) -> GeneralRelation:
+    """Compile a two-variable Presburger formula to a general relation.
+
+    The formula is put in negation normal form (negations of atoms stay
+    atoms over Z), expanded to DNF, and each conjunct becomes a set of
+    general tuples: comparisons contribute general constraints,
+    congruences contribute lattice-class branches.
+    """
+    found = sorted(formula.variables())
+    if variables is None:
+        if len(found) > 2:
+            raise ValueError(f"formula has more than two variables: {found}")
+        while len(found) < 2:
+            found.append(f"_v{len(found)}")
+        variables = (found[0], found[1])
+    elif not set(found) <= set(variables):
+        raise ValueError(
+            f"formula mentions {set(found) - set(variables)} besides "
+            f"{variables}"
+        )
+    v1, v2 = variables
+    position = {v1: 0, v2: 1}
+    out = GeneralRelation(2)
+    free = LRP.make(0, 1)
+    for conjunct in to_dnf(formula):
+        branches = [GeneralTuple((free, free))]
+        feasible = True
+        for atom in conjunct:
+            coeffs = {position[v]: k for v, k in atom.coeffs}
+            if isinstance(atom, Comparison):
+                atoms = general_atoms(coeffs, atom.rel.value, atom.const)
+                extra = GeneralTuple((free, free), tuple(atoms))
+                branches = [
+                    merged
+                    for t in branches
+                    if (merged := t.intersect(extra)) is not None
+                ]
+            else:
+                classes = congruence_classes(
+                    coeffs.get(0, 0), coeffs.get(1, 0), atom.const, atom.modulus
+                )
+                next_branches: list[GeneralTuple] = []
+                for t in branches:
+                    for x_lrp, y_lrp in classes:
+                        merged = t.intersect(GeneralTuple((x_lrp, y_lrp)))
+                        if merged is not None:
+                            next_branches.append(merged)
+                branches = next_branches
+            if not branches:
+                feasible = False
+                break
+        if feasible:
+            for t in branches:
+                out.add(t)
+    return out
+
+
+def binary_to_restricted(
+    grel: GeneralRelation, names: tuple[str, str] = ("v1", "v2")
+) -> GeneralizedRelation:
+    """Convert a binary general relation to a restricted one if possible.
+
+    Succeeds exactly when every constraint is (equivalent to) a
+    difference constraint; raises
+    :class:`~repro.core.errors.ConstraintError` otherwise.
+    """
+    schema = Schema.make(temporal=list(names))
+    out = GeneralizedRelation.empty(schema)
+    for t in grel.tuples:
+        atoms = t.to_restricted_atoms(names)
+        out.add_tuple(list(t.lrps), atoms)
+    return out
+
+
+# ----------------------------------------------------------------------
+# reverse direction: relations back to formulas
+# ----------------------------------------------------------------------
+
+
+def relation_to_formula(
+    relation: GeneralizedRelation, variable: str = "v"
+) -> Formula:
+    """Translate a unary generalized relation into a Presburger formula.
+
+    This witnesses the easy direction of Theorem 2.1 (weak lrp definable
+    ⇒ Presburger definable): each tuple ``[c + k*n] ∧ constraints``
+    becomes ``v ≡ c (mod k) ∧ bounds``; the relation is the disjunction.
+    An empty relation maps to the canonical false ``0 < 0``.
+    """
+    if relation.schema.temporal_arity != 1 or relation.schema.data_arity != 0:
+        raise ValueError("relation_to_formula expects a unary temporal schema")
+    parts: list[Formula] = []
+    for gtuple in relation:
+        lrp = gtuple.lrps[0]
+        conj_parts: list[Formula] = []
+        if lrp.period == 0:
+            conj_parts.append(comparison({variable: 1}, Rel.EQ, lrp.offset))
+        elif lrp.period > 1:
+            conj_parts.append(
+                congruence({variable: 1}, lrp.offset, lrp.period)
+            )
+        upper = gtuple.dbm.upper(0)
+        lower = gtuple.dbm.lower(0)
+        if upper is not None:
+            conj_parts.append(comparison({variable: 1}, Rel.LE, upper))
+        if lower is not None:
+            conj_parts.append(comparison({variable: 1}, Rel.GE, lower))
+        if not conj_parts:
+            # Unconstrained full-Z tuple: a canonical tautology.
+            parts.append(
+                disj(
+                    comparison({variable: 1}, Rel.LE, 0),
+                    comparison({variable: 1}, Rel.GT, 0),
+                )
+            )
+            continue
+        parts.append(
+            conj_parts[0] if len(conj_parts) == 1 else And(tuple(conj_parts))
+        )
+    if not parts:
+        return comparison({}, Rel.LT, 0)  # 0 < 0: false
+    return disj(*parts)

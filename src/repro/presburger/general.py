@@ -1,0 +1,234 @@
+"""Generalized tuples with *general* constraints (Section 2.1).
+
+The paper's general constraints are arbitrary linear (in)equalities
+between at most two temporal attributes — coefficients need not be 1.
+They are what Theorem 2.2 needs to capture binary Presburger predicates
+(``k1*v1 = k2*v2 + c`` is not a restricted constraint unless
+``k1 = k2 = 1``).
+
+The paper runs its algebra only on restricted constraints; accordingly,
+this module implements just the closure properties the expressiveness
+construction uses — intersection, union (as a relation-level merge) and
+membership — plus window enumeration for the differential tests, and a
+conversion to restricted form when the coefficients permit.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.core.constraints import Op, VarConstAtom, VarVarAtom
+from repro.core.constraints import Atom as RestrictedAtom
+from repro.core.errors import ConstraintError
+from repro.core.lrp import LRP
+
+
+@dataclass(frozen=True)
+class GeneralAtom:
+    """A normalized general constraint: ``sum(coeff_i * X_i) <= const``.
+
+    ``coeffs`` maps attribute positions to non-zero integer coefficients
+    (at most two entries, per the paper's definition).
+    """
+
+    coeffs: tuple[tuple[int, int], ...]
+    const: int
+
+    def __post_init__(self) -> None:
+        if len(self.coeffs) > 2:
+            raise ConstraintError(
+                "general constraints relate at most two attributes"
+            )
+        if any(k == 0 for _, k in self.coeffs):
+            raise ConstraintError("zero coefficients must be dropped")
+
+    def satisfied_by(self, point: Sequence[int]) -> bool:
+        """Evaluate the constraint on a concrete temporal point."""
+        return sum(k * point[i] for i, k in self.coeffs) <= self.const
+
+    def __str__(self) -> str:
+        lhs = " + ".join(f"{k}*X{i + 1}" for i, k in self.coeffs) or "0"
+        return f"{lhs} <= {self.const}"
+
+
+def general_atoms(
+    coeffs: dict[int, int], rel: str, const: int
+) -> list[GeneralAtom]:
+    """Normalize ``sum(c_i X_i) rel const`` into ``<=`` atoms.
+
+    Equalities become two inequalities; strict comparisons tighten by 1
+    (integer semantics); ``>``/``>=`` negate the coefficients.
+    """
+    items = tuple(sorted((i, k) for i, k in coeffs.items() if k != 0))
+    negated = tuple((i, -k) for i, k in items)
+    if rel == "<=":
+        return [GeneralAtom(items, const)]
+    if rel == "<":
+        return [GeneralAtom(items, const - 1)]
+    if rel == ">=":
+        return [GeneralAtom(negated, -const)]
+    if rel == ">":
+        return [GeneralAtom(negated, -const - 1)]
+    if rel == "=":
+        return [GeneralAtom(items, const), GeneralAtom(negated, -const)]
+    raise ConstraintError(f"unknown relation {rel!r}")
+
+
+@dataclass(frozen=True)
+class GeneralTuple:
+    """lrps plus a conjunction of general constraints."""
+
+    lrps: tuple[LRP, ...]
+    atoms: tuple[GeneralAtom, ...] = ()
+
+    @property
+    def arity(self) -> int:
+        return len(self.lrps)
+
+    def contains(self, point: Sequence[int]) -> bool:
+        """Membership of a concrete point."""
+        if len(point) != len(self.lrps):
+            raise ValueError("arity mismatch")
+        return all(
+            lrp.contains(x) for lrp, x in zip(self.lrps, point)
+        ) and all(atom.satisfied_by(point) for atom in self.atoms)
+
+    def intersect(self, other: GeneralTuple) -> GeneralTuple | None:
+        """Componentwise lrp intersection, constraint union."""
+        if self.arity != other.arity:
+            raise ValueError("arity mismatch")
+        merged: list[LRP] = []
+        for a, b in zip(self.lrps, other.lrps):
+            meet = a.intersect(b)
+            if meet is None:
+                return None
+            merged.append(meet)
+        return GeneralTuple(tuple(merged), self.atoms + other.atoms)
+
+    def enumerate(self, low: int, high: int) -> Iterator[tuple[int, ...]]:
+        """Concrete points in the window (brute force with lrp pruning)."""
+        axes = [list(lrp.enumerate(low, high)) for lrp in self.lrps]
+        for point in itertools.product(*axes):
+            if all(atom.satisfied_by(point) for atom in self.atoms):
+                yield point
+
+    def to_restricted_atoms(
+        self, attribute_order: Sequence[str]
+    ) -> list[RestrictedAtom]:
+        """Convert to restricted atoms when every coefficient is ±1.
+
+        Raises :class:`ConstraintError` otherwise (the constraint is
+        genuinely general and has no restricted equivalent per tuple).
+        """
+        out: list[RestrictedAtom] = []
+        for atom in self.atoms:
+            coeffs = dict(atom.coeffs)
+            if any(abs(k) != 1 for k in coeffs.values()):
+                raise ConstraintError(
+                    f"{atom} has non-unit coefficients; not restricted"
+                )
+            if len(coeffs) == 0:
+                if 0 > atom.const:
+                    raise ConstraintError("unsatisfiable constant constraint")
+                continue
+            if len(coeffs) == 1:
+                ((i, k),) = coeffs.items()
+                name = attribute_order[i]
+                if k == 1:
+                    out.append(VarConstAtom(name, Op.LE, atom.const))
+                else:
+                    out.append(VarConstAtom(name, Op.GE, -atom.const))
+            else:
+                (i, ki), (j, kj) = sorted(coeffs.items())
+                if ki == kj:
+                    raise ConstraintError(
+                        f"{atom} is not a difference constraint"
+                    )
+                if ki == 1:  # X_i - X_j <= c
+                    out.append(
+                        VarVarAtom(
+                            attribute_order[i],
+                            Op.LE,
+                            attribute_order[j],
+                            atom.const,
+                        )
+                    )
+                else:  # -X_i + X_j <= c, i.e. X_j <= X_i + c
+                    out.append(
+                        VarVarAtom(
+                            attribute_order[j],
+                            Op.LE,
+                            attribute_order[i],
+                            atom.const,
+                        )
+                    )
+        return out
+
+    def __str__(self) -> str:
+        lrp_part = "[" + ", ".join(str(lrp) for lrp in self.lrps) + "]"
+        if not self.atoms:
+            return lrp_part
+        return lrp_part + " : " + " & ".join(str(a) for a in self.atoms)
+
+
+class GeneralRelation:
+    """A finite union of general tuples of one arity."""
+
+    __slots__ = ("arity", "tuples")
+
+    def __init__(self, arity: int, tuples: Sequence[GeneralTuple] = ()) -> None:
+        self.arity = arity
+        self.tuples: list[GeneralTuple] = []
+        for t in tuples:
+            self.add(t)
+
+    def add(self, gtuple: GeneralTuple) -> None:
+        """Insert one tuple (arity-checked)."""
+        if gtuple.arity != self.arity:
+            raise ValueError(
+                f"tuple arity {gtuple.arity} != relation arity {self.arity}"
+            )
+        self.tuples.append(gtuple)
+
+    def contains(self, point: Sequence[int]) -> bool:
+        """Membership of a concrete point."""
+        return any(t.contains(point) for t in self.tuples)
+
+    def enumerate(self, low: int, high: int) -> Iterator[tuple[int, ...]]:
+        """Deduplicated concrete points in the window."""
+        seen: set[tuple[int, ...]] = set()
+        for t in self.tuples:
+            for point in t.enumerate(low, high):
+                if point not in seen:
+                    seen.add(point)
+                    yield point
+
+    def snapshot(self, low: int, high: int) -> set[tuple[int, ...]]:
+        """The denoted point set restricted to the window."""
+        return set(self.enumerate(low, high))
+
+    def union(self, other: GeneralRelation) -> GeneralRelation:
+        """Relation-level union (merge)."""
+        if self.arity != other.arity:
+            raise ValueError("arity mismatch")
+        return GeneralRelation(self.arity, self.tuples + other.tuples)
+
+    def intersect(self, other: GeneralRelation) -> GeneralRelation:
+        """Pairwise tuple intersection."""
+        if self.arity != other.arity:
+            raise ValueError("arity mismatch")
+        out = GeneralRelation(self.arity)
+        for t1 in self.tuples:
+            for t2 in other.tuples:
+                meet = t1.intersect(t2)
+                if meet is not None:
+                    out.add(meet)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __str__(self) -> str:
+        return "\n".join(str(t) for t in self.tuples) or "(empty)"

@@ -1,0 +1,200 @@
+"""A small concrete syntax for quantifier-free Presburger formulas.
+
+Grammar (whitespace-insensitive)::
+
+    formula  :=  disjunct ('|' disjunct)*
+    disjunct :=  factor ('&' factor)*
+    factor   :=  '~' factor  |  '(' formula ')'  |  atom
+    atom     :=  linear REL linear [ 'mod' INT ]
+    REL      :=  '=' | '<' | '>' | '<=' | '>='
+    linear   :=  ['-'] term (('+' | '-') term)*
+    term     :=  INT [ '*' ] VAR  |  VAR  |  INT
+
+Examples::
+
+    3v = 5
+    2x = 3 mod 7            (2x ≡ 3 (mod 7))
+    3x < 2y + 5 & ~(x = y mod 2)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.errors import ParseError
+from repro.presburger.ast import (
+    Formula,
+    Rel,
+    comparison,
+    congruence,
+    conj,
+    disj,
+    neg,
+)
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<int>\d+)|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op><=|>=|=|<|>|\||&|~|\(|\)|\+|-|\*))"
+)
+
+_MOD_WORDS = {"mod"}
+
+
+@dataclass
+class _Token:
+    kind: str  # "int" | "name" | "op" | "mod"
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip() == "":
+                break
+            raise ParseError(f"unexpected character {text[pos]!r}", pos)
+        pos = match.end()
+        if match.group("int") is not None:
+            tokens.append(_Token("int", match.group("int"), match.start()))
+        elif match.group("name") is not None:
+            name = match.group("name")
+            kind = "mod" if name in _MOD_WORDS else "name"
+            tokens.append(_Token(kind, name, match.start()))
+        else:
+            tokens.append(_Token("op", match.group("op"), match.start()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    def peek(self) -> _Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of formula", len(self.text))
+        self.index += 1
+        return token
+
+    def expect_op(self, op: str) -> None:
+        token = self.next()
+        if token.kind != "op" or token.text != op:
+            raise ParseError(f"expected {op!r}, got {token.text!r}", token.position)
+
+    # formula := disjunct ('|' disjunct)*
+    def formula(self) -> Formula:
+        parts = [self.disjunct()]
+        while (t := self.peek()) is not None and t.kind == "op" and t.text == "|":
+            self.next()
+            parts.append(self.disjunct())
+        return disj(*parts)
+
+    def disjunct(self) -> Formula:
+        parts = [self.factor()]
+        while (t := self.peek()) is not None and t.kind == "op" and t.text == "&":
+            self.next()
+            parts.append(self.factor())
+        return conj(*parts)
+
+    def factor(self) -> Formula:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of formula", len(self.text))
+        if token.kind == "op" and token.text == "~":
+            self.next()
+            return neg(self.factor())
+        if token.kind == "op" and token.text == "(":
+            self.next()
+            inner = self.formula()
+            self.expect_op(")")
+            return inner
+        return self.atom()
+
+    def atom(self) -> Formula:
+        left_coeffs, left_const = self.linear()
+        token = self.next()
+        if token.kind != "op" or token.text not in {"=", "<", ">", "<=", ">="}:
+            raise ParseError(
+                f"expected a comparison, got {token.text!r}", token.position
+            )
+        rel = Rel(token.text)
+        right_coeffs, right_const = self.linear()
+        coeffs: dict[str, int] = dict(left_coeffs)
+        for v, k in right_coeffs.items():
+            coeffs[v] = coeffs.get(v, 0) - k
+        const = right_const - left_const
+        peeked = self.peek()
+        if peeked is not None and peeked.kind == "mod":
+            self.next()
+            mod_token = self.next()
+            if mod_token.kind != "int":
+                raise ParseError(
+                    "expected an integer modulus", mod_token.position
+                )
+            if rel is not Rel.EQ:
+                raise ParseError(
+                    "congruences use '='", mod_token.position
+                )
+            return congruence(coeffs, const, int(mod_token.text))
+        return comparison(coeffs, rel, const)
+
+    # linear := ['-'] term (('+'|'-') term)*
+    def linear(self) -> tuple[dict[str, int], int]:
+        coeffs: dict[str, int] = {}
+        const = 0
+        sign = 1
+        token = self.peek()
+        if token is not None and token.kind == "op" and token.text == "-":
+            self.next()
+            sign = -1
+        while True:
+            coeff, name = self.term()
+            if name is None:
+                const += sign * coeff
+            else:
+                coeffs[name] = coeffs.get(name, 0) + sign * coeff
+            token = self.peek()
+            if token is not None and token.kind == "op" and token.text in "+-":
+                sign = 1 if token.text == "+" else -1
+                self.next()
+                continue
+            return coeffs, const
+
+    def term(self) -> tuple[int, str | None]:
+        token = self.next()
+        if token.kind == "int":
+            value = int(token.text)
+            nxt = self.peek()
+            if nxt is not None and nxt.kind == "op" and nxt.text == "*":
+                self.next()
+                nxt = self.peek()
+            if nxt is not None and nxt.kind == "name":
+                self.next()
+                return value, nxt.text
+            return value, None
+        if token.kind == "name":
+            return 1, token.text
+        raise ParseError(f"unexpected token {token.text!r}", token.position)
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse a quantifier-free Presburger formula."""
+    parser = _Parser(text)
+    result = parser.formula()
+    leftover = parser.peek()
+    if leftover is not None:
+        raise ParseError(
+            f"trailing input starting at {leftover.text!r}", leftover.position
+        )
+    return result

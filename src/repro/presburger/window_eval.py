@@ -1,0 +1,39 @@
+"""Direct evaluation of Presburger formulas over finite windows.
+
+This is the reference semantics the compiler is differentially tested
+against: a formula's solution set restricted to a window is computed by
+plain enumeration and compared with the compiled relation's snapshot.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Mapping, Sequence
+
+from repro.presburger.ast import Formula
+
+
+def evaluate(formula: Formula, env: Mapping[str, int]) -> bool:
+    """Evaluate a formula under a variable assignment."""
+    return formula.evaluate(env)
+
+
+def solutions(
+    formula: Formula,
+    variables: Sequence[str],
+    low: int,
+    high: int,
+) -> set[tuple[int, ...]]:
+    """All satisfying assignments with every variable in ``[low, high]``.
+
+    Variables not mentioned in the formula still contribute axes, so the
+    result is directly comparable with a relation snapshot over the same
+    variable order.
+    """
+    out: set[tuple[int, ...]] = set()
+    axes = [range(low, high + 1)] * len(variables)
+    for values in itertools.product(*axes):
+        env = dict(zip(variables, values))
+        if formula.evaluate(env):
+            out.add(values)
+    return out

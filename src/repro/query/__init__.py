@@ -1,0 +1,50 @@
+"""The two-sorted first-order temporal query language (Section 4)."""
+
+from repro.query.ast import (
+    And,
+    Cmp,
+    CmpOp,
+    DataConst,
+    DataEq,
+    DataVar,
+    Exists,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    Pred,
+    Query,
+    Sort,
+    TempConst,
+    TempVar,
+    free_variables,
+)
+from repro.query.database import Database
+from repro.query.evaluator import Evaluator
+from repro.query.explain import PlanNode, explain
+from repro.query.parser import parse_query
+
+__all__ = [
+    "And",
+    "Cmp",
+    "CmpOp",
+    "DataConst",
+    "DataEq",
+    "DataVar",
+    "Database",
+    "Evaluator",
+    "Exists",
+    "Forall",
+    "Implies",
+    "Not",
+    "Or",
+    "PlanNode",
+    "Pred",
+    "Query",
+    "Sort",
+    "explain",
+    "TempConst",
+    "TempVar",
+    "free_variables",
+    "parse_query",
+]

@@ -1,0 +1,251 @@
+"""Abstract syntax for the two-sorted first-order query language (Section 4).
+
+The language has a temporal sort (interpreted over Z, with the
+interpreted order ``<=`` and the successor function, written ``t + c``)
+and a generic data sort.  Uninterpreted predicates mix temporal and data
+arguments; quantification is allowed over both sorts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Sort(Enum):
+    """The two sorts of the logic."""
+
+    TEMPORAL = "temporal"
+    DATA = "data"
+
+
+# ----------------------------------------------------------------------
+# terms
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TempVar:
+    """A temporal variable plus a successor offset: ``name + offset``."""
+
+    name: str
+    offset: int = 0
+
+    def shifted(self, delta: int) -> TempVar:
+        """Apply the successor function ``delta`` more times."""
+        return TempVar(self.name, self.offset + delta)
+
+    def __str__(self) -> str:
+        if self.offset == 0:
+            return self.name
+        sign = "+" if self.offset > 0 else "-"
+        return f"{self.name} {sign} {abs(self.offset)}"
+
+
+@dataclass(frozen=True)
+class TempConst:
+    """A temporal constant (an integer time point)."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class DataVar:
+    """A data-sort variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class DataConst:
+    """A data-sort constant."""
+
+    value: Hashable
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+TempTerm = TempVar | TempConst
+DataTerm = DataVar | DataConst
+Term = TempVar | TempConst | DataVar | DataConst
+
+
+# ----------------------------------------------------------------------
+# formulas
+# ----------------------------------------------------------------------
+
+
+class CmpOp(Enum):
+    """Comparison operators on the temporal sort."""
+
+    LE = "<="
+    GE = ">="
+    LT = "<"
+    GT = ">"
+    EQ = "="
+
+    def holds(self, left: int, right: int) -> bool:
+        """Evaluate on concrete integers."""
+        return {
+            CmpOp.LE: left <= right,
+            CmpOp.GE: left >= right,
+            CmpOp.LT: left < right,
+            CmpOp.GT: left > right,
+            CmpOp.EQ: left == right,
+        }[self]
+
+
+@dataclass(frozen=True)
+class Pred:
+    """An uninterpreted predicate atom ``name(arg1, ..., argn)``."""
+
+    name: str
+    args: tuple[Term, ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class Cmp:
+    """The interpreted comparison ``left op right`` on the temporal sort."""
+
+    left: TempTerm
+    op: CmpOp
+    right: TempTerm
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op.value} {self.right}"
+
+
+@dataclass(frozen=True)
+class DataEq:
+    """Equality on the data sort: ``left = right``."""
+
+    left: DataTerm
+    right: DataTerm
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class Not:
+    """Negation."""
+
+    body: Query
+
+    def __str__(self) -> str:
+        return f"~({self.body})"
+
+
+@dataclass(frozen=True)
+class And:
+    """Conjunction."""
+
+    parts: tuple[Query, ...]
+
+    def __str__(self) -> str:
+        return "(" + " & ".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Or:
+    """Disjunction."""
+
+    parts: tuple[Query, ...]
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Implies:
+    """Material implication."""
+
+    antecedent: Query
+    consequent: Query
+
+    def __str__(self) -> str:
+        return f"({self.antecedent} -> {self.consequent})"
+
+
+@dataclass(frozen=True)
+class Exists:
+    """Existential quantification over either sort."""
+
+    var: str
+    sort: Sort
+    body: Query
+
+    def __str__(self) -> str:
+        return f"EXISTS {self.var}. {self.body}"
+
+
+@dataclass(frozen=True)
+class Forall:
+    """Universal quantification over either sort."""
+
+    var: str
+    sort: Sort
+    body: Query
+
+    def __str__(self) -> str:
+        return f"FORALL {self.var}. {self.body}"
+
+
+Query = Pred | Cmp | DataEq | Not | And | Or | Implies | Exists | Forall
+
+
+def free_variables(query: Query) -> dict[str, Sort]:
+    """Free variables of a query, with their sorts.
+
+    Raises :class:`ValueError` when a variable is used at both sorts.
+    """
+    out: dict[str, Sort] = {}
+
+    def note(name: str, sort: Sort) -> None:
+        if out.get(name, sort) != sort:
+            raise ValueError(
+                f"variable {name!r} used at both sorts in {query}"
+            )
+        out[name] = sort
+
+    def walk(node: Query, bound: dict[str, Sort]) -> None:
+        if isinstance(node, Pred):
+            for arg in node.args:
+                if isinstance(arg, TempVar) and arg.name not in bound:
+                    note(arg.name, Sort.TEMPORAL)
+                elif isinstance(arg, DataVar) and arg.name not in bound:
+                    note(arg.name, Sort.DATA)
+        elif isinstance(node, Cmp):
+            for term in (node.left, node.right):
+                if isinstance(term, TempVar) and term.name not in bound:
+                    note(term.name, Sort.TEMPORAL)
+        elif isinstance(node, DataEq):
+            for term in (node.left, node.right):
+                if isinstance(term, DataVar) and term.name not in bound:
+                    note(term.name, Sort.DATA)
+        elif isinstance(node, Not):
+            walk(node.body, bound)
+        elif isinstance(node, (And, Or)):
+            for part in node.parts:
+                walk(part, bound)
+        elif isinstance(node, Implies):
+            walk(node.antecedent, bound)
+            walk(node.consequent, bound)
+        elif isinstance(node, (Exists, Forall)):
+            walk(node.body, {**bound, node.var: node.sort})
+        else:  # pragma: no cover - exhaustive
+            raise TypeError(f"unexpected query node: {node!r}")
+
+    walk(query, {})
+    return out

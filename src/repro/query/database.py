@@ -1,0 +1,137 @@
+"""The temporal database: a catalog of named generalized relations.
+
+This is the user-facing entry point for Section 4's query language:
+register relations, then run first-order queries (as text or as AST
+values) against them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.core.errors import EvaluationError, SchemaError
+from repro.core.negation import DEFAULT_MAX_EXTENSIONS
+from repro.core.normalize import DEFAULT_MAX_TUPLES
+from repro.core.relations import GeneralizedRelation, Schema
+from repro.query.ast import Query
+from repro.query.evaluator import Evaluator
+from repro.query.parser import parse_query
+
+
+class Database:
+    """A collection of named generalized relations, plus query evaluation.
+
+    Example::
+
+        db = Database()
+        db.create("Train", temporal=["dep", "arr"], data=["service"])
+        db.relation("Train").add_tuple(
+            ["2 + 60n", "80 + 60n"], "dep = arr - 78", ["slow"]
+        )
+        assert db.ask('EXISTS d. EXISTS a. Train(d, a, "slow") & d >= 60')
+    """
+
+    def __init__(
+        self,
+        max_tuples: int = DEFAULT_MAX_TUPLES,
+        max_extensions: int = DEFAULT_MAX_EXTENSIONS,
+    ) -> None:
+        self._relations: dict[str, GeneralizedRelation] = {}
+        self.max_tuples = max_tuples
+        self.max_extensions = max_extensions
+
+    # ------------------------------------------------------------------
+    # catalog management
+    # ------------------------------------------------------------------
+
+    def create(
+        self,
+        name: str,
+        temporal: list[str] = (),
+        data: list[str] = (),
+    ) -> GeneralizedRelation:
+        """Create and register an empty relation."""
+        if name in self._relations:
+            raise SchemaError(f"relation {name!r} already exists")
+        rel = GeneralizedRelation.empty(Schema.make(temporal, data))
+        self._relations[name] = rel
+        return rel
+
+    def register(self, name: str, relation: GeneralizedRelation) -> None:
+        """Register an existing relation under ``name`` (replacing any)."""
+        self._relations[name] = relation
+
+    def relation(self, name: str) -> GeneralizedRelation:
+        """Look up a relation by name."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise EvaluationError(f"unknown relation {name!r}") from None
+
+    def drop(self, name: str) -> None:
+        """Remove a relation from the catalog."""
+        if name not in self._relations:
+            raise EvaluationError(f"unknown relation {name!r}")
+        del self._relations[name]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Registered relation names, in insertion order."""
+        return tuple(self._relations)
+
+    def schemas(self) -> dict[str, Schema]:
+        """Name-to-schema mapping (what the query parser needs)."""
+        return {name: rel.schema for name, rel in self._relations.items()}
+
+    def active_data_domain(self) -> set[Hashable]:
+        """All data values stored anywhere in the database."""
+        out: set[Hashable] = set()
+        for rel in self._relations.values():
+            out |= rel.active_data_domain()
+        return out
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+
+    def parse(self, text: str) -> Query:
+        """Parse a query against the catalog's schemas."""
+        return parse_query(text, self.schemas())
+
+    def query(self, query: str | Query) -> GeneralizedRelation:
+        """Evaluate a query; the result schema is the free variables."""
+        if isinstance(query, str):
+            query = self.parse(query)
+        evaluator = Evaluator(
+            dict(self._relations),
+            max_tuples=self.max_tuples,
+            max_extensions=self.max_extensions,
+        )
+        return evaluator.evaluate(query)
+
+    def ask(self, query: str | Query) -> bool:
+        """Evaluate a closed (yes/no) query — Theorem 4.1's setting."""
+        if isinstance(query, str):
+            query = self.parse(query)
+        evaluator = Evaluator(
+            dict(self._relations),
+            max_tuples=self.max_tuples,
+            max_extensions=self.max_extensions,
+        )
+        return evaluator.ask(query)
+
+    def explain(self, query: str | Query):
+        """Evaluate ``query`` while recording its algebraic plan.
+
+        Returns a :class:`repro.query.explain.PlanNode`; ``str()``
+        renders the annotated operator tree.
+        """
+        from repro.query.explain import explain as _explain
+
+        return _explain(self, query)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __repr__(self) -> str:
+        return f"<Database relations={list(self._relations)}>"

@@ -1,0 +1,423 @@
+"""Evaluating first-order queries through the generalized algebra.
+
+The evaluator implements the classical translation from relational
+calculus to relational algebra, with the paper's twist: the temporal
+sort is handled *fully symbolically* — quantifiers over time range over
+all of Z, negation complements against Z^k — so queries about infinite
+extensions are decided exactly.  The data sort uses active-domain
+semantics (the database's data values plus the query's data constants),
+the standard choice for safe calculus evaluation.
+
+Translation table:
+
+=====================  ====================================================
+``P(t + c, ..., d)``   stored relation, columns selected/shifted/renamed
+``t1 <= t2 + c``       a two-column universe relation with one constraint
+``x = y`` (data)       diagonal over the active domain
+``&``                  natural join
+``|``                  union after schema alignment
+``~``                  complement against the universe of the free schema
+``EXISTS``             projection
+``FORALL``             ``~ EXISTS ~``
+=====================  ====================================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.core import algebra
+from repro.core.errors import EvaluationError
+from repro.core.negation import DEFAULT_MAX_EXTENSIONS
+from repro.core.normalize import DEFAULT_MAX_TUPLES
+from repro.core.relations import GeneralizedRelation, Schema
+from repro.core.tuples import GeneralizedTuple
+from repro.query.ast import (
+    And,
+    Cmp,
+    DataConst,
+    DataEq,
+    DataVar,
+    Exists,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    Pred,
+    Query,
+    Sort,
+    TempConst,
+    TempVar,
+    free_variables,
+)
+
+
+def _with_offset(column: str, delta: int) -> str:
+    """Render ``column + delta`` in the constraint parser's syntax."""
+    if delta == 0:
+        return column
+    if delta > 0:
+        return f"{column} + {delta}"
+    return f"{column} - {-delta}"
+
+
+def _true_relation() -> GeneralizedRelation:
+    out = GeneralizedRelation.empty(Schema(()))
+    out.add(GeneralizedTuple.make([]))
+    return out
+
+
+def _false_relation() -> GeneralizedRelation:
+    return GeneralizedRelation.empty(Schema(()))
+
+
+def _truth(value: bool) -> GeneralizedRelation:
+    return _true_relation() if value else _false_relation()
+
+
+def _canonical_order(relation: GeneralizedRelation) -> GeneralizedRelation:
+    """Reorder columns to (sorted temporal, sorted data)."""
+    names = sorted(relation.schema.temporal_names) + sorted(
+        relation.schema.data_names
+    )
+    if names == list(relation.schema.names):
+        return relation
+    return algebra.project(relation, names)
+
+
+class Evaluator:
+    """Compiles and runs queries against a set of named relations.
+
+    Parameters mirror the algebra's safety limits: ``max_tuples`` caps
+    normalization blow-up, ``max_extensions`` caps the free-extension
+    enumeration inside complements (negation is inherently exponential
+    in the schema size; Theorem 3.6).
+    """
+
+    def __init__(
+        self,
+        relations: dict[str, GeneralizedRelation],
+        extra_data_constants: set[Hashable] | None = None,
+        max_tuples: int = DEFAULT_MAX_TUPLES,
+        max_extensions: int = DEFAULT_MAX_EXTENSIONS,
+    ) -> None:
+        self.relations = relations
+        self.max_tuples = max_tuples
+        self.max_extensions = max_extensions
+        domain: set[Hashable] = set()
+        for rel in relations.values():
+            domain |= rel.active_data_domain()
+        if extra_data_constants:
+            domain |= extra_data_constants
+        self.data_domain = domain
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def evaluate(self, query: Query) -> GeneralizedRelation:
+        """Evaluate a query; the result's schema is its free variables.
+
+        Temporal variables become temporal attributes (sorted), data
+        variables data attributes (sorted).  A closed query yields a
+        0-ary relation: nonempty means *true*.
+
+        Data constants mentioned only in the query join the active
+        domain for this (and, if the evaluator is reused, subsequent)
+        evaluations — the standard active-domain convention.
+        """
+        constants = _data_constants(query)
+        if not constants <= self.data_domain:
+            self.data_domain = self.data_domain | constants
+        return _canonical_order(self._walk(query))
+
+    def ask(self, query: Query) -> bool:
+        """Evaluate a closed (yes/no) query."""
+        if free_variables(query):
+            raise EvaluationError(
+                f"ask() needs a closed query; free: {free_variables(query)}"
+            )
+        return not self.evaluate(query).is_empty()
+
+    # ------------------------------------------------------------------
+    # translation
+    # ------------------------------------------------------------------
+
+    def _walk(self, node: Query) -> GeneralizedRelation:
+        if isinstance(node, Pred):
+            return self._pred(node)
+        if isinstance(node, Cmp):
+            return self._cmp(node)
+        if isinstance(node, DataEq):
+            return self._data_eq(node)
+        if isinstance(node, And):
+            out = _true_relation()
+            for part in node.parts:
+                out = algebra.join(out, self._walk(part))
+            return out
+        if isinstance(node, Or):
+            parts = [self._walk(part) for part in node.parts]
+            return self._aligned_union(parts)
+        if isinstance(node, Implies):
+            return self._walk(
+                Or((Not(node.antecedent), node.consequent))
+            )
+        if isinstance(node, Not):
+            return self._negation(node.body)
+        if isinstance(node, Exists):
+            return self._exists(node)
+        if isinstance(node, Forall):
+            rewritten = Not(Exists(node.var, node.sort, Not(node.body)))
+            return self._walk(rewritten)
+        raise TypeError(f"unexpected query node: {node!r}")  # pragma: no cover
+
+    def _pred(self, node: Pred) -> GeneralizedRelation:
+        stored = self.relations.get(node.name)
+        if stored is None:
+            raise EvaluationError(f"unknown predicate {node.name!r}")
+        if len(node.args) != len(stored.schema):
+            raise EvaluationError(
+                f"{node.name} expects {len(stored.schema)} arguments, "
+                f"got {len(node.args)}"
+            )
+        # Rename every column to a unique positional name first.
+        positional = {
+            attr.name: f"_p{i}"
+            for i, attr in enumerate(stored.schema.attributes)
+        }
+        rel = algebra.rename(stored, positional)
+        temporal_groups: dict[str, list[tuple[str, int]]] = {}
+        data_groups: dict[str, list[str]] = {}
+        drop: list[str] = []
+        for i, (arg, attr) in enumerate(
+            zip(node.args, stored.schema.attributes)
+        ):
+            col = f"_p{i}"
+            if attr.temporal:
+                if isinstance(arg, TempConst):
+                    rel = algebra.select(rel, f"{col} = {arg.value}")
+                    drop.append(col)
+                elif isinstance(arg, TempVar):
+                    temporal_groups.setdefault(arg.name, []).append(
+                        (col, arg.offset)
+                    )
+                else:
+                    raise EvaluationError(
+                        f"data term {arg} in temporal position of {node.name}"
+                    )
+            else:
+                if isinstance(arg, DataConst):
+                    rel = algebra.select_data(rel, col, arg.value)
+                    drop.append(col)
+                elif isinstance(arg, DataVar):
+                    data_groups.setdefault(arg.name, []).append(col)
+                else:
+                    raise EvaluationError(
+                        f"temporal term {arg} in data position of {node.name}"
+                    )
+        rename_map: dict[str, str] = {}
+        for var, occurrences in temporal_groups.items():
+            first_col, first_offset = occurrences[0]
+            for col, offset in occurrences[1:]:
+                rel = algebra.select(
+                    rel,
+                    f"{col} = {_with_offset(first_col, offset - first_offset)}",
+                )
+                drop.append(col)
+            if first_offset != 0:
+                rel = algebra.shift_column(rel, first_col, -first_offset)
+            rename_map[first_col] = var
+        for var, columns in data_groups.items():
+            first_col = columns[0]
+            for col in columns[1:]:
+                rel = algebra.select_data_equal(rel, first_col, col)
+                drop.append(col)
+            rename_map[first_col] = var
+        keep = [name for name in rel.schema.names if name not in drop]
+        rel = algebra.project(rel, keep)
+        return algebra.rename(rel, rename_map)
+
+    def _cmp(self, node: Cmp) -> GeneralizedRelation:
+        left, right = node.left, node.right
+        if isinstance(left, TempConst) and isinstance(right, TempConst):
+            return _truth(node.op.holds(left.value, right.value))
+        if isinstance(left, TempVar) and isinstance(right, TempVar):
+            if left.name == right.name:
+                # The variable stays free: a tautology/contradiction on
+                # one variable is the unary universe or the unary empty
+                # relation, never a 0-ary truth value.
+                schema = Schema.make(temporal=[left.name])
+                if node.op.holds(left.offset, right.offset):
+                    return GeneralizedRelation.universe(schema)
+                return GeneralizedRelation.empty(schema)
+            universe = GeneralizedRelation.universe(
+                Schema.make(temporal=[left.name, right.name])
+            )
+            shift = right.offset - left.offset
+            return algebra.select(
+                universe,
+                f"{left.name} {node.op.value} "
+                f"{_with_offset(right.name, shift)}",
+            )
+        if isinstance(left, TempVar):
+            bound = right.value - left.offset
+            universe = GeneralizedRelation.universe(
+                Schema.make(temporal=[left.name])
+            )
+            return algebra.select(
+                universe, f"{left.name} {node.op.value} {bound}"
+            )
+        # constant op variable: flip.
+        flipped = {"<=": ">=", ">=": "<=", "<": ">", ">": "<", "=": "="}
+        bound = left.value - right.offset
+        universe = GeneralizedRelation.universe(
+            Schema.make(temporal=[right.name])
+        )
+        return algebra.select(
+            universe, f"{right.name} {flipped[node.op.value]} {bound}"
+        )
+
+    def _data_eq(self, node: DataEq) -> GeneralizedRelation:
+        left, right = node.left, node.right
+        if isinstance(left, DataConst) and isinstance(right, DataConst):
+            return _truth(left.value == right.value)
+        if isinstance(left, DataVar) and isinstance(right, DataVar):
+            if left.name == right.name:
+                # Trivial self-equality still binds the variable to the
+                # active domain (its free-variable schema must survive).
+                schema = Schema.make(data=[left.name])
+                out = GeneralizedRelation.empty(schema)
+                for value in self.data_domain:
+                    out.add(GeneralizedTuple.make([], data=(value,)))
+                return out
+            schema = Schema.make(data=sorted([left.name, right.name]))
+            out = GeneralizedRelation.empty(schema)
+            for value in self.data_domain:
+                out.add(GeneralizedTuple.make([], data=(value, value)))
+            return out
+        var = left if isinstance(left, DataVar) else right
+        const = right if isinstance(right, DataConst) else left
+        schema = Schema.make(data=[var.name])
+        out = GeneralizedRelation.empty(schema)
+        out.add(GeneralizedTuple.make([], data=(const.value,)))
+        return out
+
+    def _negation(self, body: Query) -> GeneralizedRelation:
+        """Evaluate ``~body``, pushing the negation inward first.
+
+        Complement cost is exponential in the schema width (the number
+        of free-extension combinations, Appendix A.6), so complementing
+        a wide conjunction directly is catastrophic.  De Morgan and the
+        implication/double-negation rules move negations down to small
+        subformulas, where complements stay narrow; only atoms and
+        quantifiers are complemented as relations.
+        """
+        if isinstance(body, Not):
+            return self._walk(body.body)
+        if isinstance(body, And):
+            return self._walk(Or(tuple(Not(p) for p in body.parts)))
+        if isinstance(body, Or):
+            return self._walk(And(tuple(Not(p) for p in body.parts)))
+        if isinstance(body, Implies):
+            return self._walk(
+                And((body.antecedent, Not(body.consequent)))
+            )
+        if isinstance(body, Forall):
+            return self._walk(Exists(body.var, body.sort, Not(body.body)))
+        # Atoms and existential quantifiers: complement the relation.
+        return self._complement(self._walk(body))
+
+    def _complement(self, rel: GeneralizedRelation) -> GeneralizedRelation:
+        data_domains = {
+            name: sorted(self.data_domain, key=repr)
+            for name in rel.schema.data_names
+        }
+        return algebra.complement(
+            rel,
+            data_domains=data_domains or None,
+            max_tuples=self.max_tuples,
+            max_extensions=self.max_extensions,
+        )
+
+    def _exists(self, node: Exists) -> GeneralizedRelation:
+        body = self._walk(node.body)
+        if not body.schema.has(node.var):
+            # Vacuous quantification: over Z always harmless; over the
+            # data sort it needs a nonempty active domain.
+            if node.sort is Sort.DATA and not self.data_domain:
+                return GeneralizedRelation.empty(body.schema)
+            return body
+        keep = [name for name in body.schema.names if name != node.var]
+        return algebra.project(body, keep)
+
+    def _aligned_union(
+        self, parts: list[GeneralizedRelation]
+    ) -> GeneralizedRelation:
+        """Union of relations over possibly different free variables.
+
+        Each part is padded with universal columns for the variables it
+        lacks: temporal variables range over Z, data variables over the
+        active domain.
+        """
+        temporal: dict[str, None] = {}
+        data: dict[str, None] = {}
+        for part in parts:
+            for name in part.schema.temporal_names:
+                temporal[name] = None
+            for name in part.schema.data_names:
+                data[name] = None
+        order = sorted(temporal) + sorted(data)
+        aligned: list[GeneralizedRelation] = []
+        for part in parts:
+            rel = part
+            for name in temporal:
+                if not rel.schema.has(name):
+                    rel = algebra.product(
+                        rel,
+                        GeneralizedRelation.universe(
+                            Schema.make(temporal=[name])
+                        ),
+                    )
+            for name in data:
+                if not rel.schema.has(name):
+                    domain_rel = GeneralizedRelation.empty(
+                        Schema.make(data=[name])
+                    )
+                    for value in self.data_domain:
+                        domain_rel.add(
+                            GeneralizedTuple.make([], data=(value,))
+                        )
+                    rel = algebra.product(rel, domain_rel)
+            aligned.append(algebra.project(rel, order))
+        out = aligned[0]
+        for rel in aligned[1:]:
+            out = algebra.union(out, rel)
+        return out
+
+
+def _data_constants(query: Query) -> set[Hashable]:
+    """All data constants mentioned in a query."""
+    out: set[Hashable] = set()
+
+    def walk(node: Query) -> None:
+        if isinstance(node, Pred):
+            for arg in node.args:
+                if isinstance(arg, DataConst):
+                    out.add(arg.value)
+        elif isinstance(node, DataEq):
+            for term in (node.left, node.right):
+                if isinstance(term, DataConst):
+                    out.add(term.value)
+        elif isinstance(node, Not):
+            walk(node.body)
+        elif isinstance(node, (And, Or)):
+            for part in node.parts:
+                walk(part)
+        elif isinstance(node, Implies):
+            walk(node.antecedent)
+            walk(node.consequent)
+        elif isinstance(node, (Exists, Forall)):
+            walk(node.body)
+
+    walk(query)
+    return out

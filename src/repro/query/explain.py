@@ -1,0 +1,133 @@
+"""Query plans: how a first-order query maps onto the algebra.
+
+``explain(db, query)`` mirrors the evaluator's translation and produces
+an operator tree annotated with the *actual* intermediate sizes (tuple
+counts and schema widths) — generalized relations are finitely
+represented, so "run it and look" is cheap and honest at the scale this
+engine targets.  The output doubles as documentation of the classical
+calculus-to-algebra translation (Theorem 4.1's evaluation strategy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.relations import GeneralizedRelation
+from repro.query.ast import (
+    And,
+    Cmp,
+    DataEq,
+    Exists,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    Pred,
+    Query,
+    Sort,
+)
+from repro.query.database import Database
+from repro.query.evaluator import Evaluator
+
+
+@dataclass
+class PlanNode:
+    """One step of the algebraic plan."""
+
+    operator: str
+    detail: str
+    out_tuples: int
+    out_schema: str
+    children: list["PlanNode"] = field(default_factory=list)
+
+    def render(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        lines = [
+            f"{pad}{self.operator:<12} {self.detail}  "
+            f"-> {self.out_tuples} tuple(s) over {self.out_schema}"
+        ]
+        for child in self.children:
+            lines.extend(child.render(indent + 1))
+        return lines
+
+    def __str__(self) -> str:
+        return "\n".join(self.render())
+
+
+class _ExplainingEvaluator(Evaluator):
+    """Evaluator subclass that records a plan tree as it walks."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._stack: list[list[PlanNode]] = [[]]
+
+    def _walk(self, node: Query) -> GeneralizedRelation:
+        self._stack.append([])
+        result = super()._walk(node)
+        children = self._stack.pop()
+        plan = PlanNode(
+            operator=_operator_name(node),
+            detail=_operator_detail(node),
+            out_tuples=len(result),
+            out_schema=str(result.schema),
+            children=children,
+        )
+        self._stack[-1].append(plan)
+        return result
+
+    @property
+    def plan(self) -> PlanNode:
+        return self._stack[0][-1]
+
+
+def _operator_name(node: Query) -> str:
+    return {
+        Pred: "scan",
+        Cmp: "compare",
+        DataEq: "data-eq",
+        And: "join",
+        Or: "union",
+        Not: "complement",
+        Implies: "implies",
+        Exists: "project",
+        Forall: "forall",
+    }[type(node)]
+
+
+def _operator_detail(node: Query) -> str:
+    if isinstance(node, Pred):
+        return str(node)
+    if isinstance(node, (Cmp, DataEq)):
+        return str(node)
+    if isinstance(node, And):
+        return f"{len(node.parts)}-way natural join"
+    if isinstance(node, Or):
+        return f"{len(node.parts)}-way aligned union"
+    if isinstance(node, Not):
+        return "negation pushed inward, then Z-complement at atoms"
+    if isinstance(node, Implies):
+        return "rewritten to ~antecedent | consequent"
+    if isinstance(node, Exists):
+        sort = "Z" if node.sort is Sort.TEMPORAL else "active domain"
+        return f"∃{node.var} over {sort}"
+    if isinstance(node, Forall):
+        return f"∀{node.var} as ~∃~"
+    return ""
+
+
+def explain(db: Database, query: str | Query) -> PlanNode:
+    """Evaluate a query while recording its algebraic plan.
+
+    Returns the root :class:`PlanNode`; ``str()`` renders the tree.
+    Note the plan reflects the *rewritten* query (implications expanded,
+    negations pushed inward, ∀ as ¬∃¬), which is exactly what runs.
+    """
+    if isinstance(query, str):
+        query = db.parse(query)
+    evaluator = _ExplainingEvaluator(
+        {name: db.relation(name) for name in db.names},
+        max_tuples=db.max_tuples,
+        max_extensions=db.max_extensions,
+    )
+    evaluator.evaluate(query)
+    return evaluator.plan

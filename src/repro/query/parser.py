@@ -1,0 +1,444 @@
+"""Parser for the two-sorted first-order query language.
+
+Concrete syntax (case-insensitive keywords)::
+
+    query  :=  'EXISTS' var '.' query
+            |  'FORALL' var '.' query
+            |  implication
+    implication := disjunction [ '->' query ]
+    disjunction := conjunction ('|' conjunction)*
+    conjunction := factor ('&' factor)*
+    factor :=  '~' factor | '(' query ')' | atom
+    atom   :=  NAME '(' term (',' term)* ')'        -- predicate
+            |  term REL term                        -- comparison
+    term   :=  NAME [ ('+' | '-') INT ]  |  INT  |  STRING
+    REL    :=  '<=' | '>=' | '=' | '!=' | '<' | '>'
+
+Example (the paper's Example 4.1)::
+
+    EXISTS x. EXISTS y. EXISTS t1. EXISTS t2. FORALL t3. FORALL t4. FORALL z.
+      (Perform(t1, t2, x, "task2") & t1 <= t3 & t3 <= t4 & t4 <= t2
+         & t1 + 5 <= t2)
+      -> ~Perform(t3, t4, y, z)
+
+Variable sorts are inferred: a variable used in a temporal argument
+position of a predicate (per the supplied schemas) or in a comparison is
+temporal; one used in a data position or equated with a string constant
+is data.  Conflicting uses raise :class:`ParseError`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.errors import ParseError
+from repro.core.relations import Schema
+from repro.query.ast import (
+    And,
+    Cmp,
+    CmpOp,
+    DataConst,
+    DataEq,
+    DataVar,
+    Exists,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    Pred,
+    Query,
+    Sort,
+    TempConst,
+    TempVar,
+    Term,
+)
+
+_TOKEN_RE = re.compile(
+    r"""\s*(?:
+        (?P<string>"[^"]*"|'[^']*')
+      | (?P<int>-?\d+)
+      | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+      | (?P<op>->|<=|>=|!=|=|<|>|\(|\)|,|\.|&|\||~|\+|-)
+    )""",
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"exists", "forall"}
+
+
+@dataclass
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+@dataclass
+class _RawTerm:
+    """A term before sort resolution."""
+
+    var: str | None = None
+    int_value: int | None = None
+    str_value: str | None = None
+    offset: int = 0
+
+
+@dataclass
+class _RawPred:
+    name: str
+    args: list[_RawTerm]
+
+
+@dataclass
+class _RawCmp:
+    left: _RawTerm
+    op: CmpOp
+    right: _RawTerm
+
+
+@dataclass
+class _RawNot:
+    body: object
+
+
+@dataclass
+class _RawAnd:
+    parts: list
+
+
+@dataclass
+class _RawOr:
+    parts: list
+
+
+@dataclass
+class _RawImplies:
+    antecedent: object
+    consequent: object
+
+
+@dataclass
+class _RawQuant:
+    exists: bool
+    var: str
+    body: object
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip() == "":
+                break
+            raise ParseError(f"unexpected character {text[pos]!r}", pos)
+        pos = match.end()
+        if match.group("string") is not None:
+            tokens.append(
+                _Token("string", match.group("string")[1:-1], match.start())
+            )
+        elif match.group("int") is not None:
+            tokens.append(_Token("int", match.group("int"), match.start()))
+        elif match.group("name") is not None:
+            name = match.group("name")
+            kind = "keyword" if name.lower() in _KEYWORDS else "name"
+            tokens.append(_Token(kind, name, match.start()))
+        else:
+            tokens.append(_Token("op", match.group("op"), match.start()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    def peek(self) -> _Token | None:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of query", len(self.text))
+        self.index += 1
+        return token
+
+    def expect(self, text: str) -> None:
+        token = self.next()
+        if token.text != text:
+            raise ParseError(
+                f"expected {text!r}, got {token.text!r}", token.position
+            )
+
+    def query(self):
+        token = self.peek()
+        if token is not None and token.kind == "keyword":
+            self.next()
+            var_token = self.next()
+            if var_token.kind != "name":
+                raise ParseError(
+                    "expected a variable after quantifier", var_token.position
+                )
+            self.expect(".")
+            body = self.query()
+            return _RawQuant(
+                exists=token.text.lower() == "exists",
+                var=var_token.text,
+                body=body,
+            )
+        return self.implication()
+
+    def implication(self):
+        left = self.disjunction()
+        token = self.peek()
+        if token is not None and token.kind == "op" and token.text == "->":
+            self.next()
+            right = self.query()
+            return _RawImplies(left, right)
+        return left
+
+    def disjunction(self):
+        parts = [self.conjunction()]
+        while (t := self.peek()) is not None and t.text == "|":
+            self.next()
+            parts.append(self.conjunction())
+        return parts[0] if len(parts) == 1 else _RawOr(parts)
+
+    def conjunction(self):
+        parts = [self.factor()]
+        while (t := self.peek()) is not None and t.text == "&":
+            self.next()
+            parts.append(self.factor())
+        return parts[0] if len(parts) == 1 else _RawAnd(parts)
+
+    def factor(self):
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of query", len(self.text))
+        if token.text == "~":
+            self.next()
+            return _RawNot(self.factor())
+        if token.text == "(":
+            # Could be a parenthesised query; terms never start with "(".
+            self.next()
+            inner = self.query()
+            self.expect(")")
+            return inner
+        return self.atom()
+
+    def atom(self):
+        token = self.peek()
+        if token is not None and token.kind == "name":
+            following = (
+                self.tokens[self.index + 1]
+                if self.index + 1 < len(self.tokens)
+                else None
+            )
+            if following is not None and following.text == "(":
+                name = self.next().text
+                self.expect("(")
+                args = [self.term()]
+                while (t := self.peek()) is not None and t.text == ",":
+                    self.next()
+                    args.append(self.term())
+                self.expect(")")
+                return _RawPred(name, args)
+        left = self.term()
+        op_token = self.next()
+        if op_token.text not in {"<=", ">=", "=", "<", ">", "!="}:
+            raise ParseError(
+                f"expected a comparison, got {op_token.text!r}",
+                op_token.position,
+            )
+        right = self.term()
+        if op_token.text == "!=":
+            # Sugar: a != b  ==  ~(a = b), on either sort.
+            return _RawNot(_RawCmp(left, CmpOp.EQ, right))
+        return _RawCmp(left, CmpOp(op_token.text), right)
+
+    def term(self) -> _RawTerm:
+        token = self.next()
+        if token.kind == "string":
+            return _RawTerm(str_value=token.text)
+        if token.kind == "int":
+            value = int(token.text)
+            offset = self._optional_offset()
+            return _RawTerm(int_value=value + offset)
+        if token.kind == "name":
+            return _RawTerm(var=token.text, offset=self._optional_offset())
+        raise ParseError(f"unexpected token {token.text!r}", token.position)
+
+    def _optional_offset(self) -> int:
+        token = self.peek()
+        if token is not None and token.kind == "op" and token.text in "+-":
+            sign = 1 if token.text == "+" else -1
+            self.next()
+            int_token = self.next()
+            if int_token.kind != "int":
+                raise ParseError(
+                    "expected an integer offset", int_token.position
+                )
+            return sign * int(int_token.text)
+        return 0
+
+
+# ----------------------------------------------------------------------
+# sort resolution
+# ----------------------------------------------------------------------
+
+
+class _SortContext:
+    def __init__(self, schemas: dict[str, Schema]) -> None:
+        self.schemas = schemas
+        self.sorts: dict[str, Sort] = {}
+
+    def note(self, var: str, sort: Sort) -> None:
+        existing = self.sorts.get(var)
+        if existing is not None and existing != sort:
+            raise ParseError(
+                f"variable {var!r} used at both temporal and data sort"
+            )
+        self.sorts[var] = sort
+
+    def collect(self, node) -> None:
+        if isinstance(node, _RawPred):
+            schema = self.schemas.get(node.name)
+            if schema is None:
+                raise ParseError(f"unknown predicate {node.name!r}")
+            if len(node.args) != len(schema):
+                raise ParseError(
+                    f"{node.name} expects {len(schema)} arguments, got "
+                    f"{len(node.args)}"
+                )
+            for arg, attr in zip(node.args, schema.attributes):
+                if arg.var is not None:
+                    self.note(
+                        arg.var,
+                        Sort.TEMPORAL if attr.temporal else Sort.DATA,
+                    )
+                elif arg.str_value is not None and attr.temporal:
+                    raise ParseError(
+                        f"string constant in temporal position of {node.name}"
+                    )
+                elif arg.int_value is not None and not attr.temporal:
+                    # ints are fine as data constants too; nothing to note
+                    pass
+        elif isinstance(node, _RawCmp):
+            for side in (node.left, node.right):
+                if side.str_value is not None:
+                    # data equality: both variable sides are data-sorted
+                    if node.op is not CmpOp.EQ:
+                        raise ParseError(
+                            "data terms admit only equality comparisons"
+                        )
+                    for other in (node.left, node.right):
+                        if other.var is not None:
+                            self.note(other.var, Sort.DATA)
+                    return
+        elif isinstance(node, _RawNot):
+            self.collect(node.body)
+        elif isinstance(node, (_RawAnd, _RawOr)):
+            for part in node.parts:
+                self.collect(part)
+        elif isinstance(node, _RawImplies):
+            self.collect(node.antecedent)
+            self.collect(node.consequent)
+        elif isinstance(node, _RawQuant):
+            self.collect(node.body)
+
+    def second_pass(self, node) -> None:
+        """Temporal-default pass: comparisons force temporal sorts."""
+        if isinstance(node, _RawCmp):
+            if any(
+                side.str_value is not None for side in (node.left, node.right)
+            ):
+                return
+            sides = [s for s in (node.left, node.right) if s.var is not None]
+            if any(self.sorts.get(s.var) == Sort.DATA for s in sides):
+                return  # resolved as data equality later
+            for side in sides:
+                self.note(side.var, Sort.TEMPORAL)
+        elif isinstance(node, _RawNot):
+            self.second_pass(node.body)
+        elif isinstance(node, (_RawAnd, _RawOr)):
+            for part in node.parts:
+                self.second_pass(part)
+        elif isinstance(node, _RawImplies):
+            self.second_pass(node.antecedent)
+            self.second_pass(node.consequent)
+        elif isinstance(node, _RawQuant):
+            self.second_pass(node.body)
+
+    def sort_of(self, var: str) -> Sort:
+        return self.sorts.get(var, Sort.TEMPORAL)
+
+
+def _resolve_term(raw: _RawTerm, ctx: _SortContext, temporal: bool) -> Term:
+    if raw.str_value is not None:
+        return DataConst(raw.str_value)
+    if raw.int_value is not None:
+        return TempConst(raw.int_value) if temporal else DataConst(raw.int_value)
+    if temporal:
+        return TempVar(raw.var, raw.offset)
+    if raw.offset != 0:
+        raise ParseError(f"successor applied to data variable {raw.var!r}")
+    return DataVar(raw.var)
+
+
+def _resolve(node, ctx: _SortContext) -> Query:
+    if isinstance(node, _RawPred):
+        schema = ctx.schemas[node.name]
+        args = tuple(
+            _resolve_term(arg, ctx, attr.temporal)
+            for arg, attr in zip(node.args, schema.attributes)
+        )
+        return Pred(node.name, args)
+    if isinstance(node, _RawCmp):
+        is_data = any(
+            side.str_value is not None
+            or (side.var is not None and ctx.sorts.get(side.var) == Sort.DATA)
+            for side in (node.left, node.right)
+        )
+        if is_data:
+            if node.op is not CmpOp.EQ:
+                raise ParseError("data terms admit only equality comparisons")
+            left = _resolve_term(node.left, ctx, temporal=False)
+            right = _resolve_term(node.right, ctx, temporal=False)
+            return DataEq(left, right)
+        left = _resolve_term(node.left, ctx, temporal=True)
+        right = _resolve_term(node.right, ctx, temporal=True)
+        return Cmp(left, node.op, right)
+    if isinstance(node, _RawNot):
+        return Not(_resolve(node.body, ctx))
+    if isinstance(node, _RawAnd):
+        return And(tuple(_resolve(p, ctx) for p in node.parts))
+    if isinstance(node, _RawOr):
+        return Or(tuple(_resolve(p, ctx) for p in node.parts))
+    if isinstance(node, _RawImplies):
+        return Implies(
+            _resolve(node.antecedent, ctx), _resolve(node.consequent, ctx)
+        )
+    if isinstance(node, _RawQuant):
+        body = _resolve(node.body, ctx)
+        sort = ctx.sort_of(node.var)
+        cls = Exists if node.exists else Forall
+        return cls(node.var, sort, body)
+    raise TypeError(f"unexpected raw node {node!r}")  # pragma: no cover
+
+
+def parse_query(text: str, schemas: dict[str, Schema]) -> Query:
+    """Parse a query against the given predicate schemas."""
+    parser = _Parser(text)
+    raw = parser.query()
+    leftover = parser.peek()
+    if leftover is not None:
+        raise ParseError(
+            f"trailing input starting at {leftover.text!r}", leftover.position
+        )
+    ctx = _SortContext(schemas)
+    ctx.collect(raw)
+    ctx.second_pass(raw)
+    return _resolve(raw, ctx)

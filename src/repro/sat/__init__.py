@@ -1,0 +1,31 @@
+"""3-SAT substrate for Theorem 3.6 (NP-completeness of complement)."""
+
+from repro.sat.dpll import solve
+from repro.sat.reduction import (
+    complement_is_nonempty,
+    instance_to_relation,
+    point_to_assignment,
+    solve_via_complement,
+)
+from repro.sat.threesat import (
+    Clause,
+    Instance,
+    Literal,
+    clause,
+    instance,
+    random_3sat,
+)
+
+__all__ = [
+    "Clause",
+    "Instance",
+    "Literal",
+    "clause",
+    "complement_is_nonempty",
+    "instance",
+    "instance_to_relation",
+    "point_to_assignment",
+    "random_3sat",
+    "solve",
+    "solve_via_complement",
+]

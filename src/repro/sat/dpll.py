@@ -1,0 +1,80 @@
+"""A DPLL SAT solver: the reference decision procedure.
+
+Used to cross-check the Theorem 3.6 reduction: the generalized-database
+route (nonemptiness of complement) must agree with a conventional SAT
+solver on every instance.
+"""
+
+from __future__ import annotations
+
+from repro.sat.threesat import Instance
+
+
+def solve(instance: Instance) -> dict[int, bool] | None:
+    """Return a satisfying assignment or ``None``.
+
+    Plain DPLL with unit propagation and pure-literal elimination;
+    branching picks the most frequent unassigned variable.  Unassigned
+    variables in a satisfying partial assignment are completed with
+    ``False``.
+    """
+    clauses = [list(c.literals) for c in instance.clauses]
+    assignment: dict[int, bool] = {}
+    result = _dpll(clauses, assignment)
+    if result is None:
+        return None
+    return {v: result.get(v, False) for v in range(instance.n_vars)}
+
+
+def _simplify(clauses, assignment):
+    """Apply the assignment; return simplified clauses or None on conflict."""
+    out = []
+    for clause in clauses:
+        satisfied = False
+        remaining = []
+        for lit in clause:
+            value = assignment.get(lit.var)
+            if value is None:
+                remaining.append(lit)
+            elif value == lit.positive:
+                satisfied = True
+                break
+        if satisfied:
+            continue
+        if not remaining:
+            return None
+        out.append(remaining)
+    return out
+
+
+def _dpll(clauses, assignment):
+    clauses = _simplify(clauses, assignment)
+    if clauses is None:
+        return None
+    if not clauses:
+        return assignment
+    # Unit propagation.
+    for clause in clauses:
+        if len(clause) == 1:
+            lit = clause[0]
+            new_assignment = {**assignment, lit.var: lit.positive}
+            return _dpll(clauses, new_assignment)
+    # Pure literal elimination.
+    polarity: dict[int, set[bool]] = {}
+    for clause in clauses:
+        for lit in clause:
+            polarity.setdefault(lit.var, set()).add(lit.positive)
+    for var, signs in polarity.items():
+        if len(signs) == 1:
+            return _dpll(clauses, {**assignment, var: next(iter(signs))})
+    # Branch on the most frequent variable.
+    counts: dict[int, int] = {}
+    for clause in clauses:
+        for lit in clause:
+            counts[lit.var] = counts.get(lit.var, 0) + 1
+    var = max(counts, key=counts.get)
+    for value in (True, False):
+        result = _dpll(clauses, {**assignment, var: value})
+        if result is not None:
+            return result
+    return None

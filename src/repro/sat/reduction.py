@@ -1,0 +1,71 @@
+"""The Theorem 3.6 reduction: 3-SAT to nonemptiness of complement.
+
+Given an instance with variables ``u_1 .. u_m`` and clauses
+``c_1 .. c_l``, build a generalized relation ``r`` with one temporal
+column per variable and one generalized tuple per clause, whose free
+extension is ``[n_1, ..., n_m]`` (all of Z on every axis) and whose
+constraints are, per the paper::
+
+    u_i ∈ c    ↦   X_i < 0
+    ¬u_i ∈ c   ↦   X_i >= 0
+
+A point avoids clause ``c``'s tuple exactly when some literal of ``c``
+is "made true" under the reading ``u_i  ⇔  X_i >= 0``; hence a point of
+``¬r`` is precisely a satisfying assignment, and *nonemptiness of the
+complement* decides satisfiability.
+"""
+
+from __future__ import annotations
+
+from repro.core import algebra
+from repro.core.emptiness import relation_witness
+from repro.core.relations import GeneralizedRelation, Schema
+from repro.sat.threesat import Instance
+
+
+def instance_to_relation(instance: Instance) -> GeneralizedRelation:
+    """Build the paper's relation ``r`` for a CNF instance."""
+    names = [f"X{i}" for i in range(instance.n_vars)]
+    relation = GeneralizedRelation.empty(Schema.make(temporal=names))
+    for clause in instance.clauses:
+        constraints = []
+        for lit in clause.literals:
+            if lit.positive:
+                constraints.append(f"X{lit.var} < 0")
+            else:
+                constraints.append(f"X{lit.var} >= 0")
+        relation.add_tuple(["n"] * instance.n_vars, " & ".join(constraints))
+    return relation
+
+
+def point_to_assignment(point: tuple[int, ...]) -> dict[int, bool]:
+    """Decode a complement witness into a truth assignment."""
+    return {i: value >= 0 for i, value in enumerate(point)}
+
+
+def solve_via_complement(
+    instance: Instance,
+    max_extensions: int = 10_000_000,
+) -> dict[int, bool] | None:
+    """Decide satisfiability through the generalized database.
+
+    Builds ``r``, complements it (the exponential step — Theorem 3.6
+    says this cannot be avoided in general unless P = NP), and extracts
+    a witness point if one exists.
+    """
+    relation = instance_to_relation(instance)
+    if len(relation) == 0:
+        # No clauses: everything satisfies; all-false will do.
+        return {i: False for i in range(instance.n_vars)}
+    complement = algebra.complement(relation, max_extensions=max_extensions)
+    witness = relation_witness(complement)
+    if witness is None:
+        return None
+    assignment = point_to_assignment(tuple(witness))
+    assert instance.holds(assignment)
+    return assignment
+
+
+def complement_is_nonempty(instance: Instance) -> bool:
+    """The bare decision problem of Theorem 3.6."""
+    return solve_via_complement(instance) is not None

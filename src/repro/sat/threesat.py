@@ -1,0 +1,116 @@
+"""3-SAT instances: representation, generation, evaluation.
+
+Theorem 3.6 proves NP-completeness of complement-nonemptiness by
+reduction from 3-SAT; this module supplies the 3-SAT side — instance
+data structures, a seeded random generator (used at the classic
+hard-region clause/variable ratio in the benchmarks), and brute-force
+evaluation for cross-checks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A literal: variable index (0-based) and polarity."""
+
+    var: int
+    positive: bool
+
+    def negated(self) -> Literal:
+        return Literal(self.var, not self.positive)
+
+    def holds(self, assignment: Mapping[int, bool]) -> bool:
+        return assignment[self.var] == self.positive
+
+    def __str__(self) -> str:
+        return f"x{self.var}" if self.positive else f"~x{self.var}"
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A disjunction of literals."""
+
+    literals: tuple[Literal, ...]
+
+    def holds(self, assignment: Mapping[int, bool]) -> bool:
+        return any(lit.holds(assignment) for lit in self.literals)
+
+    def variables(self) -> set[int]:
+        return {lit.var for lit in self.literals}
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(lit) for lit in self.literals) + ")"
+
+
+@dataclass(frozen=True)
+class Instance:
+    """A CNF instance over variables ``0 .. n_vars - 1``."""
+
+    n_vars: int
+    clauses: tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        for clause in self.clauses:
+            for lit in clause.literals:
+                if not 0 <= lit.var < self.n_vars:
+                    raise ValueError(
+                        f"literal {lit} out of range for {self.n_vars} vars"
+                    )
+
+    def holds(self, assignment: Mapping[int, bool]) -> bool:
+        return all(clause.holds(assignment) for clause in self.clauses)
+
+    def brute_force_satisfiable(self) -> dict[int, bool] | None:
+        """Exhaustive satisfiability check (for small cross-checks)."""
+        for bits in itertools.product([False, True], repeat=self.n_vars):
+            assignment = dict(enumerate(bits))
+            if self.holds(assignment):
+                return assignment
+        return None
+
+    def __str__(self) -> str:
+        return " & ".join(str(c) for c in self.clauses) or "(empty)"
+
+
+def clause(*literals: tuple[int, bool] | Literal) -> Clause:
+    """Build a clause from ``(var, positive)`` pairs or literals."""
+    out = tuple(
+        lit if isinstance(lit, Literal) else Literal(*lit) for lit in literals
+    )
+    return Clause(out)
+
+
+def instance(n_vars: int, clauses: Iterable[Clause]) -> Instance:
+    """Build an instance."""
+    return Instance(n_vars, tuple(clauses))
+
+
+def random_3sat(
+    n_vars: int,
+    n_clauses: int,
+    seed: int = 0,
+) -> Instance:
+    """A uniform random 3-SAT instance.
+
+    Each clause picks three distinct variables and independent random
+    polarities.  At ``n_clauses / n_vars ≈ 4.26`` this is the classic
+    hard region used in the NP-completeness benchmark.
+    """
+    if n_vars < 3:
+        raise ValueError("random 3-SAT needs at least 3 variables")
+    rng = random.Random(seed)
+    clauses = []
+    for _ in range(n_clauses):
+        variables = rng.sample(range(n_vars), 3)
+        clauses.append(
+            Clause(
+                tuple(Literal(v, rng.random() < 0.5) for v in variables)
+            )
+        )
+    return Instance(n_vars, tuple(clauses))

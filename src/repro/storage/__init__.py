@@ -1,0 +1,13 @@
+"""Serialization: the paper's table syntax (text) and JSON."""
+
+from repro.storage import csvio, jsonio, textio
+from repro.storage.textio import format_relation, format_tuple, parse_header
+
+__all__ = [
+    "csvio",
+    "format_relation",
+    "format_tuple",
+    "jsonio",
+    "parse_header",
+    "textio",
+]

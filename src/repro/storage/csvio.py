@@ -1,0 +1,153 @@
+"""CSV bridging: finite concrete data in and out of the symbolic world.
+
+Two directions:
+
+* **export** — materialize a window of a generalized relation as plain
+  CSV rows (the lossy direction: the infinite extension is truncated,
+  exactly like the paper's "1989, 1990, ... 2090" strawman — useful for
+  spreadsheets and plotting, never for storage);
+* **import** — read concrete rows into a generalized relation of
+  singleton tuples, optionally *compressing* each data-group's time
+  points into periodic tuples when they form arithmetic progressions
+  (the inverse of materialization: recovering ``c + k·n`` from
+  evidence).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Iterable, Sequence
+
+from repro.core.errors import ParseError
+from repro.core.lrp import LRP
+from repro.core.relations import GeneralizedRelation, Schema
+
+
+def export_window(
+    relation: GeneralizedRelation,
+    low: int,
+    high: int,
+    header: bool = True,
+) -> str:
+    """Materialize the window ``[low, high]`` as CSV text.
+
+    Columns follow the schema order; rows are sorted for determinism.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    if header:
+        writer.writerow(relation.schema.names)
+    for point in sorted(relation.enumerate(low, high), key=repr):
+        writer.writerow(point)
+    return buffer.getvalue()
+
+
+def import_rows(
+    schema: Schema,
+    rows: Iterable[Sequence],
+) -> GeneralizedRelation:
+    """Build a relation of singleton tuples from concrete rows."""
+    out = GeneralizedRelation.empty(schema)
+    for row in rows:
+        if len(row) != len(schema):
+            raise ParseError(
+                f"row {row!r} has {len(row)} fields, schema has "
+                f"{len(schema)}"
+            )
+        temporal: list[int] = []
+        data: list = []
+        for value, attr in zip(row, schema.attributes):
+            if attr.temporal:
+                temporal.append(int(value))
+            else:
+                data.append(value)
+        out.add_tuple([LRP.point(v) for v in temporal], "", data)
+    return out
+
+
+def import_csv(schema: Schema, text: str, header: bool = True) -> GeneralizedRelation:
+    """Parse CSV text into a relation of singleton tuples.
+
+    With ``header=True`` the first row must name the schema's attributes
+    in order (a safeguard against column drift).
+    """
+    reader = csv.reader(io.StringIO(text))
+    rows = [row for row in reader if row]
+    if header:
+        if not rows:
+            raise ParseError("empty CSV")
+        names = tuple(name.strip() for name in rows[0])
+        if names != schema.names:
+            raise ParseError(
+                f"CSV header {names} does not match schema {schema.names}"
+            )
+        rows = rows[1:]
+    return import_rows(schema, rows)
+
+
+def compress_unary(
+    relation: GeneralizedRelation,
+    min_run: int = 3,
+) -> GeneralizedRelation:
+    """Recognize arithmetic progressions in a finite unary relation.
+
+    Groups the concrete points by data values and greedily folds maximal
+    runs of ``min_run``-or-more equally-spaced points into *bounded
+    periodic* tuples (``c + k·n`` with window constraints); leftovers
+    stay singletons.  The result denotes exactly the same finite set,
+    in (usually) far fewer tuples — evidence-based recovery of the
+    symbolic representation.
+    """
+    if relation.schema.temporal_arity != 1:
+        raise ParseError("compress_unary needs exactly one temporal column")
+    from repro.core.temporal import is_finite
+
+    if not is_finite(relation):
+        raise ParseError("compress_unary needs a finite relation")
+    by_data: dict[tuple, list[int]] = {}
+    from repro.core.temporal import column_profile
+
+    profile = column_profile(relation, relation.schema.temporal_names[0])
+    if profile.count == 0:
+        return GeneralizedRelation.empty(relation.schema)
+    low, high = profile.lower, profile.upper
+    for point in relation.enumerate(low, high):
+        temporal, data = relation.split_point(point)
+        by_data.setdefault(data, []).append(temporal[0])
+    out = GeneralizedRelation.empty(relation.schema)
+    name = relation.schema.temporal_names[0]
+    for data, values in by_data.items():
+        for start, step, count in _runs(sorted(values), min_run):
+            if count == 1:
+                out.add_tuple([LRP.point(start)], "", data)
+            else:
+                end = start + step * (count - 1)
+                out.add_tuple(
+                    [LRP.make(start, step)],
+                    f"{name} >= {start} & {name} <= {end}",
+                    data,
+                )
+    return out
+
+
+def _runs(values: list[int], min_run: int):
+    """Greedy maximal arithmetic runs; singletons for the rest."""
+    i = 0
+    n = len(values)
+    while i < n:
+        if i + 1 >= n:
+            yield values[i], 1, 1
+            i += 1
+            continue
+        step = values[i + 1] - values[i]
+        j = i + 1
+        while j + 1 < n and values[j + 1] - values[j] == step:
+            j += 1
+        length = j - i + 1
+        if length >= min_run and step > 0:
+            yield values[i], step, length
+            i = j + 1
+        else:
+            yield values[i], 1, 1
+            i += 1

@@ -1,0 +1,99 @@
+"""JSON serialization for generalized relations and databases.
+
+The JSON form is a faithful structural dump: lrps as ``[offset,
+period]`` pairs, constraints as the closed DBM's finite bounds, data
+values as JSON scalars.  Round-tripping preserves the denoted point set
+exactly (and the canonical structure up to DBM closure).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.dbm import DBM
+from repro.core.errors import ParseError
+from repro.core.lrp import LRP
+from repro.core.relations import Attribute, GeneralizedRelation, Schema
+from repro.core.tuples import GeneralizedTuple
+
+
+def relation_to_dict(relation: GeneralizedRelation) -> dict[str, Any]:
+    """Convert a relation to a JSON-ready dictionary.
+
+    Tuples with unsatisfiable constraints denote the empty set and are
+    omitted (their contradiction may be recorded in a diagonal marker
+    the off-diagonal bounds list cannot express).
+    """
+    return {
+        "schema": [
+            {"name": a.name, "temporal": a.temporal}
+            for a in relation.schema.attributes
+        ],
+        "tuples": [
+            {
+                "lrps": [[lrp.offset, lrp.period] for lrp in t.lrps],
+                "bounds": [
+                    [i, j, bound] for i, j, bound in t.dbm.iter_bounds()
+                ],
+                "data": list(t.data),
+            }
+            for t in relation.tuples
+            if t.dbm.copy().close()
+        ],
+    }
+
+
+def relation_from_dict(payload: dict[str, Any]) -> GeneralizedRelation:
+    """Rebuild a relation from its dictionary form."""
+    try:
+        attrs = tuple(
+            Attribute(item["name"], bool(item["temporal"]))
+            for item in payload["schema"]
+        )
+        schema = Schema(attrs)
+        relation = GeneralizedRelation.empty(schema)
+        for entry in payload["tuples"]:
+            lrps = tuple(
+                LRP.make(offset, period) for offset, period in entry["lrps"]
+            )
+            dbm = DBM(len(lrps))
+            for i, j, bound in entry["bounds"]:
+                if i >= 0 and j >= 0:
+                    dbm.add_difference(i, j, bound)
+                elif j < 0:
+                    dbm.add_upper(i, bound)
+                else:
+                    dbm.add_lower(j, -bound)
+            relation.add(
+                GeneralizedTuple(lrps=lrps, dbm=dbm, data=tuple(entry["data"]))
+            )
+        return relation
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ParseError(f"malformed relation payload: {exc}") from exc
+
+
+def dumps(relation: GeneralizedRelation, **json_kwargs) -> str:
+    """Serialize one relation to a JSON string."""
+    return json.dumps(relation_to_dict(relation), **json_kwargs)
+
+
+def loads(text: str) -> GeneralizedRelation:
+    """Deserialize one relation from a JSON string."""
+    return relation_from_dict(json.loads(text))
+
+
+def dump_database(relations: dict[str, GeneralizedRelation], **json_kwargs) -> str:
+    """Serialize a name-to-relation mapping."""
+    return json.dumps(
+        {name: relation_to_dict(rel) for name, rel in relations.items()},
+        **json_kwargs,
+    )
+
+
+def load_database(text: str) -> dict[str, GeneralizedRelation]:
+    """Deserialize a name-to-relation mapping."""
+    payload = json.loads(text)
+    return {
+        name: relation_from_dict(entry) for name, entry in payload.items()
+    }

@@ -1,0 +1,206 @@
+"""Textual serialization in the paper's table style.
+
+Grammar for one generalized tuple::
+
+    [3 + 5n, 7] : X1 <= X2 + 4 & X1 >= 0 | robot1, task2
+
+i.e. an lrp vector in brackets, then optionally ``:`` and a constraint
+conjunction over the schema's temporal attribute names, then optionally
+``|`` and comma-separated data values.  A relation file is a header line
+naming the schema followed by one tuple per line::
+
+    relation Perform(t1:T, t2:T, robot:D, task:D)
+    [2 + 2n, 4 + 2n] : t1 = t2 - 2 & t1 >= -1 | robot1, task1
+
+Lines starting with ``#`` and blank lines are ignored.  Data values are
+stored as strings; quote a value to protect leading/trailing spaces.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ParseError
+from repro.core.constraints import dbm_to_atoms
+from repro.core.relations import Attribute, GeneralizedRelation, Schema
+
+
+def format_tuple(relation: GeneralizedRelation, index: int) -> str:
+    """Render tuple ``index`` of ``relation`` in the table syntax."""
+    gtuple = relation.tuples[index]
+    lrp_part = "[" + ", ".join(str(lrp) for lrp in gtuple.lrps) + "]"
+    atoms = dbm_to_atoms(gtuple.dbm, relation.schema.temporal_names)
+    parts = [lrp_part]
+    if atoms:
+        parts[0] += " : " + " & ".join(str(a) for a in atoms)
+    if gtuple.data:
+        parts.append(" | " + ", ".join(_quote(v) for v in gtuple.data))
+    return "".join(parts)
+
+
+def _quote(value) -> str:
+    text = str(value)
+    if text != text.strip() or any(ch in text for ch in ",|\"[]"):
+        return '"' + text.replace('"', '\\"') + '"'
+    return text
+
+
+def _unquote(text: str) -> str:
+    text = text.strip()
+    if len(text) >= 2 and text[0] == '"' and text[-1] == '"':
+        return text[1:-1].replace('\\"', '"')
+    return text
+
+
+def format_relation(relation: GeneralizedRelation, name: str = "r") -> str:
+    """Render a whole relation, header line included.
+
+    Tuples with unsatisfiable constraints denote the empty set and are
+    omitted (their contradiction may be recorded in a form the textual
+    constraint syntax cannot express).
+    """
+    attrs = ", ".join(
+        f"{a.name}:{'T' if a.temporal else 'D'}"
+        for a in relation.schema.attributes
+    )
+    lines = [f"relation {name}({attrs})"]
+    for i, gtuple in enumerate(relation.tuples):
+        if not gtuple.dbm.copy().close():
+            continue
+        lines.append(format_tuple(relation, i))
+    return "\n".join(lines) + "\n"
+
+
+def parse_header(line: str) -> tuple[str, Schema]:
+    """Parse a ``relation Name(attr:T, ...)`` header line."""
+    line = line.strip()
+    if not line.startswith("relation "):
+        raise ParseError(f"expected a relation header, got {line!r}")
+    rest = line[len("relation "):].strip()
+    open_paren = rest.find("(")
+    if open_paren < 0 or not rest.endswith(")"):
+        raise ParseError(f"malformed relation header: {line!r}")
+    name = rest[:open_paren].strip()
+    if not name:
+        raise ParseError("relation header is missing a name")
+    attrs: list[Attribute] = []
+    body = rest[open_paren + 1 : -1].strip()
+    if body:
+        for piece in body.split(","):
+            piece = piece.strip()
+            if ":" not in piece:
+                raise ParseError(f"attribute {piece!r} needs a :T or :D kind")
+            attr_name, kind = piece.rsplit(":", 1)
+            kind = kind.strip().upper()
+            if kind not in {"T", "D"}:
+                raise ParseError(f"unknown attribute kind {kind!r}")
+            attrs.append(Attribute(attr_name.strip(), temporal=kind == "T"))
+    return name, Schema(tuple(attrs))
+
+
+def parse_tuple_line(relation: GeneralizedRelation, line: str) -> None:
+    """Parse one tuple line and add it to ``relation``."""
+    line = line.strip()
+    if not line.startswith("["):
+        raise ParseError(f"tuple line must start with '[': {line!r}")
+    close = line.find("]")
+    if close < 0:
+        raise ParseError(f"unterminated lrp vector: {line!r}")
+    lrp_body = line[1:close].strip()
+    lrp_texts = [t.strip() for t in lrp_body.split(",")] if lrp_body else []
+    rest = line[close + 1 :].strip()
+    constraints = ""
+    data_text = ""
+    if rest.startswith(":"):
+        rest = rest[1:]
+        if "|" in rest:
+            constraints, data_text = rest.split("|", 1)
+        else:
+            constraints = rest
+    elif rest.startswith("|"):
+        data_text = rest[1:]
+    elif rest:
+        raise ParseError(f"unexpected text after lrp vector: {rest!r}")
+    data = _split_data(data_text) if data_text.strip() else []
+    relation.add_tuple(lrp_texts, constraints.strip(), data)
+
+
+def _split_data(text: str) -> list[str]:
+    """Split comma-separated data values, honouring double quotes."""
+    values: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and in_quotes and i + 1 < len(text) and text[i + 1] == '"':
+            current.append('"')
+            i += 2
+            continue
+        if ch == '"':
+            in_quotes = not in_quotes
+            current.append(ch)
+        elif ch == "," and not in_quotes:
+            values.append(_unquote("".join(current)))
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    if in_quotes:
+        raise ParseError(f"unterminated quote in data values: {text!r}")
+    values.append(_unquote("".join(current)))
+    return values
+
+
+def loads(text: str) -> tuple[str, GeneralizedRelation]:
+    """Parse a relation from its textual form; returns (name, relation)."""
+    lines = [
+        line
+        for line in text.splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    ]
+    if not lines:
+        raise ParseError("empty relation text")
+    name, schema = parse_header(lines[0])
+    relation = GeneralizedRelation.empty(schema)
+    for line in lines[1:]:
+        parse_tuple_line(relation, line)
+    return name, relation
+
+
+def dumps(relation: GeneralizedRelation, name: str = "r") -> str:
+    """Alias of :func:`format_relation` for symmetry with :func:`loads`."""
+    return format_relation(relation, name)
+
+
+def loads_all(text: str) -> dict[str, GeneralizedRelation]:
+    """Parse a file holding several relations (multiple headers)."""
+    lines = [
+        line
+        for line in text.splitlines()
+        if line.strip() and not line.strip().startswith("#")
+    ]
+    out: dict[str, GeneralizedRelation] = {}
+    current: GeneralizedRelation | None = None
+    current_name: str | None = None
+    for line in lines:
+        if line.strip().startswith("relation "):
+            current_name, schema = parse_header(line)
+            if current_name in out:
+                raise ParseError(f"duplicate relation {current_name!r}")
+            current = GeneralizedRelation.empty(schema)
+            out[current_name] = current
+        else:
+            if current is None:
+                raise ParseError(
+                    "tuple line before any relation header: " + line.strip()
+                )
+            parse_tuple_line(current, line)
+    if not out:
+        raise ParseError("no relations found")
+    return out
+
+
+def dumps_all(relations: dict[str, GeneralizedRelation]) -> str:
+    """Render several relations into one file."""
+    return "\n".join(
+        format_relation(rel, name) for name, rel in relations.items()
+    )

@@ -1,0 +1,141 @@
+"""Hypothesis strategies for property-testing code built on this library.
+
+Downstream users writing property tests against generalized relations
+need the same generators this project's own suite uses.  Import
+requires `hypothesis <https://hypothesis.readthedocs.io>`_ (an optional
+dependency, listed under the ``test`` extra).
+
+    from hypothesis import given
+    from repro.testing import generalized_relations
+
+    @given(generalized_relations(temporal_arity=2))
+    def test_my_invariant(rel):
+        ...
+
+All strategies produce *small* structures by default (periods <= 6,
+constants within ±8): the intent is exhaustive window checking, where
+value magnitude adds nothing but runtime.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.dbm import DBM
+from repro.core.lrp import LRP
+from repro.core.relations import GeneralizedRelation, Schema
+from repro.core.tuples import GeneralizedTuple
+from repro.periodic import PeriodicSet
+
+
+@st.composite
+def lrps(
+    draw,
+    max_period: int = 6,
+    max_offset: int = 8,
+    allow_singletons: bool = True,
+) -> LRP:
+    """Strategy for canonical linear repeating points."""
+    min_period = 0 if allow_singletons else 1
+    period = draw(st.integers(min_period, max_period))
+    offset = draw(st.integers(-max_offset, max_offset))
+    return LRP.make(offset, period)
+
+
+@st.composite
+def dbms(
+    draw,
+    arity: int,
+    max_constraints: int = 4,
+    max_bound: int = 8,
+) -> DBM:
+    """Strategy for restricted-constraint systems over ``arity`` variables.
+
+    May produce unsatisfiable systems (callers wanting satisfiable ones
+    should filter with ``dbm.copy().close()``).
+    """
+    dbm = DBM(arity)
+    for _ in range(draw(st.integers(0, max_constraints))):
+        bound = draw(st.integers(-max_bound, max_bound))
+        kind = draw(st.integers(0, 2))
+        i = draw(st.integers(0, arity - 1)) if arity else 0
+        if arity == 0:
+            break
+        if kind == 0 and arity >= 2:
+            j = draw(st.integers(0, arity - 1))
+            if i != j:
+                dbm.add_difference(i, j, bound)
+                continue
+        if kind <= 1:
+            dbm.add_upper(i, bound)
+        else:
+            dbm.add_lower(i, bound)
+    return dbm
+
+
+@st.composite
+def generalized_tuples(
+    draw,
+    temporal_arity: int = 2,
+    data_values: tuple = (),
+    max_period: int = 6,
+) -> GeneralizedTuple:
+    """Strategy for generalized tuples of a fixed shape."""
+    tuple_lrps = tuple(
+        draw(lrps(max_period=max_period)) for _ in range(temporal_arity)
+    )
+    dbm = draw(dbms(temporal_arity))
+    return GeneralizedTuple(lrps=tuple_lrps, dbm=dbm, data=tuple(data_values))
+
+
+@st.composite
+def generalized_relations(
+    draw,
+    temporal_arity: int = 2,
+    data_choices: tuple[tuple, ...] = ((),),
+    max_tuples: int = 3,
+    max_period: int = 6,
+) -> GeneralizedRelation:
+    """Strategy for generalized relations.
+
+    ``data_choices`` lists the data-value tuples tuples may carry; the
+    default is the purely temporal relation.  The schema names temporal
+    attributes ``X1..Xk`` and data attributes ``D1..Dl``.
+    """
+    data_arity = len(data_choices[0])
+    schema = Schema.make(
+        temporal=[f"X{i + 1}" for i in range(temporal_arity)],
+        data=[f"D{i + 1}" for i in range(data_arity)],
+    )
+    out = GeneralizedRelation.empty(schema)
+    for _ in range(draw(st.integers(0, max_tuples))):
+        data = draw(st.sampled_from(data_choices))
+        out.add(
+            draw(
+                generalized_tuples(
+                    temporal_arity=temporal_arity,
+                    data_values=data,
+                    max_period=max_period,
+                )
+            )
+        )
+    return out
+
+
+@st.composite
+def periodic_sets(draw, max_period: int = 6) -> PeriodicSet:
+    """Strategy for PeriodicSet values (finite, periodic, and mixed)."""
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return PeriodicSet.points(
+            draw(st.lists(st.integers(-10, 10), max_size=4))
+        )
+    if kind == 1:
+        low = draw(st.integers(-10, 10))
+        return PeriodicSet.interval(low, low + draw(st.integers(0, 8)))
+    base = PeriodicSet.every(
+        draw(st.integers(1, max_period)), draw(st.integers(0, max_period))
+    )
+    if kind == 2:
+        return base
+    return base & PeriodicSet.at_or_above(draw(st.integers(-8, 8)))

@@ -1,0 +1,197 @@
+"""Point-based temporal logic over generalized relations.
+
+Section 1 of the paper draws its "infinite and repeating temporal
+information" motivation from concurrent-program verification, where
+temporal logic "easily expresses that something happens eventually or
+infinitely often" and model-checking "is essentially a form of query
+evaluation on a special type of database".  This module closes that
+loop: a linear-time temporal logic whose models are the library's
+infinite unary relations, with each formula's *satisfaction set*
+computed exactly as a generalized relation.
+
+Operators: atoms (named event relations), boolean connectives, ``X``
+(next), ``Y`` (previous), ``F`` (eventually), ``G`` (always), ``U``
+(until), ``S`` (since).  All are reflexive-future/past variants
+(``F φ`` means "at some t' >= t"); strict variants derive via ``X``/``Y``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Atom:
+    """An event atom: the named relation's time points.
+
+    ``selection`` optionally pins data attributes (e.g. only the
+    ``green`` events of a ``Light`` relation).  After selection the
+    relation is projected onto ``column`` (default: its only temporal
+    attribute).
+    """
+
+    name: str
+    selection: tuple[tuple[str, Hashable], ...] = ()
+    column: str | None = None
+
+    @classmethod
+    def of(cls, name: str, column: str | None = None, **selection) -> Atom:
+        """Convenience constructor: ``Atom.of("Light", color="green")``."""
+        return cls(
+            name=name,
+            selection=tuple(sorted(selection.items())),
+            column=column,
+        )
+
+    def __str__(self) -> str:
+        sel = ", ".join(f"{k}={v!r}" for k, v in self.selection)
+        return f"{self.name}({sel})" if sel else self.name
+
+
+@dataclass(frozen=True)
+class Not:
+    """Negation."""
+
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"!({self.body})"
+
+
+@dataclass(frozen=True)
+class And:
+    """Conjunction."""
+
+    parts: tuple[Formula, ...]
+
+    def __str__(self) -> str:
+        return "(" + " & ".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Or:
+    """Disjunction."""
+
+    parts: tuple[Formula, ...]
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Next:
+    """``X φ``: φ holds at the next instant."""
+
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"X({self.body})"
+
+
+@dataclass(frozen=True)
+class Previous:
+    """``Y φ``: φ held at the previous instant."""
+
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"Y({self.body})"
+
+
+@dataclass(frozen=True)
+class Eventually:
+    """``F φ``: φ holds now or at some future instant."""
+
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"F({self.body})"
+
+
+@dataclass(frozen=True)
+class Always:
+    """``G φ``: φ holds now and at every future instant."""
+
+    body: Formula
+
+    def __str__(self) -> str:
+        return f"G({self.body})"
+
+
+@dataclass(frozen=True)
+class Until:
+    """``φ U ψ``: ψ eventually holds, with φ holding at every instant
+    from now strictly before that."""
+
+    hold: Formula
+    release: Formula
+
+    def __str__(self) -> str:
+        return f"({self.hold} U {self.release})"
+
+
+@dataclass(frozen=True)
+class Since:
+    """``φ S ψ`` (past mirror of until)."""
+
+    hold: Formula
+    release: Formula
+
+    def __str__(self) -> str:
+        return f"({self.hold} S {self.release})"
+
+
+Formula = Atom | Not | And | Or | Next | Previous | Eventually | Always | Until | Since
+
+
+def atom(name: str, **selection) -> Atom:
+    """Shorthand for :meth:`Atom.of`."""
+    return Atom.of(name, **selection)
+
+
+def negate(body: Formula) -> Formula:
+    """Negation, collapsing double negation."""
+    if isinstance(body, Not):
+        return body.body
+    return Not(body)
+
+
+def conj(*parts: Formula) -> Formula:
+    """N-ary conjunction."""
+    return parts[0] if len(parts) == 1 else And(tuple(parts))
+
+
+def disj(*parts: Formula) -> Formula:
+    """N-ary disjunction."""
+    return parts[0] if len(parts) == 1 else Or(tuple(parts))
+
+
+def eventually(body: Formula) -> Eventually:
+    """``F φ``."""
+    return Eventually(body)
+
+
+def always(body: Formula) -> Always:
+    """``G φ``."""
+    return Always(body)
+
+
+def until(hold: Formula, release: Formula) -> Until:
+    """``φ U ψ``."""
+    return Until(hold, release)
+
+
+def since(hold: Formula, release: Formula) -> Since:
+    """``φ S ψ``."""
+    return Since(hold, release)
+
+
+def infinitely_often(body: Formula) -> Formula:
+    """``G F φ`` — the liveness shape the paper's introduction cites."""
+    return Always(Eventually(body))
+
+
+def eventually_always(body: Formula) -> Formula:
+    """``F G φ`` — stabilization."""
+    return Eventually(Always(body))

@@ -1,0 +1,112 @@
+"""Shared test utilities: brute-force reference semantics and generators.
+
+The backbone of the suite is *differential testing*: every symbolic
+algebra operation is compared against plain set operations on the
+relations' denoted point sets restricted to a finite window.  Windows
+are chosen larger than the lcm of the periods in play so that periodic
+behaviour is exercised, not just one fundamental domain.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.constraints import Op, VarConstAtom, VarVarAtom
+from repro.core.dbm import DBM
+from repro.core.lrp import LRP
+from repro.core.relations import GeneralizedRelation, Schema
+from repro.core.tuples import GeneralizedTuple
+
+SMALL_PERIODS = [0, 1, 2, 3, 4, 6]
+SMALL_OFFSETS = range(-6, 7)
+
+
+def random_lrp(rng: random.Random, periods=SMALL_PERIODS) -> LRP:
+    """A random small lrp."""
+    period = rng.choice(periods)
+    offset = rng.choice(list(SMALL_OFFSETS))
+    return LRP.make(offset, period)
+
+
+def random_dbm(rng: random.Random, arity: int, n_constraints: int | None = None) -> DBM:
+    """A random restricted-constraint system over ``arity`` attributes."""
+    dbm = DBM(arity)
+    if n_constraints is None:
+        n_constraints = rng.randint(0, arity + 1)
+    for _ in range(n_constraints):
+        kind = rng.random()
+        const = rng.randint(-6, 6)
+        i = rng.randrange(arity)
+        if kind < 0.4 and arity >= 2:
+            j = rng.randrange(arity)
+            if j != i:
+                dbm.add_difference(i, j, const)
+                continue
+        if kind < 0.7:
+            dbm.add_upper(i, const)
+        else:
+            dbm.add_lower(i, const)
+    return dbm
+
+
+def random_tuple(
+    rng: random.Random,
+    arity: int,
+    data_choices: list[tuple] | None = None,
+) -> GeneralizedTuple:
+    """A random generalized tuple of the given temporal arity."""
+    lrps = [random_lrp(rng) for _ in range(arity)]
+    data = rng.choice(data_choices) if data_choices else ()
+    return GeneralizedTuple(
+        lrps=tuple(lrps), dbm=random_dbm(rng, arity), data=data
+    )
+
+
+def random_relation(
+    rng: random.Random,
+    schema: Schema,
+    n_tuples: int,
+    data_choices: list[tuple] | None = None,
+) -> GeneralizedRelation:
+    """A random generalized relation over ``schema``."""
+    if schema.data_arity and not data_choices:
+        raise ValueError("data_choices required for schemas with data")
+    out = GeneralizedRelation.empty(schema)
+    for _ in range(n_tuples):
+        out.add(
+            random_tuple(
+                rng, schema.temporal_arity, data_choices=data_choices
+            )
+        )
+    return out
+
+
+def window_universe(schema: Schema, low: int, high: int, data_choices=()):
+    """All schema-order points with temporal coordinates in the window."""
+    import itertools
+
+    temporal_axes = [range(low, high + 1)] * schema.temporal_arity
+    data_axes = list(data_choices) if schema.data_arity else [()]
+    points = set()
+    for data in data_axes:
+        for temporal in itertools.product(*temporal_axes):
+            dummy = GeneralizedRelation.empty(schema)
+            points.add(dummy.join_point(temporal, data))
+    return points
+
+
+def assert_same_window(
+    symbolic: GeneralizedRelation,
+    expected_points: set,
+    low: int,
+    high: int,
+    context: str = "",
+) -> None:
+    """Assert the symbolic relation matches the expected window point set."""
+    got = symbolic.snapshot(low, high)
+    missing = expected_points - got
+    extra = got - expected_points
+    assert not missing and not extra, (
+        f"{context}: window [{low},{high}] mismatch; "
+        f"missing={sorted(missing)[:5]} extra={sorted(extra)[:5]}"
+    )

@@ -1,0 +1,173 @@
+"""Tests for complement / negation (Appendix A.6, Theorem 3.6 context)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import algebra
+from repro.core.dbm import DBM
+from repro.core.errors import DomainError, NormalizationLimitError
+from repro.core.negation import (
+    complement_constraint_systems,
+    negate_dbm,
+)
+from repro.core.relations import GeneralizedRelation, Schema, relation
+
+from tests.helpers import random_relation
+
+WINDOW = (-8, 8)
+
+
+def universe_points(arity: int, low: int, high: int) -> set:
+    import itertools
+
+    return set(itertools.product(range(low, high + 1), repeat=arity))
+
+
+class TestNegateDbm:
+    def test_single_bound(self):
+        dbm = DBM(1)
+        dbm.add_upper(0, 5)
+        pieces = negate_dbm(dbm, 1)
+        assert len(pieces) == 1
+        assert pieces[0].satisfied_by([6]) and not pieces[0].satisfied_by([5])
+
+    def test_unconstrained_has_empty_complement(self):
+        assert negate_dbm(DBM(2), 2) == []
+
+    def test_unsat_complements_to_everything(self):
+        dbm = DBM(1)
+        dbm.add_upper(0, 0)
+        dbm.add_lower(0, 1)
+        pieces = negate_dbm(dbm, 1)
+        assert len(pieces) == 1 and pieces[0].satisfied_by([123])
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60)
+    def test_negation_covers_exactly_the_complement(self, seed):
+        rng = random.Random(seed)
+        dbm = DBM(2)
+        for _ in range(rng.randint(1, 3)):
+            choice = rng.random()
+            c = rng.randint(-5, 5)
+            if choice < 0.4:
+                dbm.add_difference(0, 1, c)
+            elif choice < 0.7:
+                dbm.add_upper(rng.randrange(2), c)
+            else:
+                dbm.add_lower(rng.randrange(2), c)
+        pieces = negate_dbm(dbm, 2)
+        for a in range(-8, 9):
+            for b in range(-8, 9):
+                inside = dbm.satisfied_by([a, b])
+                covered = any(p.satisfied_by([a, b]) for p in pieces)
+                assert covered == (not inside), (a, b)
+
+
+class TestComplementConstraintSystems:
+    def test_incremental_reduction_bounds_size(self):
+        """Conjoining N negated systems stays polynomial, not (m(m+1))^N."""
+        systems = []
+        for i in range(8):
+            d = DBM(2)
+            d.add_upper(0, i)
+            d.add_lower(0, i)
+            d.add_upper(1, i)
+            systems.append(d)
+        result = complement_constraint_systems(systems, 2)
+        # The paper's bound for m=2 is (N+1)^(m(m+1)) = 9^6; the actual
+        # reduced count is tiny.
+        assert 0 < len(result) < 100
+
+    def test_full_space_annihilates(self):
+        systems = [DBM(1)]  # unconstrained = everything
+        assert complement_constraint_systems(systems, 1) == []
+
+
+class TestComplement:
+    def test_complement_of_empty_is_universe(self):
+        r = relation(temporal=["X1"])
+        comp = algebra.complement(r)
+        assert comp.contains([0]) and comp.contains([-999])
+
+    def test_complement_of_universe_is_empty(self):
+        u = GeneralizedRelation.universe(Schema.make(temporal=["X1"]))
+        assert algebra.complement(u).is_empty()
+
+    def test_unary_progression(self):
+        r = relation(temporal=["X1"])
+        r.add_tuple(["2n"])
+        comp = algebra.complement(r)
+        for x in range(-9, 10):
+            assert comp.contains([x]) == (x % 2 == 1), x
+
+    def test_constrained_tuple(self):
+        r = relation(temporal=["X1"])
+        r.add_tuple(["n"], "X1 >= 3 & X1 <= 7")
+        comp = algebra.complement(r)
+        for x in range(-10, 20):
+            assert comp.contains([x]) == (x < 3 or x > 7), x
+
+    def test_zero_arity(self):
+        empty = relation(temporal=[])
+        comp = algebra.complement(empty)
+        assert not comp.is_empty()
+        assert algebra.complement(comp).is_empty()
+
+    def test_involution_on_window(self):
+        r = relation(temporal=["X1", "X2"])
+        r.add_tuple(["2n", "3n"], "X1 <= X2")
+        twice = algebra.complement(algebra.complement(r))
+        assert twice.snapshot(*WINDOW) == r.snapshot(*WINDOW)
+
+    def test_extension_limit(self):
+        r = relation(temporal=["X1", "X2"])
+        r.add_tuple(["101n", "103n"])
+        with pytest.raises(NormalizationLimitError):
+            algebra.complement(r, max_extensions=1000)
+
+    def test_data_requires_domains(self):
+        schema = Schema.make(temporal=["t"], data=["who"])
+        r = GeneralizedRelation.empty(schema)
+        r.add_tuple(["2n"], data=["a"])
+        with pytest.raises(DomainError):
+            algebra.complement(r)
+        with pytest.raises(DomainError):
+            algebra.complement(r, data_domains={"other": ["a"]})
+
+    def test_data_complement(self):
+        schema = Schema.make(temporal=["t"], data=["who"])
+        r = GeneralizedRelation.empty(schema)
+        r.add_tuple(["2n"], data=["a"])
+        comp = algebra.complement(r, data_domains={"who": ["a", "b"]})
+        assert comp.contains([1], ["a"])  # odd point, present data value
+        assert not comp.contains([2], ["a"])
+        assert comp.contains([2], ["b"])  # absent data value: everything
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_complement_partitions_the_window(self, seed):
+        rng = random.Random(seed)
+        r = random_relation(rng, Schema.make(temporal=["X1", "X2"]), 2)
+        comp = algebra.complement(r)
+        inside = r.snapshot(*WINDOW)
+        outside = comp.snapshot(*WINDOW)
+        universe = universe_points(2, *WINDOW)
+        assert inside | outside == universe
+        assert not (inside & outside)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_de_morgan(self, seed):
+        """¬(r1 ∪ r2) == ¬r1 ∩ ¬r2 on a window."""
+        rng = random.Random(seed)
+        schema = Schema.make(temporal=["X1"])
+        r1 = random_relation(rng, schema, 2)
+        r2 = random_relation(rng, schema, 2)
+        left = algebra.complement(algebra.union(r1, r2))
+        right = algebra.intersect(
+            algebra.complement(r1), algebra.complement(r2)
+        )
+        assert left.snapshot(-15, 15) == right.snapshot(-15, 15)

@@ -1,0 +1,217 @@
+"""Tests for selection, cross product and natural join."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import algebra
+from repro.core.errors import SchemaError
+from repro.core.relations import GeneralizedRelation, Schema, relation
+
+from tests.helpers import random_relation
+
+WINDOW = (-8, 8)
+
+
+class TestSelection:
+    def test_temporal_selection(self):
+        r = relation(temporal=["X1", "X2"])
+        r.add_tuple(["2n", "3n"])
+        out = algebra.select(r, "X1 <= X2 - 1")
+        assert out.contains([2, 3]) and not out.contains([6, 6])
+
+    def test_selection_narrows(self):
+        r = relation(temporal=["X1"])
+        r.add_tuple(["2n"], "X1 >= 0")
+        out = algebra.select(r, "X1 <= 10")
+        pts = {x for (x,) in out.snapshot(-20, 30)}
+        assert pts == {0, 2, 4, 6, 8, 10}
+
+    def test_unsatisfiable_selection_drops_tuples(self):
+        r = relation(temporal=["X1"])
+        r.add_tuple(["2n"], "X1 >= 5")
+        out = algebra.select(r, "X1 <= 4")
+        assert len(out) == 0
+
+    def test_rejects_data_attribute(self):
+        schema = Schema.make(temporal=["t"], data=["who"])
+        r = GeneralizedRelation.empty(schema)
+        with pytest.raises(SchemaError):
+            algebra.select(r, "who >= 3")
+
+    def test_select_data(self):
+        schema = Schema.make(temporal=["t"], data=["who"])
+        r = GeneralizedRelation.empty(schema)
+        r.add_tuple(["2n"], data=["a"])
+        r.add_tuple(["3n"], data=["b"])
+        out = algebra.select_data(r, "who", "a")
+        assert out.contains([2], ["a"]) and not out.contains([3], ["b"])
+
+    def test_select_data_equal(self):
+        schema = Schema.make(temporal=["t"], data=["p", "q"])
+        r = GeneralizedRelation.empty(schema)
+        r.add_tuple(["n"], data=["x", "x"])
+        r.add_tuple(["n"], data=["x", "y"])
+        out = algebra.select_data_equal(r, "p", "q")
+        assert len(out) == 1
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_selection_differential(self, seed):
+        rng = random.Random(seed)
+        r = random_relation(rng, Schema.make(temporal=["X1", "X2"]), 3)
+        out = algebra.select(r, "X1 <= X2 + 1")
+        expected = {
+            (a, b) for (a, b) in r.snapshot(*WINDOW) if a <= b + 1
+        }
+        assert out.snapshot(*WINDOW) == expected
+
+
+class TestProduct:
+    def test_basic(self):
+        r1 = relation(temporal=["a"])
+        r1.add_tuple(["2n"], "a >= 0")
+        r2 = relation(temporal=["b"])
+        r2.add_tuple(["3n"], "b <= 0")
+        out = algebra.product(r1, r2)
+        assert out.schema.names == ("a", "b")
+        assert out.contains([2, -3])
+        assert not out.contains([2, 3]) and not out.contains([-2, -3])
+
+    def test_data_concatenation(self):
+        s1 = Schema.make(temporal=["t1"], data=["d1"])
+        s2 = Schema.make(temporal=["t2"], data=["d2"])
+        r1 = GeneralizedRelation.empty(s1)
+        r1.add_tuple(["n"], data=["a"])
+        r2 = GeneralizedRelation.empty(s2)
+        r2.add_tuple(["n"], data=["b"])
+        out = algebra.product(r1, r2)
+        assert out.contains([0, 0], ["a", "b"])
+
+    def test_shared_names_rejected(self):
+        with pytest.raises(SchemaError):
+            algebra.product(relation(temporal=["a"]), relation(temporal=["a"]))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_product_differential(self, seed):
+        rng = random.Random(seed)
+        r1 = random_relation(rng, Schema.make(temporal=["a"]), 2)
+        r2 = random_relation(rng, Schema.make(temporal=["b"]), 2)
+        out = algebra.product(r1, r2)
+        expected = {
+            (a, b)
+            for (a,) in r1.snapshot(*WINDOW)
+            for (b,) in r2.snapshot(*WINDOW)
+        }
+        assert out.snapshot(*WINDOW) == expected
+
+
+class TestJoin:
+    def test_shared_temporal_attribute(self):
+        """Concatenating intervals: Perform1(t1, t2) ⋈ Perform2(t2, t3)."""
+        r1 = relation(temporal=["t1", "t2"])
+        r1.add_tuple(["2n", "2n"], "t1 = t2 - 2")
+        r2 = relation(temporal=["t2", "t3"])
+        r2.add_tuple(["4n", "4n"], "t2 = t3 - 4")
+        out = algebra.join(r1, r2)
+        assert out.schema.names == ("t1", "t2", "t3")
+        assert out.contains([2, 4, 8])
+        assert not out.contains([0, 2, 6])  # 2 not on 4n
+
+    def test_join_then_project_concatenates_intervals(self):
+        """The paper's footnote: concatenation = join on the middle
+        point, then project it out."""
+        r1 = relation(temporal=["t1", "t2"])
+        r1.add_tuple(["2n", "2n"], "t1 = t2 - 2")
+        r2 = relation(temporal=["t2", "t3"])
+        r2.add_tuple(["2n", "2n"], "t2 = t3 - 2")
+        out = algebra.project(algebra.join(r1, r2), ["t1", "t3"])
+        assert out.contains([0, 4]) and out.contains([2, 6])
+        assert not out.contains([0, 2])
+
+    def test_shared_data_attribute(self):
+        s1 = Schema.make(temporal=["t1"], data=["who"])
+        s2 = Schema.make(temporal=["t2"], data=["who"])
+        r1 = GeneralizedRelation.empty(s1)
+        r1.add_tuple(["2n"], data=["a"])
+        r1.add_tuple(["2n"], data=["b"])
+        r2 = GeneralizedRelation.empty(s2)
+        r2.add_tuple(["3n"], data=["a"])
+        out = algebra.join(r1, r2)
+        assert out.schema.names == ("t1", "who", "t2")
+        assert out.contains([2, 3], ["a"])
+        assert not out.contains([2, 3], ["b"])
+
+    def test_no_shared_attributes_is_product(self):
+        r1 = relation(temporal=["a"])
+        r1.add_tuple(["2n"])
+        r2 = relation(temporal=["b"])
+        r2.add_tuple(["3n"])
+        out = algebra.join(r1, r2)
+        assert out.snapshot(*WINDOW) == algebra.product(r1, r2).snapshot(*WINDOW)
+
+    def test_kind_conflict(self):
+        r1 = GeneralizedRelation.empty(Schema.make(temporal=["x"]))
+        r2 = GeneralizedRelation.empty(Schema.make(temporal=["t"], data=["x"]))
+        with pytest.raises(SchemaError):
+            algebra.join(r1, r2)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_join_differential(self, seed):
+        rng = random.Random(seed)
+        r1 = random_relation(rng, Schema.make(temporal=["a", "b"]), 2)
+        r2 = random_relation(rng, Schema.make(temporal=["b", "c"]), 2)
+        out = algebra.join(r1, r2)
+        s1 = r1.snapshot(*WINDOW)
+        s2 = r2.snapshot(*WINDOW)
+        expected = {
+            (a, b, c)
+            for (a, b) in s1
+            for (b2, c) in s2
+            if b == b2
+        }
+        assert out.snapshot(*WINDOW) == expected
+
+
+class TestRenameShift:
+    def test_rename(self):
+        r = relation(temporal=["a"])
+        r.add_tuple(["2n"])
+        out = algebra.rename(r, {"a": "z"})
+        assert out.schema.names == ("z",)
+        assert out.contains([2])
+
+    def test_rename_unknown(self):
+        with pytest.raises(SchemaError):
+            algebra.rename(relation(temporal=["a"]), {"q": "z"})
+
+    def test_shift_column(self):
+        r = relation(temporal=["a", "b"])
+        r.add_tuple(["2n", "2n"], "a = b - 2 & a >= 0")
+        out = algebra.shift_column(r, "a", 1)
+        # every point (a, b) of r becomes (a + 1, b)
+        assert out.contains([1, 2]) and out.contains([3, 4])
+        assert not out.contains([0, 2])
+
+    def test_shift_zero_is_identity(self):
+        r = relation(temporal=["a"])
+        r.add_tuple(["2n"])
+        assert algebra.shift_column(r, "a", 0) is r
+
+    @given(st.integers(0, 10_000), st.integers(-4, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_shift_differential(self, seed, delta):
+        rng = random.Random(seed)
+        r = random_relation(rng, Schema.make(temporal=["a", "b"]), 2)
+        out = algebra.shift_column(r, "a", delta)
+        inner = (-5, 5)
+        expected = {
+            (a + delta, b)
+            for (a, b) in r.snapshot(-12, 12)
+            if inner[0] <= a + delta <= inner[1] and inner[0] <= b <= inner[1]
+        }
+        assert out.snapshot(*inner) == expected

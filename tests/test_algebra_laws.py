@@ -1,0 +1,165 @@
+"""Property tests: the algebra satisfies the relational-algebra laws.
+
+These are *symbolic* identities checked semantically (via window
+snapshots, and sometimes via :func:`algebra.equivalent`, which itself
+runs through subtraction + emptiness).  They exercise interactions the
+per-operation differential tests do not.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import algebra
+from repro.core.relations import GeneralizedRelation, Schema
+
+from tests.helpers import random_relation
+
+SCHEMA = Schema.make(temporal=["X1", "X2"])
+WINDOW = (-8, 8)
+seeds = st.integers(0, 10_000)
+
+
+def rel(seed: int, n: int = 2) -> GeneralizedRelation:
+    return random_relation(random.Random(seed), SCHEMA, n)
+
+
+def snap(r: GeneralizedRelation):
+    return r.snapshot(*WINDOW)
+
+
+class TestLatticeLaws:
+    @given(seeds, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_union_commutative(self, s1, s2):
+        a, b = rel(s1), rel(s2)
+        assert snap(algebra.union(a, b)) == snap(algebra.union(b, a))
+
+    @given(seeds, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_intersection_commutative(self, s1, s2):
+        a, b = rel(s1), rel(s2)
+        assert snap(algebra.intersect(a, b)) == snap(algebra.intersect(b, a))
+
+    @given(seeds, seeds, seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_union_associative(self, s1, s2, s3):
+        a, b, c = rel(s1, 1), rel(s2, 1), rel(s3, 1)
+        left = algebra.union(algebra.union(a, b), c)
+        right = algebra.union(a, algebra.union(b, c))
+        assert snap(left) == snap(right)
+
+    @given(seeds, seeds, seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_intersection_distributes_over_union(self, s1, s2, s3):
+        a, b, c = rel(s1, 1), rel(s2, 1), rel(s3, 1)
+        left = algebra.intersect(a, algebra.union(b, c))
+        right = algebra.union(
+            algebra.intersect(a, b), algebra.intersect(a, c)
+        )
+        assert snap(left) == snap(right)
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_idempotence(self, s):
+        a = rel(s)
+        assert snap(algebra.union(a, a)) == snap(a)
+        assert snap(algebra.intersect(a, a)) == snap(a)
+
+
+class TestDifferenceLaws:
+    @given(seeds, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_difference_as_intersection_with_complement(self, s1, s2):
+        """r1 − r2 == r1 ∩ ¬r2: two independent code paths agree."""
+        a, b = rel(s1, 2), rel(s2, 2)
+        direct = algebra.subtract(a, b)
+        via_complement = algebra.intersect(a, algebra.complement(b))
+        assert snap(direct) == snap(via_complement)
+
+    @given(seeds, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_double_difference(self, s1, s2):
+        """(r1 − r2) − r2 == r1 − r2."""
+        a, b = rel(s1), rel(s2)
+        once = algebra.subtract(a, b)
+        twice = algebra.subtract(once, b)
+        assert snap(once) == snap(twice)
+
+    @given(seeds, seeds, seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_difference_of_union(self, s1, s2, s3):
+        """(a ∪ b) − c == (a − c) ∪ (b − c)."""
+        a, b, c = rel(s1, 1), rel(s2, 1), rel(s3, 1)
+        left = algebra.subtract(algebra.union(a, b), c)
+        right = algebra.union(
+            algebra.subtract(a, c), algebra.subtract(b, c)
+        )
+        assert snap(left) == snap(right)
+
+
+class TestProjectionSelectionLaws:
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_projection_after_union_commutes(self, s):
+        a, b = rel(s, 1), rel(s + 1, 1)
+        left = algebra.project(algebra.union(a, b), ["X1"])
+        right = algebra.union(
+            algebra.project(a, ["X1"]), algebra.project(b, ["X1"])
+        )
+        assert snap_unary(left) == snap_unary(right)
+
+    @given(seeds, st.integers(-5, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_selection_commutes_with_union(self, s, c):
+        a, b = rel(s, 1), rel(s + 7, 1)
+        cond = f"X1 <= X2 + {c}"
+        left = algebra.select(algebra.union(a, b), cond)
+        right = algebra.union(algebra.select(a, cond), algebra.select(b, cond))
+        assert snap(left) == snap(right)
+
+    @given(seeds, st.integers(-5, 5), st.integers(-5, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_selection_composition(self, s, c1, c2):
+        a = rel(s)
+        one = algebra.select(algebra.select(a, f"X1 <= {c1}"), f"X2 >= {c2}")
+        both = algebra.select(a, f"X1 <= {c1} & X2 >= {c2}")
+        assert snap(one) == snap(both)
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_join_with_self_is_identity(self, s):
+        a = rel(s)
+        joined = algebra.join(a, a)
+        assert snap(joined) == snap(a)
+
+
+class TestComplementLaws:
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_excluded_middle(self, s):
+        a = rel(s, 2)
+        u = GeneralizedRelation.universe(SCHEMA)
+        rebuilt = algebra.union(a, algebra.complement(a))
+        assert algebra.equivalent(rebuilt, u)
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_non_contradiction(self, s):
+        a = rel(s, 2)
+        assert algebra.intersect(a, algebra.complement(a)).is_empty()
+
+    @given(seeds, seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_de_morgan_intersection(self, s1, s2):
+        a, b = rel(s1, 1), rel(s2, 1)
+        left = algebra.complement(algebra.intersect(a, b))
+        right = algebra.union(
+            algebra.complement(a), algebra.complement(b)
+        )
+        assert snap(left) == snap(right)
+
+
+def snap_unary(r: GeneralizedRelation):
+    return r.snapshot(*WINDOW)

@@ -1,0 +1,158 @@
+"""Differential and paper-example tests for projection (Section 3.4)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import algebra
+from repro.core.errors import SchemaError
+from repro.core.relations import GeneralizedRelation, Schema, relation
+
+from tests.helpers import random_relation
+
+WINDOW = (-9, 9)
+
+
+class TestFigure2:
+    """Figure 2: real-relaxation projection is unsound over Z."""
+
+    def figure2_relation(self):
+        r = relation(temporal=["X1", "X2"])
+        r.add_tuple(
+            ["4n + 3", "8n + 1"], "X1 >= X2 & X1 <= X2 + 5 & X2 >= 2"
+        )
+        return r
+
+    def test_true_projection(self):
+        proj = algebra.project(self.figure2_relation(), ["X1"])
+        points = sorted(x for (x,) in proj.snapshot(0, 40))
+        assert points == [11, 19, 27, 35]
+
+    def test_spurious_points_excluded(self):
+        """3, 7, 15, 23 are in the real projection but not over Z."""
+        proj = algebra.project(self.figure2_relation(), ["X1"])
+        for spurious in (3, 7, 15, 23):
+            assert not proj.contains([spurious])
+
+    def test_real_relaxation_would_include_them(self):
+        """Confirm the paper's point: the naive DBM projection (valid
+        for free integer/real variables, wrong on lattices) admits the
+        spurious points."""
+        r = self.figure2_relation()
+        (gtuple,) = r.tuples
+        naive = gtuple.dbm.project([0])  # drop X2 without normalizing
+        for spurious in (3, 7, 15, 23):
+            # lattice-compatible with 4n+3, accepted by naive constraints
+            assert gtuple.lrps[0].contains(spurious)
+            assert naive.satisfied_by([spurious])
+
+
+class TestProjectBasics:
+    def test_reorder_only(self):
+        r = relation(temporal=["a", "b"])
+        r.add_tuple(["2n", "3n"], "a <= b")
+        out = algebra.project(r, ["b", "a"])
+        assert out.schema.names == ("b", "a")
+        assert out.contains([6, 2])
+        assert not out.contains([2, 6])
+
+    def test_drop_unconstrained_column(self):
+        r = relation(temporal=["a", "b"])
+        r.add_tuple(["2n", "3n"])
+        out = algebra.project(r, ["a"])
+        assert out.contains([2]) and not out.contains([1])
+
+    def test_drop_data_column(self):
+        schema = Schema.make(temporal=["t"], data=["who", "what"])
+        r = GeneralizedRelation.empty(schema)
+        r.add_tuple(["2n"], data=["r1", "t1"])
+        out = algebra.project(r, ["t", "what"])
+        assert out.schema.data_names == ("what",)
+        assert out.contains([2], ["t1"])
+
+    def test_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            algebra.project(relation(temporal=["a"]), ["zzz"])
+
+    def test_duplicate_names(self):
+        with pytest.raises(SchemaError):
+            algebra.project(relation(temporal=["a"]), ["a", "a"])
+
+    def test_project_to_empty_schema(self):
+        r = relation(temporal=["a"])
+        r.add_tuple(["2n"])
+        out = algebra.project(r, [])
+        assert len(out.schema) == 0
+        assert not out.is_empty()
+
+    def test_project_empty_relation_to_empty_schema(self):
+        out = algebra.project(relation(temporal=["a"]), [])
+        assert out.is_empty()
+
+
+class TestPartialNormalization:
+    def test_unconnected_columns_not_split(self):
+        """Dropping an unconstrained column must not explode the others."""
+        r = relation(temporal=["a", "b", "c"])
+        r.add_tuple(["7n", "11n", "13n + 1"], "a <= 3")
+        out = algebra.project(r, ["a", "b"])
+        # b and c were never connected to each other or to a, so the
+        # result is a single tuple with b's lrp untouched.
+        assert len(out) == 1
+        (t,) = out.tuples
+        assert t.lrps[1].period == 11
+
+    def test_cluster_limited_split(self):
+        r = relation(temporal=["a", "b", "c"])
+        r.add_tuple(["2n", "3n", "5n"], "a <= b")
+        out = algebra.project(r, ["b", "c"])
+        # cluster = {a, b} with lcm 6: a splits 3-ways, b 2-ways; c never.
+        assert all(t.lrps[1].period == 5 for t in out.tuples)
+
+
+class TestProjectionDifferential:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_project_first_of_two(self, seed):
+        rng = random.Random(seed)
+        r = random_relation(rng, Schema.make(temporal=["X1", "X2"]), 2)
+        out = algebra.project(r, ["X1"])
+        wide = (-30, 30)
+        expected_wide = {a for (a, b) in r.snapshot(*wide)}
+        got = {a for (a,) in out.snapshot(*WINDOW)}
+        expected = {a for a in expected_wide if WINDOW[0] <= a <= WINDOW[1]}
+        # Exactness within the inner window: the wide enumeration covers
+        # every preimage whose X2 lies within ±30 of the window; random
+        # constraint constants are <= 6 so that margin suffices.
+        assert got == expected
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_project_middle_of_three(self, seed):
+        rng = random.Random(seed)
+        r = random_relation(
+            rng, Schema.make(temporal=["X1", "X2", "X3"]), 2
+        )
+        out = algebra.project(r, ["X1", "X3"])
+        wide = (-25, 25)
+        inner = (-6, 6)
+        expected = {
+            (a, c)
+            for (a, b, c) in r.snapshot(*wide)
+            if inner[0] <= a <= inner[1] and inner[0] <= c <= inner[1]
+        }
+        got = out.snapshot(*inner)
+        assert got == expected
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_every_projected_point_has_integer_preimage(self, seed):
+        """Soundness half of Theorem 3.1, checked symbolically."""
+        rng = random.Random(seed)
+        r = random_relation(rng, Schema.make(temporal=["X1", "X2"]), 2)
+        out = algebra.project(r, ["X1"])
+        for (x,) in out.snapshot(*WINDOW):
+            probe = algebra.select(r, f"X1 = {x}")
+            assert not probe.is_empty(), f"{x} has no preimage"

@@ -1,0 +1,169 @@
+"""Differential tests for union, intersection and subtraction."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import algebra
+from repro.core.errors import SchemaError
+from repro.core.relations import GeneralizedRelation, Schema, relation
+
+from tests.helpers import assert_same_window, random_relation
+
+SCHEMA2 = Schema.make(temporal=["X1", "X2"])
+WINDOW = (-9, 9)
+
+
+def rel2(rng: random.Random, n: int) -> GeneralizedRelation:
+    return random_relation(rng, SCHEMA2, n)
+
+
+class TestUnion:
+    def test_merges(self):
+        r1 = relation(temporal=["X1"])
+        r1.add_tuple(["2n"])
+        r2 = relation(temporal=["X1"])
+        r2.add_tuple(["2n + 1"])
+        u = algebra.union(r1, r2)
+        assert u.contains([4]) and u.contains([5])
+
+    def test_dedups(self):
+        r1 = relation(temporal=["X1"])
+        r1.add_tuple(["2n"])
+        r2 = relation(temporal=["X1"])
+        r2.add_tuple(["2n"])
+        assert len(algebra.union(r1, r2)) == 1
+
+    def test_schema_mismatch(self):
+        with pytest.raises(SchemaError):
+            algebra.union(relation(temporal=["a"]), relation(temporal=["b"]))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_union_is_set_union(self, seed):
+        rng = random.Random(seed)
+        r1, r2 = rel2(rng, 3), rel2(rng, 3)
+        expected = r1.snapshot(*WINDOW) | r2.snapshot(*WINDOW)
+        assert_same_window(algebra.union(r1, r2), expected, *WINDOW, "union")
+
+
+class TestIntersection:
+    def test_basic(self):
+        r1 = relation(temporal=["X1"])
+        r1.add_tuple(["2n"])
+        r2 = relation(temporal=["X1"])
+        r2.add_tuple(["3n"])
+        meet = algebra.intersect(r1, r2)
+        assert meet.contains([6]) and not meet.contains([2])
+
+    def test_with_data(self):
+        schema = Schema.make(temporal=["t"], data=["who"])
+        r1 = GeneralizedRelation.empty(schema)
+        r1.add_tuple(["2n"], data=["a"])
+        r2 = GeneralizedRelation.empty(schema)
+        r2.add_tuple(["2n"], data=["b"])
+        assert algebra.intersect(r1, r2).is_empty()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_intersection_is_set_intersection(self, seed):
+        rng = random.Random(seed)
+        r1, r2 = rel2(rng, 3), rel2(rng, 3)
+        expected = r1.snapshot(*WINDOW) & r2.snapshot(*WINDOW)
+        assert_same_window(
+            algebra.intersect(r1, r2), expected, *WINDOW, "intersect"
+        )
+
+
+class TestSubtraction:
+    def test_figure1_identity_shape(self):
+        """t1 - t2 decomposes into (t1 - t2*) ∪ (t̄2 ∩ t1)."""
+        r1 = relation(temporal=["X1", "X2"])
+        r1.add_tuple(["2n", "2n"], "X1 <= X2")
+        r2 = relation(temporal=["X1", "X2"])
+        r2.add_tuple(["2n", "4n"], "X1 >= 0")
+        diff = algebra.subtract(r1, r2)
+        expected = r1.snapshot(*WINDOW) - r2.snapshot(*WINDOW)
+        assert_same_window(diff, expected, *WINDOW, "figure1")
+
+    def test_subtract_self_is_empty(self):
+        r = relation(temporal=["X1", "X2"])
+        r.add_tuple(["2n", "3n"], "X1 <= X2 + 4")
+        assert algebra.subtract(r, r).is_empty()
+
+    def test_subtract_disjoint_is_identity(self):
+        r1 = relation(temporal=["X1"])
+        r1.add_tuple(["2n"])
+        r2 = relation(temporal=["X1"])
+        r2.add_tuple(["2n + 1"])
+        diff = algebra.subtract(r1, r2)
+        assert diff.snapshot(*WINDOW) == r1.snapshot(*WINDOW)
+
+    def test_subtract_point_from_progression(self):
+        """The singleton-carve-out case needs constraint pieces."""
+        r1 = relation(temporal=["X1"])
+        r1.add_tuple(["2n"])
+        r2 = relation(temporal=["X1"])
+        r2.add_tuple([4])
+        diff = algebra.subtract(r1, r2)
+        assert diff.contains([2]) and diff.contains([6]) and diff.contains([-4])
+        assert not diff.contains([4])
+
+    def test_subtract_constrained_point(self):
+        r1 = relation(temporal=["X1"])
+        r1.add_tuple(["n"])
+        r2 = relation(temporal=["X1"])
+        r2.add_tuple(["n"], "X1 >= 3 & X1 <= 5")
+        diff = algebra.subtract(r1, r2)
+        for x in range(-10, 11):
+            assert diff.contains([x]) == (x < 3 or x > 5), x
+
+    def test_with_data(self):
+        schema = Schema.make(temporal=["t"], data=["who"])
+        r1 = GeneralizedRelation.empty(schema)
+        r1.add_tuple(["n"], data=["a"])
+        r1.add_tuple(["n"], data=["b"])
+        r2 = GeneralizedRelation.empty(schema)
+        r2.add_tuple(["n"], data=["a"])
+        diff = algebra.subtract(r1, r2)
+        assert diff.contains([0], ["b"]) and not diff.contains([0], ["a"])
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_subtraction_is_set_difference(self, seed):
+        rng = random.Random(seed)
+        r1, r2 = rel2(rng, 2), rel2(rng, 2)
+        expected = r1.snapshot(*WINDOW) - r2.snapshot(*WINDOW)
+        assert_same_window(
+            algebra.subtract(r1, r2), expected, *WINDOW, "subtract"
+        )
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_union_of_difference_and_intersection(self, seed):
+        """(r1 - r2) ∪ (r1 ∩ r2) == r1 — an algebraic identity."""
+        rng = random.Random(seed)
+        r1, r2 = rel2(rng, 2), rel2(rng, 2)
+        rebuilt = algebra.union(
+            algebra.subtract(r1, r2), algebra.intersect(r1, r2)
+        )
+        assert rebuilt.snapshot(*WINDOW) == r1.snapshot(*WINDOW)
+
+
+class TestEquivalent:
+    def test_different_syntax_same_set(self):
+        r1 = relation(temporal=["X1"])
+        r1.add_tuple(["2n"])
+        r2 = relation(temporal=["X1"])
+        r2.add_tuple(["4n"])
+        r2.add_tuple(["4n + 2"])
+        assert algebra.equivalent(r1, r2)
+
+    def test_not_equivalent(self):
+        r1 = relation(temporal=["X1"])
+        r1.add_tuple(["2n"])
+        r2 = relation(temporal=["X1"])
+        r2.add_tuple(["4n"])
+        assert not algebra.equivalent(r1, r2)

@@ -1,0 +1,126 @@
+"""Property tests for the algebra at three temporal columns.
+
+The two-column differential tests cover most logic; three columns
+exercise the parts where width matters: chained constraints through an
+eliminated middle column, complement's free-extension enumeration over
+a wider grid, and multi-step subtraction folds.
+"""
+
+import itertools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import algebra
+from repro.core.relations import GeneralizedRelation, Schema
+
+from tests.helpers import random_relation
+
+SCHEMA3 = Schema.make(temporal=["X1", "X2", "X3"])
+W = (-6, 6)
+seeds = st.integers(0, 10_000)
+
+
+def rel3(seed: int, n: int = 2) -> GeneralizedRelation:
+    return random_relation(random.Random(seed), SCHEMA3, n)
+
+
+class TestWideSetOps:
+    @given(seeds, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_subtraction(self, s1, s2):
+        a, b = rel3(s1), rel3(s2)
+        expected = a.snapshot(*W) - b.snapshot(*W)
+        assert algebra.subtract(a, b).snapshot(*W) == expected
+
+    @given(seeds, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_intersection(self, s1, s2):
+        a, b = rel3(s1), rel3(s2)
+        expected = a.snapshot(*W) & b.snapshot(*W)
+        assert algebra.intersect(a, b).snapshot(*W) == expected
+
+
+class TestWideProjection:
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_drop_middle_column(self, seed):
+        r = rel3(seed)
+        out = algebra.project(r, ["X1", "X3"])
+        wide = (-24, 24)
+        expected = {
+            (a, c)
+            for (a, b, c) in r.snapshot(*wide)
+            if W[0] <= a <= W[1] and W[0] <= c <= W[1]
+        }
+        assert out.snapshot(*W) == expected
+
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_iterated_projection_composes(self, seed):
+        """Π_{X1}(Π_{X1,X2}(r)) == Π_{X1}(r)."""
+        r = rel3(seed)
+        one_step = algebra.project(r, ["X1"])
+        two_step = algebra.project(algebra.project(r, ["X1", "X2"]), ["X1"])
+        wide = (-30, 30)
+        assert one_step.snapshot(*wide) == two_step.snapshot(*wide)
+
+    def test_chained_constraints_through_eliminated_column(self):
+        """Eliminating the middle of X1 <= X2 <= X3 must keep X1 <= X3."""
+        r = GeneralizedRelation.empty(SCHEMA3)
+        r.add_tuple(["2n", "3n", "2n"], "X1 <= X2 & X2 <= X3")
+        out = algebra.project(r, ["X1", "X3"])
+        for a in range(-6, 7):
+            for c in range(-6, 7):
+                expected = (
+                    a % 2 == 0
+                    and c % 2 == 0
+                    and any(
+                        a <= b <= c and b % 3 == 0 for b in range(a, c + 1)
+                    )
+                )
+                assert out.contains([a, c]) == expected, (a, c)
+
+
+class TestWideComplement:
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_partitions_the_cube(self, seed):
+        r = rel3(seed, n=2)
+        comp = algebra.complement(r)
+        inner = (-4, 4)
+        inside = r.snapshot(*inner)
+        outside = comp.snapshot(*inner)
+        cube = set(
+            itertools.product(range(inner[0], inner[1] + 1), repeat=3)
+        )
+        assert inside | outside == cube
+        assert not (inside & outside)
+
+    @given(seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_involution(self, seed):
+        r = rel3(seed, n=2)
+        twice = algebra.complement(algebra.complement(r))
+        inner = (-4, 4)
+        assert twice.snapshot(*inner) == r.snapshot(*inner)
+
+
+class TestWideJoins:
+    @given(seeds, seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_two_shared_columns(self, s1, s2):
+        r1 = algebra.rename(rel3(s1), {"X1": "a", "X2": "b", "X3": "c"})
+        r2 = algebra.rename(rel3(s2), {"X1": "b", "X2": "c", "X3": "d"})
+        out = algebra.join(r1, r2)
+        assert out.schema.names == ("a", "b", "c", "d")
+        s1_pts = r1.snapshot(*W)
+        s2_pts = r2.snapshot(*W)
+        expected = {
+            (a, b, c, d)
+            for (a, b, c) in s1_pts
+            for (b2, c2, d) in s2_pts
+            if b == b2 and c == c2
+        }
+        assert out.snapshot(*W) == expected

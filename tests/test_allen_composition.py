@@ -1,0 +1,127 @@
+"""Tests for the derived Allen composition table."""
+
+import itertools
+
+import pytest
+
+from repro.intervals import ALLEN_INVERSES, ALLEN_TEMPLATES, holds
+from repro.intervals.composition import (
+    compose,
+    composition_table,
+    feasible_relations,
+)
+
+
+def brute_compose(r1: str, r2: str, span: int = 6) -> frozenset[str]:
+    """Composition by enumerating small proper intervals."""
+    out = set()
+    intervals = [
+        (s, e) for s in range(span) for e in range(s + 1, span + 1)
+    ]
+    for a in intervals:
+        for b in intervals:
+            if not holds(r1, a, b):
+                continue
+            for c in intervals:
+                if holds(r2, b, c):
+                    out.add(next(
+                        name for name in ALLEN_TEMPLATES if holds(name, a, c)
+                    ))
+    return frozenset(out)
+
+
+class TestKnownEntries:
+    def test_before_before(self):
+        assert compose("before", "before") == frozenset({"before"})
+
+    def test_meets_meets(self):
+        assert compose("meets", "meets") == frozenset({"before"})
+
+    def test_equals_is_identity(self):
+        for name in ALLEN_TEMPLATES:
+            assert compose("equals", name) == frozenset({name})
+            assert compose(name, "equals") == frozenset({name})
+
+    def test_during_during(self):
+        assert compose("during", "during") == frozenset({"during"})
+
+    def test_before_after_is_universal(self):
+        # A before B and B after C leaves A vs C fully unconstrained.
+        assert compose("before", "after") == frozenset(ALLEN_TEMPLATES)
+
+    def test_overlaps_overlaps(self):
+        assert compose("overlaps", "overlaps") == frozenset(
+            {"before", "meets", "overlaps"}
+        )
+
+    def test_unknown_relation(self):
+        with pytest.raises(KeyError):
+            compose("nearby", "before")
+        with pytest.raises(KeyError):
+            compose("before", "nearby")
+
+
+class TestDerivedTableSoundAndComplete:
+    @pytest.mark.parametrize("r1", sorted(ALLEN_TEMPLATES))
+    def test_row_matches_brute_force(self, r1):
+        """Each derived row equals enumeration over small intervals.
+
+        A span of 6 suffices: every Allen configuration over three
+        intervals is realizable with endpoints in [0, 6] (at most six
+        distinct endpoint values are ever needed).
+        """
+        for r2 in ALLEN_TEMPLATES:
+            assert compose(r1, r2) == brute_compose(r1, r2), (r1, r2)
+
+    def test_table_shape(self):
+        table = composition_table()
+        assert len(table) == 13 * 13
+        assert all(entries for entries in table.values())
+
+    def test_inverse_symmetry(self):
+        """compose(r1, r2)⁻¹ == compose(r2⁻¹, r1⁻¹)."""
+        for r1, r2 in itertools.product(sorted(ALLEN_TEMPLATES), repeat=2):
+            lhs = {ALLEN_INVERSES[r] for r in compose(r1, r2)}
+            rhs = compose(ALLEN_INVERSES[r2], ALLEN_INVERSES[r1])
+            assert lhs == rhs, (r1, r2)
+
+
+class TestNetworkInference:
+    def test_three_interval_chain(self):
+        out = feasible_relations(
+            known=[(("a1", "a2"), "meets", ("b1", "b2")),
+                   (("b1", "b2"), "meets", ("c1", "c2"))],
+            query=(("a1", "a2"), ("c1", "c2")),
+            intervals=[("a1", "a2"), ("b1", "b2"), ("c1", "c2")],
+        )
+        assert out == {"before"}
+
+    def test_network_tighter_than_pairwise_composition(self):
+        """A third constraint can prune relations pairwise composition
+        would allow."""
+        intervals = [("a1", "a2"), ("b1", "b2"), ("c1", "c2")]
+        loose = feasible_relations(
+            known=[(intervals[0], "overlaps", intervals[1]),
+                   (intervals[1], "overlaps", intervals[2])],
+            query=(intervals[0], intervals[2]),
+            intervals=intervals,
+        )
+        assert loose == {"before", "meets", "overlaps"}
+        tight = feasible_relations(
+            known=[(intervals[0], "overlaps", intervals[1]),
+                   (intervals[1], "overlaps", intervals[2]),
+                   (intervals[0], "meets", intervals[2])],
+            query=(intervals[0], intervals[2]),
+            intervals=intervals,
+        )
+        assert tight == {"meets"}
+
+    def test_inconsistent_network(self):
+        intervals = [("a1", "a2"), ("b1", "b2")]
+        out = feasible_relations(
+            known=[(intervals[0], "before", intervals[1]),
+                   (intervals[1], "before", intervals[0])],
+            query=(intervals[0], intervals[1]),
+            intervals=intervals,
+        )
+        assert out == set()

@@ -1,0 +1,214 @@
+"""Unit and property tests for the integer arithmetic kernel."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arith import (
+    CongruenceSolution,
+    crt_pair,
+    crt_system,
+    extended_gcd,
+    floor_div,
+    lcm,
+    lcm_many,
+    mod_inverse,
+    solve_linear_congruence,
+)
+
+nonzero = st.integers(min_value=-200, max_value=200).filter(lambda x: x != 0)
+small = st.integers(min_value=-200, max_value=200)
+positive = st.integers(min_value=1, max_value=200)
+
+
+class TestExtendedGcd:
+    def test_basic(self):
+        g, x, y = extended_gcd(240, 46)
+        assert g == 2
+        assert 240 * x + 46 * y == 2
+
+    def test_zero_zero(self):
+        g, x, y = extended_gcd(0, 0)
+        assert g == 0 and 0 * x + 0 * y == g
+
+    def test_one_zero(self):
+        g, x, y = extended_gcd(7, 0)
+        assert g == 7 and 7 * x == 7
+
+    def test_negative_inputs(self):
+        g, x, y = extended_gcd(-12, 18)
+        assert g == 6
+        assert -12 * x + 18 * y == 6
+
+    @given(small, small)
+    def test_bezout_identity(self, a, b):
+        g, x, y = extended_gcd(a, b)
+        assert g == math.gcd(a, b)
+        assert a * x + b * y == g
+
+
+class TestModInverse:
+    def test_basic(self):
+        assert mod_inverse(3, 7) == 5  # 3*5 = 15 ≡ 1 (mod 7)
+
+    def test_not_invertible(self):
+        with pytest.raises(ValueError):
+            mod_inverse(4, 8)
+
+    def test_bad_modulus(self):
+        with pytest.raises(ValueError):
+            mod_inverse(3, 0)
+
+    @given(nonzero, positive)
+    def test_inverse_property(self, a, m):
+        if math.gcd(a, m) != 1:
+            with pytest.raises(ValueError):
+                mod_inverse(a, m)
+        else:
+            inv = mod_inverse(a, m)
+            assert 0 <= inv < m
+            assert (a * inv) % m == 1 % m
+
+
+class TestLcm:
+    def test_basic(self):
+        assert lcm(4, 6) == 12
+
+    def test_zero(self):
+        assert lcm(0, 5) == 0
+        assert lcm(5, 0) == 0
+
+    def test_negative(self):
+        assert lcm(-4, 6) == 12
+
+    def test_lcm_many(self):
+        assert lcm_many([2, 3, 4]) == 12
+
+    def test_lcm_many_skips_zero(self):
+        assert lcm_many([0, 3, 0, 4]) == 12
+
+    def test_lcm_many_empty(self):
+        assert lcm_many([]) == 1
+        assert lcm_many([0, 0]) == 1
+
+    @given(nonzero, nonzero)
+    def test_lcm_divisible(self, a, b):
+        ell = lcm(a, b)
+        assert ell % a == 0 and ell % b == 0
+        assert ell == abs(a * b) // math.gcd(a, b)
+
+
+class TestFloorDiv:
+    def test_positive(self):
+        assert floor_div(7, 2) == 3
+
+    def test_negative_numerator(self):
+        assert floor_div(-7, 2) == -4
+
+    def test_zero_divisor(self):
+        with pytest.raises(ZeroDivisionError):
+            floor_div(1, 0)
+
+
+class TestCongruenceSolution:
+    def test_contains_periodic(self):
+        sol = CongruenceSolution(residue=2, modulus=5)
+        assert sol.contains(7) and sol.contains(-3)
+        assert not sol.contains(3)
+
+    def test_contains_pin(self):
+        sol = CongruenceSolution(residue=4, modulus=0)
+        assert sol.contains(4) and not sol.contains(9)
+
+    def test_rejects_unreduced(self):
+        with pytest.raises(ValueError):
+            CongruenceSolution(residue=7, modulus=5)
+
+    def test_rejects_negative_modulus(self):
+        with pytest.raises(ValueError):
+            CongruenceSolution(residue=0, modulus=-1)
+
+
+class TestSolveLinearCongruence:
+    def test_simple(self):
+        sol = solve_linear_congruence(3, 1, 7)
+        assert sol is not None
+        assert (3 * sol.residue) % 7 == 1
+
+    def test_no_solution(self):
+        assert solve_linear_congruence(4, 1, 8) is None
+
+    def test_gcd_reduction(self):
+        sol = solve_linear_congruence(4, 2, 6)
+        assert sol is not None
+        assert sol.modulus == 3
+        assert (4 * sol.residue - 2) % 6 == 0
+
+    def test_bad_modulus(self):
+        with pytest.raises(ValueError):
+            solve_linear_congruence(1, 1, 0)
+
+    @given(nonzero, small, positive)
+    def test_all_residues_solve(self, a, b, m):
+        sol = solve_linear_congruence(a, b, m)
+        brute = [x for x in range(m) if (a * x - b) % m == 0]
+        if sol is None:
+            assert brute == []
+        else:
+            assert brute
+            for x in brute:
+                assert sol.contains(x)
+
+
+class TestCrt:
+    def test_classic(self):
+        sol = crt_pair(2, 3, 3, 5)
+        assert sol is not None
+        assert sol.modulus == 15
+        assert sol.residue % 3 == 2 and sol.residue % 5 == 3
+
+    def test_incompatible(self):
+        assert crt_pair(0, 2, 1, 2) is None
+
+    def test_non_coprime_compatible(self):
+        sol = crt_pair(2, 4, 0, 2)
+        assert sol is not None
+        assert sol.modulus == 4 and sol.residue == 2
+
+    def test_pin_vs_periodic(self):
+        sol = crt_pair(7, 0, 1, 3)
+        assert sol is not None and sol.modulus == 0 and sol.residue == 7
+        assert crt_pair(8, 0, 1, 3) is None
+
+    def test_pin_vs_pin(self):
+        assert crt_pair(5, 0, 5, 0) == CongruenceSolution(5, 0)
+        assert crt_pair(5, 0, 6, 0) is None
+
+    def test_system_empty(self):
+        sol = crt_system([])
+        assert sol is not None and sol.contains(42)
+
+    def test_system_three(self):
+        sol = crt_system([(1, 2), (2, 3), (3, 5)])
+        assert sol is not None
+        for r, m in [(1, 2), (2, 3), (3, 5)]:
+            assert sol.residue % m == r
+
+    @given(small, st.integers(0, 30), small, st.integers(0, 30))
+    def test_pair_matches_brute_force(self, r1, m1, r2, m2):
+        sol = crt_pair(r1 % m1 if m1 else r1, m1, r2 % m2 if m2 else r2, m2)
+        span = range(-60, 61)
+
+        def in1(x):
+            return x % m1 == r1 % m1 if m1 else x == r1
+
+        def in2(x):
+            return x % m2 == r2 % m2 if m2 else x == r2
+
+        brute = {x for x in span if in1(x) and in2(x)}
+        if sol is None:
+            assert not brute
+        else:
+            assert brute == {x for x in span if sol.contains(x)}

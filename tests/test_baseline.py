@@ -1,0 +1,95 @@
+"""Tests for the finite-horizon baseline engine."""
+
+import pytest
+
+from repro.baseline import FiniteRelation
+from repro.core.relations import GeneralizedRelation, Schema, relation
+from repro.intervals import liege_brussels_schedule
+
+
+def ticks() -> FiniteRelation:
+    r = relation(temporal=["t"])
+    r.add_tuple(["2n"])
+    return FiniteRelation.materialize(r, 0, 10)
+
+
+class TestMaterialize:
+    def test_materializes_window(self):
+        f = ticks()
+        assert len(f) == 6
+        assert f.contains((4,)) and not f.contains((3,))
+
+    def test_storage_grows_with_horizon(self):
+        """The paper's Section 1 point: finite storage is O(horizon)."""
+        r = relation(temporal=["t"])
+        r.add_tuple(["2n"])
+        sizes = [
+            FiniteRelation.materialize(r, 0, h).storage_cells()
+            for h in (10, 100, 1000)
+        ]
+        assert sizes[1] > 5 * sizes[0] and sizes[2] > 5 * sizes[1]
+
+    def test_mixed_schema(self):
+        trains = liege_brussels_schedule()
+        f = FiniteRelation.materialize(trains, 0, 200)
+        assert f.contains((2, 80, "slow"))
+
+    def test_arity_check(self):
+        f = ticks()
+        with pytest.raises(ValueError):
+            f.add((1, 2))
+
+
+class TestAlgebra:
+    def test_set_ops(self):
+        a = FiniteRelation(Schema.make(temporal=["t"]), [(0,), (2,), (4,)])
+        b = FiniteRelation(Schema.make(temporal=["t"]), [(4,), (6,)])
+        assert (4,) in a.union(b).rows and len(a.union(b)) == 4
+        assert a.intersect(b).rows == {(4,)}
+        assert a.subtract(b).rows == {(0,), (2,)}
+
+    def test_schema_mismatch(self):
+        a = FiniteRelation(Schema.make(temporal=["t"]))
+        b = FiniteRelation(Schema.make(temporal=["u"]))
+        with pytest.raises(ValueError):
+            a.union(b)
+
+    def test_select_project(self):
+        a = FiniteRelation(
+            Schema.make(temporal=["t", "u"]), [(1, 2), (3, 1)]
+        )
+        assert a.select(lambda row: row[0] < row[1]).rows == {(1, 2)}
+        assert a.project(["u"]).rows == {(2,), (1,)}
+        assert a.project(["u", "t"]).rows == {(2, 1), (1, 3)}
+
+    def test_product_and_join(self):
+        a = FiniteRelation(Schema.make(temporal=["t"]), [(1,), (2,)])
+        b = FiniteRelation(Schema.make(temporal=["u"]), [(9,)])
+        assert a.product(b).rows == {(1, 9), (2, 9)}
+        with pytest.raises(ValueError):
+            a.product(a)
+        c = FiniteRelation(
+            Schema.make(temporal=["t", "v"]), [(1, 7), (5, 8)]
+        )
+        assert a.join(c).rows == {(1, 7)}
+
+    def test_complement_needs_domains(self):
+        a = FiniteRelation(Schema.make(temporal=["t"]), [(1,)])
+        comp = a.complement({"t": [0, 1, 2]})
+        assert comp.rows == {(0,), (2,)}
+        with pytest.raises(ValueError):
+            a.complement({})
+
+
+class TestAgreementWithGeneralized:
+    def test_join_matches_generalized(self):
+        r1 = relation(temporal=["a", "b"])
+        r1.add_tuple(["2n", "2n"], "a = b - 2")
+        r2 = relation(temporal=["b", "c"])
+        r2.add_tuple(["4n", "4n"], "b = c - 4")
+        window = (-8, 8)
+        finite = FiniteRelation.materialize(r1, *window).join(
+            FiniteRelation.materialize(r2, *window)
+        )
+        symbolic = r1.join(r2)
+        assert finite.rows == symbolic.snapshot(*window)

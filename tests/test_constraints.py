@@ -1,0 +1,158 @@
+"""Tests for the attribute-name constraint layer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.constraints import (
+    Op,
+    VarConstAtom,
+    VarVarAtom,
+    atoms_to_dbm,
+    dbm_to_atoms,
+    parse_atom,
+    parse_atoms,
+)
+from repro.core.dbm import DBM
+from repro.core.errors import ConstraintError, ParseError
+
+
+class TestParseAtom:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("X1 <= X2 + 4", VarVarAtom("X1", Op.LE, "X2", 4)),
+            ("X1 = X2 - 2", VarVarAtom("X1", Op.EQ, "X2", -2)),
+            ("X1 >= X2", VarVarAtom("X1", Op.GE, "X2", 0)),
+            ("X1 < X2 + 1", VarVarAtom("X1", Op.LT, "X2", 1)),
+            ("X2 >= 2", VarConstAtom("X2", Op.GE, 2)),
+            ("X1 = -7", VarConstAtom("X1", Op.EQ, -7)),
+            ("dep = arr - 78", VarVarAtom("dep", Op.EQ, "arr", -78)),
+            ("X1>X2", VarVarAtom("X1", Op.GT, "X2", 0)),
+        ],
+    )
+    def test_accepts(self, text, expected):
+        assert parse_atom(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "X1", "X1 + X2 <= 3", "<= 4", "X1 <= X2 + X3"])
+    def test_rejects(self, text):
+        with pytest.raises(ParseError):
+            parse_atom(text)
+
+    def test_atom_str_round_trip(self):
+        for text in ["X1 <= X2 + 4", "X1 = X2 - 2", "X2 >= 2", "X1 = 7"]:
+            atom = parse_atom(text)
+            assert parse_atom(str(atom)) == atom
+
+
+class TestParseAtoms:
+    def test_ampersand(self):
+        atoms = parse_atoms("X1 <= X2 & X2 >= 0")
+        assert len(atoms) == 2
+
+    def test_comma_and_word(self):
+        assert len(parse_atoms("X1 <= X2, X2 >= 0")) == 2
+        assert len(parse_atoms("X1 <= X2 and X2 >= 0")) == 2
+
+    def test_unicode_wedge(self):
+        assert len(parse_atoms("X1 <= X2 ∧ X2 >= 0")) == 2
+
+    def test_empty_and_true(self):
+        assert parse_atoms("") == []
+        assert parse_atoms("  TRUE ") == []
+
+
+class TestAtomsToDbm:
+    def test_var_var_forms(self):
+        names = ["X1", "X2"]
+        dbm = atoms_to_dbm(parse_atoms("X1 <= X2 + 4"), names)
+        assert dbm.satisfied_by([5, 1]) and not dbm.satisfied_by([6, 1])
+        dbm = atoms_to_dbm(parse_atoms("X1 > X2"), names)
+        assert dbm.satisfied_by([2, 1]) and not dbm.satisfied_by([1, 1])
+        dbm = atoms_to_dbm(parse_atoms("X1 = X2 - 2"), names)
+        assert dbm.satisfied_by([3, 5]) and not dbm.satisfied_by([3, 6])
+
+    def test_var_const_forms(self):
+        names = ["X1"]
+        assert atoms_to_dbm(parse_atoms("X1 < 3"), names).satisfied_by([2])
+        assert not atoms_to_dbm(parse_atoms("X1 < 3"), names).satisfied_by([3])
+        assert atoms_to_dbm(parse_atoms("X1 > -1"), names).satisfied_by([0])
+        assert atoms_to_dbm(parse_atoms("X1 = 5"), names).satisfied_by([5])
+
+    def test_unknown_attribute(self):
+        with pytest.raises(ConstraintError):
+            atoms_to_dbm(parse_atoms("X9 <= 3"), ["X1"])
+        with pytest.raises(ConstraintError):
+            atoms_to_dbm(parse_atoms("X1 <= X9"), ["X1"])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConstraintError):
+            atoms_to_dbm([], ["X1", "X1"])
+
+    def test_self_comparison_tautology(self):
+        dbm = atoms_to_dbm(parse_atoms("X1 <= X1 + 1"), ["X1"])
+        assert dbm.is_satisfiable()
+
+    def test_self_comparison_contradiction(self):
+        dbm = atoms_to_dbm(parse_atoms("X1 = X1 + 1"), ["X1"])
+        assert not dbm.is_satisfiable()
+
+    def test_self_comparison_strict(self):
+        assert not atoms_to_dbm(parse_atoms("X1 < X1"), ["X1"]).is_satisfiable()
+        assert atoms_to_dbm(parse_atoms("X1 > X1 - 1"), ["X1"]).is_satisfiable()
+
+
+class TestDbmToAtoms:
+    def test_round_trip_semantics(self):
+        names = ["X1", "X2"]
+        source = parse_atoms("X1 <= X2 + 4 & X2 >= 2 & X1 = 5")
+        dbm = atoms_to_dbm(source, names)
+        rendered = dbm_to_atoms(dbm, names)
+        back = atoms_to_dbm(rendered, names)
+        assert dbm.equivalent(back)
+
+    def test_equality_merging(self):
+        names = ["X1", "X2"]
+        dbm = atoms_to_dbm(parse_atoms("X1 = X2 - 2"), names)
+        rendered = dbm_to_atoms(dbm, names)
+        assert VarVarAtom("X1", Op.EQ, "X2", -2) in rendered
+
+    def test_value_pin_merging(self):
+        dbm = atoms_to_dbm(parse_atoms("X1 = 7"), ["X1"])
+        rendered = dbm_to_atoms(dbm, ["X1"])
+        assert rendered == [VarConstAtom("X1", Op.EQ, 7)]
+
+    def test_size_mismatch(self):
+        with pytest.raises(ConstraintError):
+            dbm_to_atoms(DBM(2), ["X1"])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 2),
+                st.integers(0, 2),
+                st.integers(-6, 6),
+            ),
+            max_size=5,
+        )
+    )
+    def test_random_round_trip(self, triples):
+        names = ["A", "B", "C"]
+        dbm = DBM(3)
+        for i, j, bound in triples:
+            if i == j:
+                dbm.add_upper(i, bound)
+            else:
+                dbm.add_difference(i, j, bound)
+        rendered = dbm_to_atoms(dbm, names)
+        back = atoms_to_dbm(rendered, names)
+        assert dbm.copy().equivalent(back)
+
+
+class TestOpFlipped:
+    def test_all(self):
+        assert Op.LE.flipped() is Op.GE
+        assert Op.GE.flipped() is Op.LE
+        assert Op.LT.flipped() is Op.GT
+        assert Op.GT.flipped() is Op.LT
+        assert Op.EQ.flipped() is Op.EQ

@@ -1,0 +1,112 @@
+"""Tests for CSV bridging and progression compression."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ParseError
+from repro.core.relations import GeneralizedRelation, Schema, relation
+from repro.storage import csvio
+
+
+def trains() -> GeneralizedRelation:
+    r = GeneralizedRelation.empty(
+        Schema.make(temporal=["dep", "arr"], data=["svc"])
+    )
+    r.add_tuple(["2 + 60n", "80 + 60n"], "dep = arr - 78", ["slow"])
+    return r
+
+
+class TestExport:
+    def test_export_window(self):
+        text = csvio.export_window(trains(), 0, 130)
+        lines = text.strip().splitlines()
+        assert lines[0] == "dep,arr,svc"
+        assert "2,80,slow" in lines
+        assert "62,140,slow" not in lines  # arr outside window
+
+    def test_export_no_header(self):
+        text = csvio.export_window(trains(), 0, 130, header=False)
+        assert not text.startswith("dep")
+
+    def test_export_empty(self):
+        text = csvio.export_window(relation(temporal=["t"]), 0, 10)
+        assert text.strip() == "t"
+
+
+class TestImport:
+    def test_round_trip_window(self):
+        source = trains()
+        text = csvio.export_window(source, 0, 300)
+        back = csvio.import_csv(source.schema, text)
+        assert back.snapshot(0, 300) == source.snapshot(0, 300)
+
+    def test_header_mismatch(self):
+        schema = Schema.make(temporal=["t"])
+        with pytest.raises(ParseError):
+            csvio.import_csv(schema, "x\n1\n")
+        with pytest.raises(ParseError):
+            csvio.import_csv(schema, "")
+
+    def test_row_arity_mismatch(self):
+        schema = Schema.make(temporal=["t"])
+        with pytest.raises(ParseError):
+            csvio.import_rows(schema, [(1, 2)])
+
+    def test_no_header_import(self):
+        schema = Schema.make(temporal=["t"], data=["who"])
+        rel = csvio.import_csv(schema, "3,ann\n5,bob\n", header=False)
+        assert rel.contains([3], ["ann"]) and rel.contains([5], ["bob"])
+
+
+class TestCompression:
+    def test_progression_recovered(self):
+        schema = Schema.make(temporal=["t"], data=["who"])
+        rows = [(x, "ann") for x in range(2, 63, 6)]
+        finite = csvio.import_rows(schema, rows)
+        compressed = csvio.compress_unary(finite)
+        assert len(compressed) < len(finite)
+        assert compressed.snapshot(0, 70) == finite.snapshot(0, 70)
+        (gtuple,) = compressed.tuples
+        assert gtuple.lrps[0].period == 6
+
+    def test_leftovers_stay_singletons(self):
+        schema = Schema.make(temporal=["t"])
+        finite = csvio.import_rows(schema, [(0,), (4,), (8,), (9,), (15,)])
+        compressed = csvio.compress_unary(finite)
+        assert compressed.snapshot(-5, 20) == finite.snapshot(-5, 20)
+
+    def test_groups_compress_independently(self):
+        schema = Schema.make(temporal=["t"], data=["who"])
+        rows = [(x, "a") for x in range(0, 30, 3)] + [
+            (x, "b") for x in range(1, 30, 7)
+        ]
+        finite = csvio.import_rows(schema, rows)
+        compressed = csvio.compress_unary(finite)
+        assert compressed.snapshot(0, 30) == finite.snapshot(0, 30)
+        periods = {t.lrps[0].period for t in compressed}
+        assert 3 in periods and 7 in periods
+
+    def test_rejects_infinite(self):
+        r = relation(temporal=["t"])
+        r.add_tuple(["2n"])
+        with pytest.raises(ParseError):
+            csvio.compress_unary(r)
+
+    def test_rejects_wide(self):
+        with pytest.raises(ParseError):
+            csvio.compress_unary(relation(temporal=["a", "b"]))
+
+    def test_empty(self):
+        out = csvio.compress_unary(relation(temporal=["t"]))
+        assert out.is_empty()
+
+    @given(st.lists(st.integers(-30, 30), min_size=0, max_size=20))
+    @settings(max_examples=80, deadline=None)
+    def test_compression_is_lossless(self, values):
+        schema = Schema.make(temporal=["t"])
+        finite = csvio.import_rows(schema, [(v,) for v in values])
+        compressed = csvio.compress_unary(finite)
+        assert compressed.snapshot(-35, 35) == finite.snapshot(-35, 35)

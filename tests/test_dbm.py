@@ -1,0 +1,322 @@
+"""Unit and property tests for difference-bound matrices."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dbm import DBM, add_bound, min_bound
+
+
+def brute_solutions(dbm: DBM, low: int, high: int) -> set[tuple[int, ...]]:
+    """All integer points of the DBM in the window, by exhaustion."""
+    return {
+        point
+        for point in itertools.product(range(low, high + 1), repeat=dbm.size)
+        if dbm.satisfied_by(point)
+    }
+
+
+@st.composite
+def small_dbms(draw, max_arity=3):
+    arity = draw(st.integers(1, max_arity))
+    dbm = DBM(arity)
+    n = draw(st.integers(0, 5))
+    for _ in range(n):
+        const = draw(st.integers(-5, 5))
+        kind = draw(st.integers(0, 2))
+        i = draw(st.integers(0, arity - 1))
+        if kind == 0 and arity >= 2:
+            j = draw(st.integers(0, arity - 1))
+            if i != j:
+                dbm.add_difference(i, j, const)
+        elif kind == 1:
+            dbm.add_upper(i, const)
+        else:
+            dbm.add_lower(i, const)
+    return dbm
+
+
+class TestBoundHelpers:
+    def test_min_bound(self):
+        assert min_bound(None, 3) == 3
+        assert min_bound(3, None) == 3
+        assert min_bound(2, 5) == 2
+        assert min_bound(None, None) is None
+
+    def test_add_bound(self):
+        assert add_bound(2, 3) == 5
+        assert add_bound(None, 3) is None
+        assert add_bound(3, None) is None
+
+
+class TestConstruction:
+    def test_empty_satisfiable(self):
+        assert DBM(3).is_satisfiable()
+
+    def test_zero_size(self):
+        dbm = DBM(0)
+        assert dbm.is_satisfiable()
+        assert dbm.satisfied_by(())
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            DBM(-1)
+
+    def test_out_of_range_variable(self):
+        dbm = DBM(2)
+        with pytest.raises(IndexError):
+            dbm.add_upper(2, 0)
+
+    def test_strongest_conjunct_kept(self):
+        """Appendix A: X1 <= X2+4 ∧ X1 <= X2-5 reduces to X1 <= X2-5."""
+        dbm = DBM(2)
+        dbm.add_difference(0, 1, 4)
+        dbm.add_difference(0, 1, -5)
+        assert dbm.bound(0, 1) == -5
+
+    def test_self_difference_contradiction(self):
+        dbm = DBM(1)
+        dbm.add_difference(0, 0, -1)
+        assert not dbm.is_satisfiable()
+
+
+class TestSatisfiability:
+    def test_simple_window(self):
+        dbm = DBM(1)
+        dbm.add_lower(0, 2)
+        dbm.add_upper(0, 5)
+        assert dbm.is_satisfiable()
+        assert dbm.satisfied_by([3])
+        assert not dbm.satisfied_by([6])
+
+    def test_empty_window(self):
+        dbm = DBM(1)
+        dbm.add_lower(0, 6)
+        dbm.add_upper(0, 5)
+        assert not dbm.is_satisfiable()
+
+    def test_negative_cycle(self):
+        dbm = DBM(2)
+        dbm.add_difference(0, 1, -1)  # X0 < X1
+        dbm.add_difference(1, 0, -1)  # X1 < X0
+        assert not dbm.is_satisfiable()
+
+    def test_equality_chain(self):
+        dbm = DBM(3)
+        dbm.add_equality(0, 1, 2)
+        dbm.add_equality(1, 2, 3)
+        dbm.add_value(2, 0)
+        assert dbm.is_satisfiable()
+        assert dbm.satisfied_by([5, 3, 0])
+        assert not dbm.satisfied_by([4, 3, 0])
+
+    @given(small_dbms())
+    @settings(max_examples=200, deadline=None)
+    def test_satisfiability_matches_brute_force(self, dbm):
+        # Bounds are within [-5, 5]; any satisfiable system of such
+        # difference constraints has a solution with coordinates in
+        # [-15, 15] (chains of length <= 3 with offsets <= 5 each, from
+        # a variable pinned near the origin).
+        has_point = bool(brute_solutions(dbm, -15, 15))
+        assert dbm.copy().close() == has_point
+
+
+class TestSolution:
+    def test_bounded(self):
+        dbm = DBM(2)
+        dbm.add_lower(0, 3)
+        dbm.add_difference(1, 0, -2)  # X1 <= X0 - 2
+        sol = dbm.solution()
+        assert sol is not None and dbm.satisfied_by(sol)
+
+    def test_unbounded_above(self):
+        dbm = DBM(1)
+        dbm.add_lower(0, 100)
+        sol = dbm.solution()
+        assert sol is not None and sol[0] >= 100
+
+    def test_unsatisfiable(self):
+        dbm = DBM(1)
+        dbm.add_upper(0, 0)
+        dbm.add_lower(0, 1)
+        assert dbm.solution() is None
+
+    @given(small_dbms())
+    @settings(max_examples=200, deadline=None)
+    def test_solution_always_satisfies(self, dbm):
+        sol = dbm.solution()
+        if sol is None:
+            assert not dbm.copy().close()
+        else:
+            assert dbm.satisfied_by(sol)
+
+
+class TestProjection:
+    def test_project_drops_variable(self):
+        dbm = DBM(2)
+        dbm.add_difference(0, 1, -1)  # X0 <= X1 - 1
+        dbm.add_upper(1, 10)
+        projected = dbm.project([0])
+        assert projected.size == 1
+        assert projected.upper(0) == 9
+
+    def test_project_reorders(self):
+        dbm = DBM(2)
+        dbm.add_upper(0, 1)
+        dbm.add_upper(1, 2)
+        projected = dbm.project([1, 0])
+        assert projected.upper(0) == 2
+        assert projected.upper(1) == 1
+
+    def test_project_unsat_stays_unsat(self):
+        dbm = DBM(2)
+        dbm.add_upper(0, 0)
+        dbm.add_lower(0, 1)
+        assert not dbm.project([1]).is_satisfiable()
+
+    @given(small_dbms(max_arity=3), st.integers(0, 2))
+    @settings(max_examples=150, deadline=None)
+    def test_projection_is_exact_over_z(self, dbm, drop):
+        """Shortest-path projection equals pointwise projection over Z.
+
+        This is the free-integer-variable case that Theorem 3.1 reduces
+        projection to after normalization.
+        """
+        if drop >= dbm.size:
+            return
+        keep = [i for i in range(dbm.size) if i != drop]
+        projected = dbm.copy().project(keep)
+        window = (-16, 16)
+        full = brute_solutions(dbm, *window)
+        expected = {tuple(p[i] for i in keep) for p in full}
+        # Compare only points well inside the window: projections of
+        # points outside it may be missing from `expected`.
+        inner = (-8, 8)
+        got = {
+            p
+            for p in brute_solutions(projected, *inner)
+        }
+        expected_inner = {
+            p
+            for p in expected
+            if all(inner[0] <= v <= inner[1] for v in p)
+        }
+        assert expected_inner <= got
+        # Soundness needs care at window edges; restrict both ways.
+        for p in got:
+            # every projected point must have a preimage over Z
+            probe = dbm.copy()
+            for pos, value in zip(keep, p):
+                probe.add_value(pos, value)
+            assert probe.close(), f"projected point {p} has no preimage"
+
+
+class TestTransformations:
+    def test_intersect(self):
+        a = DBM(1)
+        a.add_upper(0, 5)
+        b = DBM(1)
+        b.add_lower(0, 3)
+        meet = a.intersect(b)
+        assert meet.satisfied_by([4])
+        assert not meet.satisfied_by([2]) and not meet.satisfied_by([6])
+
+    def test_intersect_size_mismatch(self):
+        with pytest.raises(ValueError):
+            DBM(1).intersect(DBM(2))
+
+    def test_extend(self):
+        dbm = DBM(1)
+        dbm.add_value(0, 7)
+        bigger = dbm.extend(2)
+        assert bigger.size == 3
+        assert bigger.satisfied_by([7, 100, -100])
+
+    def test_shift_variable(self):
+        dbm = DBM(2)
+        dbm.add_difference(0, 1, 0)  # X0 <= X1
+        dbm.add_upper(0, 5)
+        shifted = dbm.shift_variable(0, 10)
+        # new X0 = old X0 + 10: satisfied by (15, 5)
+        assert shifted.satisfied_by([15, 5])
+        assert not shifted.satisfied_by([16, 5])
+
+    def test_scale_down_up(self):
+        dbm = DBM(1)
+        dbm.add_upper(0, 12)
+        dbm.add_lower(0, -8)
+        scaled = dbm.scale_down(4)
+        assert scaled.upper(0) == 3 and scaled.lower(0) == -2
+        restored = scaled.scale_up(4)
+        assert restored.upper(0) == 12
+
+    def test_scale_down_rejects_non_multiple(self):
+        dbm = DBM(1)
+        dbm.add_upper(0, 5)
+        with pytest.raises(ValueError):
+            dbm.scale_down(4)
+
+    def test_permute(self):
+        dbm = DBM(2)
+        dbm.add_upper(0, 1)
+        out = dbm.permute([1, 0])
+        assert out.upper(1) == 1 and out.upper(0) is None
+
+
+class TestEquivalenceImplication:
+    def test_canonical_equality(self):
+        a = DBM(2)
+        a.add_difference(0, 1, 0)
+        a.add_difference(1, 0, 0)
+        b = DBM(2)
+        b.add_equality(0, 1, 0)
+        assert a.equivalent(b)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unsat_all_equivalent(self):
+        a = DBM(1)
+        a.add_upper(0, 0)
+        a.add_lower(0, 1)
+        b = DBM(1)
+        b.add_upper(0, -5)
+        b.add_lower(0, 5)
+        assert a.equivalent(b)
+
+    def test_implies(self):
+        tight = DBM(1)
+        tight.add_upper(0, 3)
+        loose = DBM(1)
+        loose.add_upper(0, 10)
+        assert tight.implies(loose)
+        assert not loose.implies(tight)
+
+    def test_unsat_implies_anything(self):
+        bottom = DBM(1)
+        bottom.add_upper(0, 0)
+        bottom.add_lower(0, 1)
+        other = DBM(1)
+        other.add_upper(0, -100)
+        assert bottom.implies(other)
+
+    @given(small_dbms(max_arity=2), small_dbms(max_arity=2))
+    @settings(max_examples=150, deadline=None)
+    def test_implies_matches_brute_force(self, a, b):
+        if a.size != b.size:
+            with pytest.raises(ValueError):
+                a.implies(b)
+            return
+        window = (-15, 15)
+        sa = brute_solutions(a, *window)
+        sb = brute_solutions(b, *window)
+        if a.implies(b):
+            assert sa <= sb
+
+    def test_repr(self):
+        dbm = DBM(1)
+        dbm.add_upper(0, 2)
+        assert "X0 - 0 <= 2" in repr(dbm)
+        assert repr(DBM(1)) == "DBM(1: true)"

@@ -1,0 +1,247 @@
+"""Tests for the Datalog-style deductive layer."""
+
+import pytest
+
+from repro.core.errors import EvaluationError, ParseError, SchemaError
+from repro.deductive import Program, Rule
+from repro.query import Database
+
+
+def robots_db() -> Database:
+    db = Database()
+    db.create("Perform", temporal=["t1", "t2"], data=["robot", "task"])
+    p = db.relation("Perform")
+    p.add_tuple(
+        ["2 + 2n", "4 + 2n"], "t1 = t2 - 2 & t1 >= -1", ["robot1", "task1"]
+    )
+    p.add_tuple(["10n", "3 + 10n"], "t1 = t2 - 3", ["robot2", "task1"])
+    return db
+
+
+class TestRuleParsing:
+    def test_basic(self):
+        rule = Rule.parse("Busy(t, r) <- Perform(a, b, r, k) & a <= t")
+        assert rule.head_name == "Busy"
+        assert rule.head_vars == ("t", "r")
+
+    def test_constants_in_head(self):
+        rule = Rule.parse('Marked(t, "note") <- Tick(t)')
+        assert rule.head_args[1].const == "note"
+        rule = Rule.parse("AtZero(0, r) <- Robot(r)")
+        assert rule.head_args[0].const == 0
+
+    def test_missing_arrow(self):
+        with pytest.raises(ParseError):
+            Rule.parse("Busy(t, r)")
+
+    def test_malformed_head(self):
+        with pytest.raises(ParseError):
+            Rule.parse("busy t <- Tick(t)")
+        with pytest.raises(ParseError):
+            Rule.parse("Busy(t,, r) <- Tick(t)")
+
+    def test_repeated_head_var(self):
+        with pytest.raises(ParseError):
+            Rule.parse("Pair(t, t) <- Tick(t)")
+
+    def test_str(self):
+        rule = Rule.parse("Busy(t) <- Tick(t)")
+        assert "Busy(t) <- Tick(t)" == str(rule)
+
+
+class TestDeclarationAndSafety:
+    def test_undeclared_head(self):
+        program = Program()
+        with pytest.raises(SchemaError):
+            program.rule("Nope(t) <- Tick(t)")
+
+    def test_double_declaration(self):
+        program = Program()
+        program.declare("P", temporal=["t"])
+        with pytest.raises(SchemaError):
+            program.declare("P", temporal=["t"])
+
+    def test_unsafe_head_variable(self):
+        db = robots_db()
+        program = Program()
+        program.declare("Ghost", temporal=["t"], data=["r"])
+        program.rule('Ghost(t, r) <- Perform(a, b, r, "task1")')
+        with pytest.raises(SchemaError):
+            program.evaluate(db)
+
+    def test_head_arity_mismatch(self):
+        db = robots_db()
+        program = Program()
+        program.declare("P", temporal=["t"])
+        program.rule("P(a, b) <- Perform(a, b, r, k)")
+        with pytest.raises(SchemaError):
+            program.evaluate(db)
+
+    def test_sort_mismatch(self):
+        db = robots_db()
+        program = Program()
+        program.declare("P", temporal=["t"])
+        program.rule("P(r) <- Perform(a, b, r, k)")  # r is data-sorted
+        with pytest.raises(SchemaError):
+            program.evaluate(db)
+
+    def test_dangling_negated_variable(self):
+        db = robots_db()
+        program = Program()
+        program.declare("Q", data=["r"])
+        program.rule(
+            "Q(r) <- Perform(a, b, r, k) & ~(Perform(c, d, r, k2))"
+        )
+        with pytest.raises(SchemaError, match="only under negation"):
+            program.evaluate(db)
+
+    def test_idb_edb_clash(self):
+        db = robots_db()
+        program = Program()
+        program.declare("Perform", temporal=["t"])
+        program.rule("Perform(t) <- t >= 0 & t <= 0")
+        with pytest.raises(SchemaError):
+            program.evaluate(db)
+
+
+class TestEvaluation:
+    def test_projection_rule(self):
+        db = robots_db()
+        program = Program()
+        program.declare("Robot", data=["r"])
+        program.rule("Robot(r) <- Perform(a, b, r, k)")
+        out = program.evaluate(db)
+        robot = out.relation("Robot")
+        assert robot.contains([], ["robot1"]) and robot.contains([], ["robot2"])
+        assert len(list(robot.enumerate(0, 0))) == 2
+
+    def test_interval_unfolding(self):
+        """Busy(t, r): t inside some performance interval of r."""
+        db = robots_db()
+        program = Program()
+        program.declare("Busy", temporal=["t"], data=["r"])
+        program.rule("Busy(t, r) <- Perform(a, b, r, k) & a <= t & t <= b")
+        busy = program.evaluate(db).relation("Busy")
+        assert busy.contains([3], ["robot1"])
+        assert busy.contains([1000001], ["robot1"])
+        assert not busy.contains([5], ["robot2"])  # 10n..10n+3 misses 5
+
+    def test_constant_head_argument(self):
+        db = robots_db()
+        program = Program()
+        program.declare("Tag", temporal=["t"], data=["label"])
+        program.rule('Tag(t, "start") <- Perform(t, b, r, k)')
+        tag = program.evaluate(db).relation("Tag")
+        assert tag.contains([2], ["start"])
+        assert tag.schema.data_names == ("label",)
+
+    def test_multiple_rules_union(self):
+        db = robots_db()
+        program = Program()
+        program.declare("Endpoint", temporal=["t"])
+        program.rule("Endpoint(t) <- Perform(t, b, r, k)")
+        program.rule("Endpoint(t) <- Perform(a, t, r, k)")
+        endpoint = program.evaluate(db).relation("Endpoint")
+        assert endpoint.contains([2]) and endpoint.contains([4])
+        assert endpoint.contains([0]) and endpoint.contains([3])
+
+    def test_edb_unchanged(self):
+        db = robots_db()
+        before = db.relation("Perform").snapshot(0, 10)
+        program = Program()
+        program.declare("Robot", data=["r"])
+        program.rule("Robot(r) <- Perform(a, b, r, k)")
+        program.evaluate(db)
+        assert db.relation("Perform").snapshot(0, 10) == before
+        assert "Robot" not in db  # result is a new database
+
+
+class TestRecursion:
+    def test_transitive_closure(self):
+        db = Database()
+        db.create("Next", temporal=["a", "b"])
+        db.relation("Next").add_tuple(
+            ["4n", "4n"], "a = b - 4 & a >= 0 & a <= 12"
+        )
+        program = Program()
+        program.declare("Reach", temporal=["a", "b"])
+        program.rule("Reach(a, b) <- Next(a, b)")
+        program.rule("Reach(a, c) <- Reach(a, b) & Next(b, c)")
+        reach = program.evaluate(db).relation("Reach")
+        expected = {
+            (a, b)
+            for a in range(0, 17, 4)
+            for b in range(a + 4, 17, 4)
+        }
+        assert reach.snapshot(0, 16) == expected
+
+    def test_semantic_fixpoint_on_periodic_relation(self):
+        """Recursion over an *infinite* relation still reaches a fixpoint
+        when the derived set stabilizes as a point set."""
+        db = Database()
+        db.create("Shift2", temporal=["a", "b"])
+        # a -> a+2 for all even a (infinite!)
+        db.relation("Shift2").add_tuple(["2n", "2n"], "a = b - 2")
+        program = Program()
+        program.declare("Even2", temporal=["a", "b"])
+        program.rule("Even2(a, b) <- Shift2(a, b)")
+        # composing a->a+2 with itself gives a->a+4; the union a->a+2,
+        # a->a+4, ... keeps growing, so bound the hop count via
+        # constraints to keep a fixpoint reachable:
+        program.rule(
+            "Even2(a, c) <- Even2(a, b) & Shift2(b, c) & c <= a + 6"
+        )
+        even2 = program.evaluate(db).relation("Even2")
+        assert even2.contains([0, 2]) and even2.contains([0, 4])
+        assert even2.contains([0, 6]) and not even2.contains([0, 8])
+        assert even2.contains([100, 106])
+
+    def test_divergence_guarded(self):
+        db = Database()
+        db.create("Seed", temporal=["t"])
+        db.relation("Seed").add_tuple([0])
+        program = Program()
+        program.declare("Up", temporal=["t"])
+        program.rule("Up(t) <- Seed(t)")
+        program.rule("Up(t) <- Up(s) & t = s + 1 & t >= s")
+        with pytest.raises(EvaluationError, match="fixpoint"):
+            program.evaluate(db, max_iterations=5)
+
+
+class TestStratifiedNegation:
+    def test_idle_robots(self):
+        db = robots_db()
+        program = Program()
+        program.declare("Robot", data=["r"])
+        program.declare("Idle", temporal=["t"], data=["r"])
+        program.rule("Robot(r) <- Perform(a, b, r, k)")
+        program.rule(
+            "Idle(t, r) <- Robot(r) & t >= 0 & t <= 5 & "
+            "~(EXISTS a. EXISTS b. EXISTS k. "
+            "Perform(a, b, r, k) & a <= t & t <= b)"
+        )
+        idle = program.evaluate(db).relation("Idle")
+        # robot1 covers [2n, 2n+2] from -1 on: never idle in [0,5].
+        # robot2 covers [10n, 10n+3]: idle at 4 and 5.
+        assert idle.snapshot(0, 5) == {(4, "robot2"), (5, "robot2")}
+
+    def test_stratification_order(self):
+        db = robots_db()
+        program = Program()
+        program.declare("A", data=["r"])
+        program.declare("B", data=["r"])
+        program.rule("A(r) <- Perform(x, y, r, k)")
+        program.rule('B(r) <- A(r) & ~(A("no-such-robot"))')
+        strata = program.stratify(db.schemas())
+        flat = [s for layer in strata for s in layer]
+        assert flat.index("A") < flat.index("B")
+
+    def test_negation_cycle_rejected(self):
+        db = robots_db()
+        program = Program()
+        program.declare("P", data=["r"])
+        program.declare("Q", data=["r"])
+        program.rule("P(r) <- Perform(a, b, r, k) & ~Q(r)")
+        program.rule("Q(r) <- Perform(a, b, r, k) & ~P(r)")
+        with pytest.raises(EvaluationError, match="stratifiable"):
+            program.evaluate(db)

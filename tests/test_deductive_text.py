@@ -1,0 +1,75 @@
+"""Tests for the textual Datalog program format."""
+
+import pytest
+
+from repro.core.errors import SchemaError
+from repro.deductive import Program
+from repro.query import Database
+
+
+def base_db() -> Database:
+    db = Database()
+    db.create("Edge", temporal=["a", "b"])
+    db.relation("Edge").add_tuple(["3n", "3n"], "a = b - 3 & a >= 0 & a <= 6")
+    return db
+
+
+class TestFromText:
+    def test_declarations_and_rules(self):
+        program = Program.from_text(
+            """
+            # reachability
+            declare Reach(a:T, b:T)
+            Reach(a, b) <- Edge(a, b)
+            Reach(a, c) <- Reach(a, b) & Edge(b, c)
+            """
+        )
+        assert program.idb_names == ("Reach",)
+        assert len(program.rules) == 2
+        out = program.evaluate(base_db())
+        reach = out.relation("Reach")
+        assert reach.contains([0, 9]) and reach.contains([3, 6])
+        assert not reach.contains([0, 1])
+
+    def test_line_continuation(self):
+        program = Program.from_text(
+            "declare R(a:T)\n"
+            "R(a) <- Edge(a, b) \\\n"
+            "    & a >= 0\n"
+        )
+        out = program.evaluate(base_db())
+        assert out.relation("R").contains([3])
+
+    def test_comments_and_blanks_ignored(self):
+        program = Program.from_text(
+            "\n# header\n\ndeclare R(a:T)\n# rule\nR(a) <- Edge(a, b)\n\n"
+        )
+        assert len(program.rules) == 1
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(SchemaError):
+            Program.from_text(
+                "declare R(a:T)\ndeclare R(a:T)\n"
+            )
+
+    def test_rule_before_declaration_rejected(self):
+        with pytest.raises(SchemaError):
+            Program.from_text("R(a) <- Edge(a, b)\n")
+
+    def test_dangling_continuation(self):
+        with pytest.raises(SchemaError):
+            Program.from_text("declare R(a:T)\nR(a) <- Edge(a, b) \\")
+
+    def test_data_inequality_in_rules(self):
+        db = Database()
+        db.create("Owns", temporal=["t"], data=["who", "what"])
+        db.relation("Owns").add_tuple(["2n"], data=["ann", "car"])
+        db.relation("Owns").add_tuple(["2n"], data=["bob", "car"])
+        program = Program.from_text(
+            """
+            declare Shared(what:D)
+            Shared(w) <- Owns(t, p1, w) & Owns(t, p2, w) & ~(p1 = p2)
+            """
+        )
+        out = program.evaluate(db)
+        assert out.relation("Shared").contains([], ["car"])

@@ -1,0 +1,62 @@
+"""Documentation tests: every Python block in the docs must run.
+
+Extracts fenced ``python`` code blocks from README.md and
+docs/tutorial.md and executes them in order within one namespace per
+file (later tutorial blocks build on earlier ones).  Comment-marked
+shell/text blocks are skipped.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+_BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def python_blocks(path: pathlib.Path) -> list[str]:
+    return _BLOCK_RE.findall(path.read_text())
+
+
+@pytest.mark.parametrize("doc", ["README.md", "docs/tutorial.md"])
+def test_doc_blocks_execute(doc):
+    path = ROOT / doc
+    blocks = python_blocks(path)
+    assert blocks, f"{doc} has no python blocks?"
+    namespace: dict = {}
+    for index, block in enumerate(blocks):
+        try:
+            exec(compile(block, f"{doc}[block {index}]", "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - the assert reports
+            pytest.fail(f"{doc} block {index} failed: {exc}\n{block}")
+
+
+def test_readme_mentions_every_subpackage():
+    readme = (ROOT / "README.md").read_text()
+    src = ROOT / "src" / "repro"
+    for package in sorted(p.name for p in src.iterdir() if p.is_dir()):
+        if package.startswith("__"):
+            continue
+        assert package in readme, f"README does not mention {package!r}"
+
+
+def test_design_lists_every_benchmark():
+    design = (ROOT / "DESIGN.md").read_text()
+    benches = sorted(
+        p.name
+        for p in (ROOT / "benchmarks").glob("test_bench_*.py")
+    )
+    for bench in benches:
+        assert bench in design, f"DESIGN.md does not index {bench}"
+
+
+def test_experiments_covers_every_benchmark():
+    experiments = (ROOT / "EXPERIMENTS.md").read_text()
+    benches = sorted(
+        p.name
+        for p in (ROOT / "benchmarks").glob("test_bench_*.py")
+    )
+    for bench in benches:
+        assert bench in experiments, f"EXPERIMENTS.md does not record {bench}"

@@ -1,0 +1,204 @@
+"""Edge cases across modules: degenerate arities, huge values, extremes."""
+
+import pytest
+
+from repro.core import algebra
+from repro.core.dbm import DBM
+from repro.core.emptiness import relation_witness, tuple_witness
+from repro.core.lrp import LRP
+from repro.core.normalize import normalize_tuple
+from repro.core.relations import GeneralizedRelation, Schema, relation
+from repro.core.tuples import GeneralizedTuple
+from repro.query import Database
+
+
+class TestHugeIntegers:
+    """Everything is arbitrary-precision: no overflow at any scale."""
+
+    BIG = 10**30
+
+    def test_lrp_membership_far_out(self):
+        lrp = LRP.make(3, 7)
+        assert lrp.contains(3 + 7 * self.BIG)
+        assert not lrp.contains(4 + 7 * self.BIG)
+
+    def test_huge_offsets_canonicalize(self):
+        assert LRP.make(self.BIG, 7) == LRP.make(self.BIG % 7, 7)
+
+    def test_intersection_of_huge_periods(self):
+        a = LRP.make(1, self.BIG)
+        b = LRP.make(1, self.BIG + 1)
+        meet = a.intersect(b)
+        assert meet is not None
+        assert meet.contains(1)
+
+    def test_relation_contains_far_out(self):
+        r = relation(temporal=["t"])
+        r.add_tuple(["60n"], "t >= 0")
+        assert r.contains([60 * self.BIG])
+
+    def test_query_with_huge_constant(self):
+        db = Database()
+        db.create("P", temporal=["t"])
+        db.relation("P").add_tuple(["2n"])
+        assert db.ask(f"EXISTS t. P(t) & t >= {self.BIG} & t <= {self.BIG + 1}")
+
+    def test_witness_respects_huge_bounds(self):
+        t = GeneralizedTuple.make(["2n"])
+        dbm = DBM(1)
+        dbm.add_lower(0, self.BIG)
+        t = GeneralizedTuple(t.lrps, dbm)
+        w = tuple_witness(t)
+        assert w is not None and w[0] >= self.BIG and w[0] % 2 == 0
+
+
+class TestZeroArity:
+    def test_zero_arity_relation_ops(self):
+        yes = relation(temporal=[])
+        yes.add_tuple([])
+        no = relation(temporal=[])
+        assert not algebra.union(yes, no).is_empty()
+        assert algebra.intersect(yes, no).is_empty()
+        assert not algebra.subtract(yes, no).is_empty()
+        assert algebra.subtract(yes, yes).is_empty()
+
+    def test_zero_arity_complement_involution(self):
+        yes = relation(temporal=[])
+        yes.add_tuple([])
+        assert algebra.complement(yes).is_empty()
+        assert not algebra.complement(algebra.complement(yes)).is_empty()
+
+    def test_project_everything_away(self):
+        r = relation(temporal=["a", "b"])
+        r.add_tuple(["2n", "3n"], "a <= b")
+        nothing = algebra.project(r, [])
+        assert not nothing.is_empty()
+        empty = relation(temporal=["a", "b"])
+        assert algebra.project(empty, []).is_empty()
+
+    def test_witness_of_zero_arity(self):
+        yes = relation(temporal=[])
+        yes.add_tuple([])
+        assert relation_witness(yes) == ()
+
+
+class TestSingletonHeavyTuples:
+    def test_all_singleton_normalization(self):
+        t = GeneralizedTuple.make([5, -3, 0])
+        result = normalize_tuple(t)
+        assert len(result) == 1
+        assert result[0].period == 1
+        assert result[0].singleton == (True, True, True)
+
+    def test_singleton_projection(self):
+        r = relation(temporal=["a", "b"])
+        r.add_tuple([5, "3n"], "a <= b")
+        out = algebra.project(r, ["b"])
+        points = sorted(x for (x,) in out.snapshot(0, 12))
+        assert points == [6, 9, 12]
+
+    def test_singleton_join(self):
+        r1 = relation(temporal=["a"])
+        r1.add_tuple([6])
+        r2 = relation(temporal=["a"])
+        r2.add_tuple(["3n"])
+        out = algebra.join(r1, r2)
+        assert out.contains([6]) and len(out) == 1
+
+    def test_singleton_complement(self):
+        r = relation(temporal=["t"])
+        r.add_tuple([5])
+        comp = algebra.complement(r)
+        assert comp.contains([4]) and comp.contains([6])
+        assert not comp.contains([5])
+
+
+class TestConstraintExtremes:
+    def test_equality_forcing_single_point(self):
+        r = relation(temporal=["a", "b"])
+        r.add_tuple(["n", "n"], "a = 3 & b = a + 4")
+        assert r.snapshot(-10, 10) == {(3, 7)}
+
+    def test_constraint_tighter_than_lattice(self):
+        r = relation(temporal=["t"])
+        r.add_tuple(["10n"], "t >= 1 & t <= 9")
+        assert r.is_empty()
+
+    def test_chained_equalities_project(self):
+        r = relation(temporal=["a", "b", "c"])
+        r.add_tuple(["2n", "2n", "2n"], "a = b - 2 & b = c - 2")
+        out = algebra.project(r, ["a", "c"])
+        assert out.contains([0, 4]) and not out.contains([0, 2])
+
+    def test_redundant_constraints_are_harmless(self):
+        r = relation(temporal=["a", "b"])
+        r.add_tuple(
+            ["2n", "2n"],
+            "a <= b & a <= b + 2 & a <= b + 100 & b >= 0 & b >= -50",
+        )
+        assert r.contains([0, 0]) and not r.contains([2, 0])
+
+
+class TestSchemaEdges:
+    def test_data_only_algebra(self):
+        schema = Schema.make(data=["x"])
+        r1 = GeneralizedRelation.empty(schema)
+        r1.add_tuple([], data=["a"])
+        r1.add_tuple([], data=["b"])
+        r2 = GeneralizedRelation.empty(schema)
+        r2.add_tuple([], data=["b"])
+        assert algebra.subtract(r1, r2).snapshot(0, 0) == {("a",)}
+        assert algebra.intersect(r1, r2).snapshot(0, 0) == {("b",)}
+
+    def test_join_purely_on_data(self):
+        s1 = Schema.make(data=["k", "v1"])
+        s2 = Schema.make(data=["k", "v2"])
+        r1 = GeneralizedRelation.empty(s1)
+        r1.add_tuple([], data=["x", 1])
+        r2 = GeneralizedRelation.empty(s2)
+        r2.add_tuple([], data=["x", 2])
+        r2.add_tuple([], data=["y", 3])
+        out = algebra.join(r1, r2)
+        assert out.snapshot(0, 0) == {("x", 1, 2)}
+
+    def test_rename_then_self_product(self):
+        r = relation(temporal=["t"])
+        r.add_tuple(["2n"])
+        left = algebra.rename(r, {"t": "t1"})
+        right = algebra.rename(r, {"t": "t2"})
+        pairs = algebra.product(left, right)
+        assert pairs.contains([2, 4])
+
+
+class TestQueryEdges:
+    def test_query_with_only_comparisons(self):
+        db = Database()
+        assert db.ask("3 <= 4 & 5 >= 5")
+        assert not db.ask("3 > 4 | 1 = 2")
+
+    def test_nested_negations(self):
+        db = Database()
+        db.create("P", temporal=["t"])
+        db.relation("P").add_tuple(["2n"])
+        assert db.ask("EXISTS t. ~~P(t)")
+        res = db.query("~~~P(t)")
+        assert res.contains([3]) and not res.contains([2])
+
+    def test_exists_shadowing(self):
+        db = Database()
+        db.create("P", temporal=["t"])
+        db.relation("P").add_tuple([4])
+        # inner t is bound; outer t is free and independent
+        res = db.query("(EXISTS t. P(t)) & t >= 0 & t <= 1")
+        assert res.contains([0]) and res.contains([1])
+        assert not res.contains([4])
+
+    def test_deeply_nested_connectives(self):
+        db = Database()
+        db.create("P", temporal=["t"])
+        db.relation("P").add_tuple(["3n"])
+        text = "P(t)"
+        for _ in range(6):
+            text = f"({text} | {text}) & ({text})"
+        res = db.query(text)
+        assert res.contains([3]) and not res.contains([4])

@@ -1,0 +1,39 @@
+"""Smoke tests: every example script runs cleanly and says what it should."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_SNIPPETS = {
+    "quickstart.py": ["smoke", "worker: bob"],
+    "train_schedule.py": ["07:02 -> 08:20: True", "07:50: False"],
+    "robot_factory.py": ["robot2", "True"],
+    "airport_gates.py": ["RP999", "remaining conflicts: 0"],
+    "presburger_sets.py": ["1 + 6n", "agreement: True"],
+    "model_checking.py": ["G F Running(proc='C') : True", "F G !Down : True"],
+    "factory_rules.py": ["robot1 ~> robot2", "t=16: robot1 -> robot2"],
+}
+# quickstart prints no literal "smoke"; assert on its real output instead.
+EXPECTED_SNIPPETS["quickstart.py"] = ["3 + 10n", "worker: bob"]
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_SNIPPETS))
+def test_example_runs(name):
+    output = run_example(name)
+    for snippet in EXPECTED_SNIPPETS[name]:
+        assert snippet in output, f"{name}: missing {snippet!r}"

@@ -1,0 +1,202 @@
+"""Integration tests spanning multiple subsystems end to end."""
+
+import pytest
+
+from repro.core import algebra
+from repro.core.relations import GeneralizedRelation, Schema, relation
+from repro.core.temporal import next_event
+from repro.deductive import Program
+from repro.intervals import (
+    RecurringTrip,
+    at_time,
+    every,
+    hourly,
+    liege_brussels_schedule,
+    schedule_relation,
+)
+from repro.presburger import compile_unary, parse_formula
+from repro.query import Database
+from repro.storage import jsonio, textio
+from repro.tl import Model, always, atom, disj, eventually, negate
+
+
+class TestScheduleLifecycle:
+    """Build -> persist -> reload -> query -> aggregate, one flow."""
+
+    def test_full_round_trip(self, tmp_path):
+        trains = liege_brussels_schedule()
+        # persist as text, reload
+        path = tmp_path / "trains.itql"
+        path.write_text(textio.dumps(trains, name="Train"))
+        name, reloaded = textio.loads(path.read_text())
+        assert name == "Train"
+        # and as JSON, reload again
+        again = jsonio.loads(jsonio.dumps(reloaded))
+        db = Database()
+        db.register("Train", again)
+        # query the reloaded data symbolically
+        assert db.ask(
+            'EXISTS d. EXISTS a. Train(d, a, "slow") & d >= 600'
+        )
+        # exact next departure after 9:00
+        assert next_event(again, "dep", at_time(9, 0)) == at_time(9, 2)
+
+    def test_query_result_feeds_algebra(self):
+        db = Database()
+        db.register("Train", liege_brussels_schedule())
+        departures = db.query("EXISTS a. EXISTS s. Train(d, a, s)")
+        # the open result is itself a generalized relation: complement it
+        quiet = algebra.complement(departures)
+        assert quiet.contains([at_time(7, 0)])
+        assert not quiet.contains([at_time(7, 2)])
+
+
+class TestDeductivePlusTemporalLogic:
+    """Derive an IDB relation with rules, then model-check it."""
+
+    def test_busy_robots_liveness(self):
+        db = Database()
+        db.create("Perform", temporal=["t1", "t2"], data=["robot", "task"])
+        perform = db.relation("Perform")
+        perform.add_tuple(
+            ["6n", "2 + 6n"], "t1 = t2 - 2", ["r1", "polish"]
+        )
+        perform.add_tuple(
+            ["3 + 6n", "5 + 6n"], "t1 = t2 - 2", ["r2", "weld"]
+        )
+        program = Program()
+        program.declare("Busy", temporal=["t"])
+        program.rule(
+            "Busy(t) <- Perform(a, b, r, k) & a <= t & t <= b"
+        )
+        derived = program.evaluate(db)
+        model = Model({"Busy": derived.relation("Busy")})
+        # someone is busy at every instant (slots [0,2],[3,5] tile Z mod 6)
+        assert model.holds_everywhere(atom("Busy"))
+        # hence trivially: always eventually busy
+        assert model.holds_everywhere(always(eventually(atom("Busy"))))
+
+    def test_gap_detection(self):
+        db = Database()
+        db.create("Perform", temporal=["t1", "t2"], data=["robot", "task"])
+        db.relation("Perform").add_tuple(
+            ["6n", "2 + 6n"], "t1 = t2 - 2", ["r1", "polish"]
+        )
+        program = Program()
+        program.declare("Busy", temporal=["t"])
+        program.rule("Busy(t) <- Perform(a, b, r, k) & a <= t & t <= b")
+        derived = program.evaluate(db)
+        model = Model({"Busy": derived.relation("Busy")})
+        idle = model.sat(negate(atom("Busy")))
+        assert sorted(x for (x,) in idle.enumerate(0, 11)) == [3, 4, 5, 9, 10, 11]
+
+
+class TestPresburgerIntoDatabase:
+    """Compiled Presburger predicates are first-class relations."""
+
+    def test_compiled_formula_joins_with_schedule(self):
+        # "minutes divisible by 4 but not by 3" as a compiled relation
+        formula = parse_formula("v = 0 mod 4 & ~(v = 0 mod 3)")
+        pattern = compile_unary(formula)
+        db = Database()
+        db.register("Pattern", algebra.rename(pattern, {"v": "m"}))
+        db.register(
+            "Shuttle",
+            schedule_relation(
+                [RecurringTrip(every(4), 2, "bus")],
+                departure_attr="m",
+                arrival_attr="a",
+            ),
+        )
+        # departures that match the pattern: multiples of 4 not div. by 3
+        res = db.query("EXISTS a. EXISTS s. Shuttle(m, a, s) & Pattern(m)")
+        points = {x for (x,) in res.snapshot(0, 24)}
+        assert points == {4, 8, 16, 20}
+
+    def test_compiled_formula_in_rules(self):
+        formula = parse_formula("v = 1 mod 2")
+        odd = compile_unary(formula)
+        db = Database()
+        db.register("Odd", algebra.rename(odd, {"v": "t"}))
+        db.create("Tick", temporal=["t"])
+        db.relation("Tick").add_tuple(["3n"])
+        program = Program()
+        program.declare("OddTick", temporal=["t"])
+        program.rule("OddTick(t) <- Tick(t) & Odd(t)")
+        out = program.evaluate(db)
+        assert sorted(
+            x for (x,) in out.relation("OddTick").enumerate(0, 20)
+        ) == [3, 9, 15]
+
+
+class TestIntervalsPlusQueries:
+    def test_allen_constraints_in_fo_queries(self):
+        """The 'overlaps' pattern written directly as a query."""
+        db = Database()
+        db.register(
+            "Occupy",
+            schedule_relation(
+                [
+                    RecurringTrip(hourly(0), 30, "first"),
+                    RecurringTrip(hourly(20), 30, "second"),
+                ],
+                departure_attr="s",
+                arrival_attr="e",
+                label_attr="who",
+            ),
+        )
+        # overlap: s1 < s2 < e1 < e2
+        overlapping = db.ask(
+            'EXISTS s1. EXISTS e1. EXISTS s2. EXISTS e2. '
+            'Occupy(s1, e1, "first") & Occupy(s2, e2, "second") '
+            "& s1 < s2 & s2 < e1 & e1 < e2"
+        )
+        assert overlapping
+
+    def test_no_overlap_case(self):
+        db = Database()
+        db.register(
+            "Occupy",
+            schedule_relation(
+                [
+                    RecurringTrip(hourly(0), 10, "first"),
+                    RecurringTrip(hourly(30), 10, "second"),
+                ],
+                departure_attr="s",
+                arrival_attr="e",
+                label_attr="who",
+            ),
+        )
+        assert not db.ask(
+            'EXISTS s1. EXISTS e1. EXISTS s2. EXISTS e2. '
+            'Occupy(s1, e1, "first") & Occupy(s2, e2, "second") '
+            "& s2 <= e1 & s1 <= e2 & s1 <= s2"
+        )
+
+
+class TestBigCompositePipeline:
+    def test_everything_at_once(self, tmp_path):
+        """Text load -> rules -> TL -> query -> save, with checks."""
+        source = """
+        relation Sensor(t:T, kind:D)
+        [4n] | ping
+        [2 + 8n] | alarm
+        """
+        relations = textio.loads_all(source)
+        db = Database()
+        for name, rel in relations.items():
+            db.register(name, rel)
+        program = Program()
+        program.declare("Event", temporal=["t"])
+        program.rule("Event(t) <- Sensor(t, k)")
+        enriched = program.evaluate(db)
+        model = Model({"Event": enriched.relation("Event")})
+        assert model.holds_everywhere(eventually(atom("Event")))
+        # alarms are a subset of pings' grid complement? alarms at 2+8n
+        assert db.ask('EXISTS t. Sensor(t, "alarm") & Sensor(t + 2, "ping")')
+        out_path = tmp_path / "out.itql"
+        out_path.write_text(
+            textio.dumps(enriched.relation("Event"), name="Event")
+        )
+        _, back = textio.loads(out_path.read_text())
+        assert back.snapshot(0, 20) == enriched.relation("Event").snapshot(0, 20)

@@ -1,0 +1,206 @@
+"""Tests for Allen relations and calendar helpers."""
+
+import itertools
+
+import pytest
+
+from repro.core import algebra
+from repro.core.relations import GeneralizedRelation, Schema, relation
+from repro.intervals import (
+    ALLEN_INVERSES,
+    ALLEN_TEMPLATES,
+    MINUTES_PER_DAY,
+    MINUTES_PER_HOUR,
+    RecurringTrip,
+    allen_atoms,
+    at_time,
+    classify,
+    daily,
+    every,
+    fmt_time,
+    holds,
+    hourly,
+    liege_brussels_schedule,
+    pairs_related,
+    proper,
+    schedule_relation,
+    weekly,
+)
+
+
+def proper_intervals(lo, hi):
+    for s in range(lo, hi):
+        for e in range(s + 1, hi + 1):
+            yield (s, e)
+
+
+class TestAllenRelations:
+    def test_thirteen_relations(self):
+        assert len(ALLEN_TEMPLATES) == 13
+        assert set(ALLEN_INVERSES) == set(ALLEN_TEMPLATES)
+
+    def test_exhaustive_and_exclusive(self):
+        """Every pair of proper intervals satisfies exactly one relation."""
+        for a in proper_intervals(0, 5):
+            for b in proper_intervals(0, 5):
+                matching = [
+                    name for name in ALLEN_TEMPLATES if holds(name, a, b)
+                ]
+                assert len(matching) == 1, (a, b, matching)
+
+    def test_inverses(self):
+        for a in proper_intervals(0, 5):
+            for b in proper_intervals(0, 5):
+                name = classify(a, b)
+                assert classify(b, a) == ALLEN_INVERSES[name]
+
+    def test_classify_rejects_improper(self):
+        with pytest.raises(ValueError):
+            classify((3, 3), (0, 1))
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(KeyError):
+            holds("nearby", (0, 1), (2, 3))
+        with pytest.raises(KeyError):
+            allen_atoms("nearby", ("a", "b"), ("c", "d"))
+
+    def test_examples(self):
+        assert holds("before", (0, 1), (2, 3))
+        assert holds("meets", (0, 2), (2, 4))
+        assert holds("overlaps", (0, 3), (2, 5))
+        assert holds("during", (2, 3), (0, 5))
+        assert holds("starts", (0, 2), (0, 5))
+        assert holds("finishes", (3, 5), (0, 5))
+        assert holds("equals", (1, 4), (1, 4))
+
+
+class TestSymbolicAllen:
+    def make_intervals(self, lrp_start, duration, name_prefix):
+        r = relation(temporal=[f"{name_prefix}s", f"{name_prefix}e"])
+        r.add_tuple(
+            [lrp_start, f"{duration} + {lrp_start}"]
+            if isinstance(lrp_start, str)
+            else [lrp_start, lrp_start + duration],
+            f"{name_prefix}s = {name_prefix}e - {duration}",
+        )
+        return r
+
+    def test_pairs_related_on_periodic_intervals(self):
+        # A: intervals [10n, 10n+3]; B: intervals [10n+5, 10n+6].
+        a = relation(temporal=["as_", "ae"])
+        a.add_tuple(["10n", "3 + 10n"], "as_ = ae - 3")
+        b = relation(temporal=["bs", "be"])
+        b.add_tuple(["5 + 10n", "6 + 10n"], "bs = be - 1")
+        out = pairs_related(a, b, "before", ("as_", "ae"), ("bs", "be"))
+        # [0,3] before [5,6]: yes
+        assert out.contains([0, 3, 5, 6])
+        # [10,13] before [5,6]: no
+        assert not out.contains([10, 13, 5, 6])
+
+    def test_pairs_related_differential(self):
+        a = relation(temporal=["as_", "ae"])
+        a.add_tuple(["4n", "2 + 4n"], "as_ = ae - 2")
+        b = relation(temporal=["bs", "be"])
+        b.add_tuple(["3n", "1 + 3n"], "bs = be - 1")
+        window = (-8, 8)
+        a_pts = a.snapshot(*window)
+        b_pts = b.snapshot(*window)
+        for name in ALLEN_TEMPLATES:
+            out = pairs_related(a, b, name, ("as_", "ae"), ("bs", "be"))
+            expected = {
+                (s1, e1, s2, e2)
+                for (s1, e1) in a_pts
+                for (s2, e2) in b_pts
+                if holds(name, (s1, e1), (s2, e2))
+            }
+            assert out.snapshot(*window) == expected, name
+
+    def test_proper_atoms(self):
+        r = relation(temporal=["s", "e"])
+        r.add_tuple(["n", "n"])
+        out = algebra.select(r, proper(("s", "e")))
+        assert out.contains([0, 1]) and not out.contains([1, 1])
+
+
+class TestCalendar:
+    def test_at_time(self):
+        assert at_time(0, 0) == 0
+        assert at_time(7, 2) == 422
+        assert at_time(7, 2, day=1) == 422 + MINUTES_PER_DAY
+
+    def test_at_time_validation(self):
+        with pytest.raises(ValueError):
+            at_time(24, 0)
+        with pytest.raises(ValueError):
+            at_time(0, 60)
+
+    def test_fmt_time(self):
+        assert fmt_time(at_time(7, 2)) == "07:02"
+        assert fmt_time(at_time(23, 59, day=2)) == "d+2 23:59"
+        assert fmt_time(at_time(1, 0, day=-1)) == "d-1 01:00"
+
+    def test_hourly(self):
+        lrp = hourly(2)
+        assert lrp.contains(at_time(7, 2)) and lrp.contains(at_time(8, 2))
+        assert not lrp.contains(at_time(7, 3))
+        with pytest.raises(ValueError):
+            hourly(60)
+
+    def test_daily_weekly(self):
+        assert daily(9, 30).contains(at_time(9, 30, day=5))
+        assert not daily(9, 30).contains(at_time(9, 31))
+        lrp = weekly(2, 9)
+        assert lrp.contains(at_time(9, 0, day=2))
+        assert lrp.contains(at_time(9, 0, day=9))
+        assert not lrp.contains(at_time(9, 0, day=3))
+        with pytest.raises(ValueError):
+            weekly(7, 0)
+
+    def test_every(self):
+        lrp = every(15, first=5)
+        assert lrp.contains(5) and lrp.contains(20) and not lrp.contains(21)
+        with pytest.raises(ValueError):
+            every(0)
+
+
+class TestSchedules:
+    def test_trip_validation(self):
+        with pytest.raises(ValueError):
+            RecurringTrip(hourly(0), 0, "bad")
+
+    def test_example_2_4(self):
+        """Example 2.4: the schedule denotes the paper's concrete trains
+        and avoids the cross-pairing the point-based encoding allows."""
+        trains = liege_brussels_schedule()
+        # the 7:02 slow train arrives 8:20
+        assert trains.contains(
+            [at_time(7, 2), at_time(8, 20)], ["slow"]
+        )
+        # the 7:46 express arrives 8:50
+        assert trains.contains(
+            [at_time(7, 46), at_time(8, 50)], ["express"]
+        )
+        # the paper's spurious pairing — leaving 7:46, arriving 7:50 —
+        # must NOT be in the relation (nor any cross pairing).
+        assert not trains.contains(
+            [at_time(7, 46), at_time(7, 50)], ["express"]
+        )
+        assert not trains.contains(
+            [at_time(7, 2), at_time(8, 50)], ["slow"]
+        )
+
+    def test_schedule_relation_custom_attrs(self):
+        rel = schedule_relation(
+            [RecurringTrip(every(30), 10, "shuttle")],
+            departure_attr="d",
+            arrival_attr="a",
+            label_attr="line",
+        )
+        assert rel.schema.names == ("d", "a", "line")
+        assert rel.contains([30, 40], ["shuttle"])
+        assert not rel.contains([30, 70], ["shuttle"])
+
+    def test_infinite_horizon(self):
+        trains = liege_brussels_schedule()
+        year_away = at_time(7, 2, day=365)
+        assert trains.contains([year_away, year_away + 78], ["slow"])

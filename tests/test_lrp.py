@@ -1,0 +1,223 @@
+"""Unit and property tests for linear repeating points."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ParseError
+from repro.core.lrp import LRP, common_period
+
+offsets = st.integers(min_value=-30, max_value=30)
+periods = st.integers(min_value=0, max_value=12)
+
+
+def lrps():
+    return st.builds(LRP.make, offsets, periods)
+
+
+class TestCanonicalForm:
+    def test_make_reduces_offset(self):
+        assert LRP.make(7, 5) == LRP.make(2, 5)
+        assert LRP.make(-3, 5) == LRP.make(2, 5)
+
+    def test_make_absolute_period(self):
+        assert LRP.make(3, -5) == LRP.make(3, 5)
+
+    def test_point(self):
+        p = LRP.point(-17)
+        assert p.is_singleton and p.offset == -17
+
+    def test_invalid_direct_construction(self):
+        with pytest.raises(ValueError):
+            LRP(offset=7, period=5)
+        with pytest.raises(ValueError):
+            LRP(offset=0, period=-1)
+
+    @given(offsets, periods)
+    def test_canonicalization_preserves_membership(self, c, k):
+        lrp = LRP.make(c, k)
+        for x in range(c - 2 * max(k, 1), c + 2 * max(k, 1) + 1):
+            member = (x == c) if k == 0 else ((x - c) % k == 0)
+            assert lrp.contains(x) == member
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("3 + 5n", LRP.make(3, 5)),
+            ("5n + 3", LRP.make(3, 5)),
+            ("3+5n", LRP.make(3, 5)),
+            ("-17 + 5n", LRP.make(-17, 5)),
+            ("7", LRP.point(7)),
+            ("-7", LRP.point(-7)),
+            ("n", LRP.make(0, 1)),
+            ("2n", LRP.make(0, 2)),
+            ("2 * n", LRP.make(0, 2)),
+            ("10n1", LRP.make(0, 10)),
+            ("3 + 10n2", LRP.make(3, 10)),
+            ("2n - 4", LRP.make(-4, 2)),
+            ("1 - 2n", LRP.make(1, 2)),
+        ],
+    )
+    def test_accepts(self, text, expected):
+        assert LRP.parse(text) == expected
+
+    @pytest.mark.parametrize("text", ["", "x + 2", "3 +", "n + n"])
+    def test_rejects(self, text):
+        with pytest.raises(ParseError):
+            LRP.parse(text)
+
+    @given(offsets, periods)
+    def test_str_round_trip(self, c, k):
+        lrp = LRP.make(c, k)
+        assert LRP.parse(str(lrp)) == lrp
+
+
+class TestMembershipEnumeration:
+    def test_example_2_1(self):
+        """The paper's Example 2.1: 3 + 5n."""
+        lrp = LRP.parse("3 + 5n")
+        members = list(lrp.enumerate(-17, 23))
+        assert members == [-17, -12, -7, -2, 3, 8, 13, 18, 23]
+
+    def test_enumerate_singleton(self):
+        assert list(LRP.point(4).enumerate(0, 10)) == [4]
+        assert list(LRP.point(4).enumerate(5, 10)) == []
+
+    def test_first_last(self):
+        lrp = LRP.make(3, 5)
+        assert lrp.first_at_or_above(4) == 8
+        assert lrp.last_at_or_below(7) == 3
+
+    def test_first_last_singleton_raises(self):
+        with pytest.raises(ValueError):
+            LRP.point(2).first_at_or_above(5)
+        with pytest.raises(ValueError):
+            LRP.point(7).last_at_or_below(5)
+
+    @given(lrps(), st.integers(-40, 0), st.integers(0, 40))
+    def test_enumerate_matches_contains(self, lrp, low, high):
+        enumerated = set(lrp.enumerate(low, high))
+        brute = {x for x in range(low, high + 1) if lrp.contains(x)}
+        assert enumerated == brute
+
+
+class TestIntersection:
+    def test_example_3_1(self):
+        """Paper Example 3.1: 2n+1 ∩ 5n = 10n+5; 3n-4 ∩ 5n+2 = 15n+2."""
+        assert LRP.parse("2n + 1").intersect(LRP.parse("5n")) == LRP.make(5, 10)
+        assert LRP.parse("3n - 4").intersect(LRP.parse("5n + 2")) == LRP.make(2, 15)
+
+    def test_disjoint(self):
+        assert LRP.make(0, 2).intersect(LRP.make(1, 2)) is None
+
+    def test_point_in_progression(self):
+        assert LRP.point(7).intersect(LRP.make(1, 3)) == LRP.point(7)
+        assert LRP.point(8).intersect(LRP.make(1, 3)) is None
+
+    def test_includes(self):
+        assert LRP.make(0, 2).includes(LRP.make(0, 4))
+        assert LRP.make(0, 2).includes(LRP.point(6))
+        assert not LRP.make(0, 4).includes(LRP.make(0, 2))
+
+    @given(lrps(), lrps())
+    def test_intersection_is_set_intersection(self, a, b):
+        meet = a.intersect(b)
+        window = range(-60, 61)
+        brute = {x for x in window if a.contains(x) and b.contains(x)}
+        if meet is None:
+            assert not brute
+        else:
+            assert brute == {x for x in window if meet.contains(x)}
+
+
+class TestSplit:
+    def test_lemma_3_1(self):
+        """Lemma 3.1: an lrp of period k splits into c lrps of period ck."""
+        pieces = LRP.make(1, 2).split(6)
+        assert pieces == [LRP.make(1, 6), LRP.make(3, 6), LRP.make(5, 6)]
+
+    def test_split_identity(self):
+        assert LRP.make(3, 4).split(4) == [LRP.make(3, 4)]
+
+    def test_split_singleton_unchanged(self):
+        assert LRP.point(9).split(4) == [LRP.point(9)]
+
+    def test_split_rejects_non_multiple(self):
+        with pytest.raises(ValueError):
+            LRP.make(0, 4).split(6)
+
+    @given(st.integers(-10, 10), st.integers(1, 6), st.integers(1, 4))
+    def test_split_partitions(self, c, k, factor):
+        lrp = LRP.make(c, k)
+        pieces = lrp.split(k * factor)
+        assert len(pieces) == factor
+        window = range(-40, 41)
+        covered = [x for x in window if any(p.contains(x) for p in pieces)]
+        original = [x for x in window if lrp.contains(x)]
+        assert covered == original
+        # pieces are pairwise disjoint
+        for x in window:
+            assert sum(p.contains(x) for p in pieces) <= 1 or lrp.period == 0
+
+
+class TestSubtract:
+    def test_disjoint_returns_self(self):
+        a, b = LRP.make(0, 2), LRP.make(1, 2)
+        assert a.subtract(b) == [a]
+
+    def test_equal_returns_empty(self):
+        a = LRP.make(1, 3)
+        assert a.subtract(a) == []
+
+    def test_periodic_difference(self):
+        # {2n} - {4n} = {4n + 2}
+        out = LRP.make(0, 2).subtract(LRP.make(0, 4))
+        assert out == [LRP.make(2, 4)]
+
+    def test_point_minus_progression_containing_it(self):
+        assert LRP.point(6).subtract(LRP.make(0, 2)) == []
+
+    def test_point_carveout_not_expressible(self):
+        with pytest.raises(ValueError):
+            LRP.make(0, 2).subtract(LRP.point(4))
+
+    @given(lrps(), lrps())
+    def test_subtract_is_set_difference(self, a, b):
+        meet = a.intersect(b)
+        if meet is not None and meet.period == 0 and a.period != 0:
+            return  # the documented inexpressible case
+        out = a.subtract(b)
+        window = range(-60, 61)
+        brute = {x for x in window if a.contains(x) and not b.contains(x)}
+        covered = {x for x in window if any(p.contains(x) for p in out)}
+        assert covered == brute
+
+
+class TestCommonPeriod:
+    def test_mixed(self):
+        lrps_list = [LRP.make(0, 4), LRP.make(1, 6), LRP.point(2)]
+        assert common_period(lrps_list) == 12
+
+    def test_all_singletons(self):
+        assert common_period([LRP.point(1), LRP.point(2)]) == 1
+
+
+class TestOrderingAndRepr:
+    def test_sortable(self):
+        items = sorted([LRP.make(3, 5), LRP.make(1, 2), LRP.point(9)])
+        assert items[0] == LRP.make(1, 2)
+
+    def test_repr(self):
+        assert repr(LRP.make(3, 5)) == "LRP(3, 5)"
+
+    def test_str_forms(self):
+        assert str(LRP.point(7)) == "7"
+        assert str(LRP.make(0, 4)) == "4n"
+        assert str(LRP.make(3, 4)) == "3 + 4n"
+
+    def test_hashable(self):
+        assert len({LRP.make(7, 5), LRP.make(2, 5)}) == 1

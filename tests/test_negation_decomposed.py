@@ -1,0 +1,124 @@
+"""Tests for the per-component-period complement refinement."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import NormalizationLimitError
+from repro.core.negation import (
+    _column_components,
+    _column_periods,
+    complement_tuples,
+)
+from repro.core.relations import GeneralizedRelation, Schema, relation
+
+from tests.helpers import random_relation
+
+SCHEMA2 = Schema.make(temporal=["X1", "X2"])
+WINDOW = (-8, 8)
+
+
+class TestColumnComponents:
+    def test_unconstrained_columns_independent(self):
+        r = relation(temporal=["a", "b", "c"])
+        r.add_tuple(["2n", "3n", "5n"], "a >= 0")
+        comps = _column_components(list(r), 3)
+        assert len(set(comps)) == 3
+
+    def test_difference_constraints_merge(self):
+        r = relation(temporal=["a", "b", "c"])
+        r.add_tuple(["2n", "3n", "5n"], "a <= b")
+        comps = _column_components(list(r), 3)
+        assert comps[0] == comps[1] != comps[2]
+
+    def test_merging_accumulates_across_tuples(self):
+        r = relation(temporal=["a", "b", "c"])
+        r.add_tuple(["2n", "3n", "5n"], "a <= b")
+        r.add_tuple(["2n", "3n", "5n"], "b <= c")
+        comps = _column_components(list(r), 3)
+        assert len(set(comps)) == 1
+
+    def test_periods_per_component(self):
+        r = relation(temporal=["a", "b", "c"])
+        r.add_tuple(["2n", "3n", "5n"], "a <= b")
+        comps = _column_components(list(r), 3)
+        periods = _column_periods(list(r), comps, 3)
+        assert periods == [6, 6, 5]
+
+    def test_singletons_contribute_no_period(self):
+        r = relation(temporal=["a", "b"])
+        r.add_tuple([7, "3n"], "a <= b")
+        comps = _column_components(list(r), 2)
+        periods = _column_periods(list(r), comps, 2)
+        assert periods == [3, 3]
+
+
+class TestDecomposedSemantics:
+    def test_matches_uniform_on_examples(self):
+        r = relation(temporal=["a", "b"])
+        r.add_tuple(["4n", "6n + 1"], "a <= 10")
+        r.add_tuple([3, "2n"], "b >= 0")
+        dec = GeneralizedRelation(
+            r.schema, complement_tuples(list(r), 2)
+        )
+        uni = GeneralizedRelation(
+            r.schema, complement_tuples(list(r), 2, uniform_period=True)
+        )
+        assert dec.snapshot(*WINDOW) == uni.snapshot(*WINDOW)
+
+    def test_extension_count_shrinks(self):
+        r = relation(temporal=["a", "b"])
+        r.add_tuple(["9n", "10n"])
+        dec = complement_tuples(list(r), 2)
+        # 9*10 = 90 free extensions, one present without constraints →
+        # 89 complement tuples.
+        assert len(dec) == 89
+
+    def test_limits_enforced(self):
+        r = relation(temporal=["a", "b"])
+        r.add_tuple(["101n", "103n"], "a <= b")
+        with pytest.raises(NormalizationLimitError):
+            complement_tuples(list(r), 2, max_extensions=1000)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_agrees_with_uniform(self, seed):
+        rng = random.Random(seed)
+        r = random_relation(rng, SCHEMA2, 2)
+        dec = GeneralizedRelation(
+            SCHEMA2, complement_tuples(list(r), 2)
+        )
+        uni = GeneralizedRelation(
+            SCHEMA2, complement_tuples(list(r), 2, uniform_period=True)
+        )
+        assert dec.snapshot(*WINDOW) == uni.snapshot(*WINDOW)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_partitions_universe(self, seed):
+        rng = random.Random(seed)
+        r = random_relation(rng, SCHEMA2, 2)
+        comp = GeneralizedRelation(
+            SCHEMA2, complement_tuples(list(r), 2)
+        )
+        inside = r.snapshot(*WINDOW)
+        outside = comp.snapshot(*WINDOW)
+        universe = set(
+            itertools.product(range(WINDOW[0], WINDOW[1] + 1), repeat=2)
+        )
+        assert inside | outside == universe
+        assert not (inside & outside)
+
+    def test_mixed_singleton_and_periodic(self):
+        r = relation(temporal=["a", "b"])
+        r.add_tuple([5, "3n"], "b >= a")
+        comp = GeneralizedRelation(
+            r.schema, complement_tuples(list(r), 2)
+        )
+        for a in range(-4, 12):
+            for b in range(-4, 12):
+                in_r = a == 5 and b % 3 == 0 and b >= a
+                assert comp.contains([a, b]) == (not in_r), (a, b)

@@ -1,0 +1,176 @@
+"""Tests for the PeriodicSet facade."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.periodic import PeriodicSet
+
+W = (-20, 20)
+
+
+def brute(ps: PeriodicSet) -> set[int]:
+    return set(ps.between(*W))
+
+
+@st.composite
+def periodic_sets(draw):
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        period = draw(st.integers(1, 6))
+        offset = draw(st.integers(-6, 6))
+        return PeriodicSet.every(period, offset)
+    if kind == 1:
+        lo = draw(st.integers(-10, 10))
+        hi = lo + draw(st.integers(0, 8))
+        return PeriodicSet.interval(lo, hi)
+    if kind == 2:
+        values = draw(st.lists(st.integers(-10, 10), max_size=4))
+        return PeriodicSet.points(values)
+    base = PeriodicSet.every(draw(st.integers(1, 4)), draw(st.integers(0, 3)))
+    bound = draw(st.integers(-8, 8))
+    return base & PeriodicSet.at_or_above(bound)
+
+
+class TestConstructors:
+    def test_every(self):
+        s = PeriodicSet.every(6, offset=2)
+        assert 2 in s and 8 in s and 2 + 6 * 10**12 in s
+        assert 3 not in s
+
+    def test_every_validates(self):
+        with pytest.raises(ValueError):
+            PeriodicSet.every(0)
+
+    def test_points_and_interval(self):
+        assert brute(PeriodicSet.points([1, 5, 5])) == {1, 5}
+        assert brute(PeriodicSet.interval(3, 6)) == {3, 4, 5, 6}
+        assert PeriodicSet.interval(7, 3).is_empty()
+
+    def test_bounds_constructors(self):
+        assert 10**15 in PeriodicSet.at_or_above(0)
+        assert -(10**15) in PeriodicSet.at_or_below(0)
+
+    def test_from_lrp(self):
+        s = PeriodicSet.from_lrp("3 + 5n", "t >= 0")
+        assert s.between(0, 20) == [3, 8, 13, 18]
+
+    def test_wraps_only_unary(self):
+        from repro.core.relations import relation
+
+        with pytest.raises(ValueError):
+            PeriodicSet(relation(temporal=["a", "b"]))
+
+    def test_renames_column(self):
+        from repro.core.relations import relation
+
+        r = relation(temporal=["x"])
+        r.add_tuple(["2n"])
+        s = PeriodicSet(r)
+        assert 4 in s
+
+
+class TestSetOperators:
+    @given(periodic_sets(), periodic_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_boolean_ops_match_set_semantics(self, a, b):
+        assert brute(a | b) == brute(a) | brute(b)
+        assert brute(a & b) == brute(a) & brute(b)
+        assert brute(a - b) == brute(a) - brute(b)
+        assert brute(a ^ b) == brute(a) ^ brute(b)
+
+    @given(periodic_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_complement(self, a):
+        comp = ~a
+        universe = set(range(W[0], W[1] + 1))
+        assert brute(comp) == universe - brute(a)
+
+    def test_subset_and_equality(self):
+        multiples4 = PeriodicSet.every(4)
+        multiples2 = PeriodicSet.every(2)
+        assert multiples4 <= multiples2
+        assert multiples4 < multiples2
+        assert not multiples2 <= multiples4
+        rebuilt = PeriodicSet.every(4) | PeriodicSet.every(4, 2)
+        assert rebuilt == multiples2
+        assert multiples2 >= rebuilt and not multiples2 > rebuilt
+
+    def test_isdisjoint(self):
+        assert PeriodicSet.every(2).isdisjoint(PeriodicSet.every(2, 1))
+        assert not PeriodicSet.every(2).isdisjoint(PeriodicSet.every(3))
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(PeriodicSet.every(2))
+
+
+class TestQueries:
+    def test_emptiness_and_finiteness(self):
+        assert PeriodicSet.empty().is_empty()
+        assert not PeriodicSet.every(3).is_empty()
+        assert PeriodicSet.interval(0, 5).is_finite()
+        assert not PeriodicSet.every(3).is_finite()
+
+    def test_len(self):
+        assert len(PeriodicSet.interval(0, 5)) == 6
+        assert len(PeriodicSet.points([1, 2, 2])) == 2
+        with pytest.raises(TypeError):
+            len(PeriodicSet.every(2))
+
+    def test_next_prev(self):
+        s = PeriodicSet.every(6, 2)
+        assert s.next_at_or_after(3) == 8
+        assert s.prev_at_or_before(3) == 2
+        assert (~s).next_at_or_after(2) == 3
+
+    def test_min_max(self):
+        s = PeriodicSet.every(3) & PeriodicSet.interval(1, 10)
+        assert s.minimum() == 3 and s.maximum() == 9
+        assert PeriodicSet.every(3).minimum() is None
+
+    def test_iterate_from(self):
+        s = PeriodicSet.every(5, 1)
+        it = s.iterate_from(0)
+        assert [next(it) for _ in range(4)] == [1, 6, 11, 16]
+
+    def test_iterate_from_finite_terminates(self):
+        s = PeriodicSet.points([3, 7])
+        assert list(s.iterate_from(0)) == [3, 7]
+
+    def test_shift(self):
+        s = PeriodicSet.every(6, 2).shift(1)
+        assert 3 in s and 2 not in s
+
+    def test_simplify_preserves(self):
+        s = PeriodicSet.every(4) | PeriodicSet.every(2)
+        simplified = s.simplify()
+        assert simplified == s
+        assert len(simplified.relation) <= len(s.relation)
+
+    def test_repr_smoke(self):
+        assert "tuple" in repr(PeriodicSet.every(2))
+        assert "(empty)" in repr(PeriodicSet.empty())
+
+
+class TestScenario:
+    def test_maintenance_window_scenario(self):
+        """The quickstart scenario, in three lines."""
+        fires = PeriodicSet.every(6, 2)
+        window = PeriodicSet.interval(100, 200)
+        risky = fires & window
+        assert risky.between(0, 300)[0] == 104
+        safe = fires - window
+        assert 104 not in safe and 98 in safe
+
+    def test_weekday_style_composition(self):
+        """Every 7 ticks at phases 0-4 = 'weekdays' of a 7-tick week."""
+        weekdays = PeriodicSet.empty()
+        for phase in range(5):
+            weekdays = weekdays | PeriodicSet.every(7, phase)
+        weekend = ~weekdays
+        assert 5 in weekend and 6 in weekend and 7 not in weekend
+        assert weekend == PeriodicSet.every(7, 5) | PeriodicSet.every(7, 6)

@@ -1,0 +1,158 @@
+"""Tests for the Presburger AST, parser and normal forms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ParseError
+from repro.presburger import (
+    And,
+    Comparison,
+    Congruence,
+    Not,
+    Or,
+    Rel,
+    comparison,
+    congruence,
+    conj,
+    disj,
+    neg,
+    parse_formula,
+    solutions,
+    to_dnf,
+    to_nnf,
+)
+
+
+class TestAtoms:
+    def test_comparison_eval(self):
+        atom = comparison({"x": 3, "y": -2}, Rel.LE, 5)
+        assert atom.evaluate({"x": 1, "y": 0})
+        assert not atom.evaluate({"x": 2, "y": 0})
+
+    def test_comparison_drops_zero_coeffs(self):
+        atom = comparison({"x": 0, "y": 1}, Rel.EQ, 0)
+        assert atom.variables() == {"y"}
+
+    def test_congruence_eval(self):
+        atom = congruence({"x": 2}, 3, 7)
+        assert atom.evaluate({"x": 5})  # 10 ≡ 3 (mod 7)
+        assert not atom.evaluate({"x": 4})
+
+    def test_congruence_rejects_bad_modulus(self):
+        with pytest.raises(ValueError):
+            congruence({"x": 1}, 0, 0)
+
+    def test_rel_holds(self):
+        assert Rel.LT.holds(1, 2) and not Rel.LT.holds(2, 2)
+        assert Rel.GE.holds(2, 2)
+
+
+class TestConnectives:
+    def test_and_or_not(self):
+        x_pos = comparison({"x": 1}, Rel.GT, 0)
+        x_even = congruence({"x": 1}, 0, 2)
+        formula = conj(x_pos, neg(x_even))
+        assert formula.evaluate({"x": 3})
+        assert not formula.evaluate({"x": 4})
+        assert not formula.evaluate({"x": -3})
+
+    def test_neg_collapses_double_negation(self):
+        atom = comparison({"x": 1}, Rel.EQ, 0)
+        assert neg(neg(atom)) == atom
+
+    def test_variables_collected(self):
+        formula = disj(
+            comparison({"x": 1}, Rel.EQ, 0), congruence({"y": 1}, 0, 2)
+        )
+        assert formula.variables() == {"x", "y"}
+
+    def test_str_smoke(self):
+        formula = conj(
+            comparison({"x": 1}, Rel.LE, 3), neg(congruence({"x": 1}, 0, 2))
+        )
+        text = str(formula)
+        assert "<=" in text and "mod 2" in text
+
+
+class TestNnf:
+    @given(st.integers(-4, 4), st.integers(-6, 6))
+    def test_nnf_preserves_semantics_comparison(self, k, c):
+        for rel in Rel:
+            atom = comparison({"x": k}, rel, c)
+            negated = Not(atom)
+            nnf = to_nnf(negated)
+            for x in range(-10, 11):
+                assert nnf.evaluate({"x": x}) == (not atom.evaluate({"x": x}))
+
+    @given(st.integers(1, 6), st.integers(-6, 6), st.integers(1, 5))
+    def test_nnf_preserves_semantics_congruence(self, k, c, m):
+        atom = congruence({"x": k}, c, m)
+        nnf = to_nnf(Not(atom))
+        for x in range(-10, 11):
+            assert nnf.evaluate({"x": x}) == (not atom.evaluate({"x": x}))
+
+    def test_nnf_de_morgan(self):
+        a = comparison({"x": 1}, Rel.LE, 0)
+        b = comparison({"x": 1}, Rel.GE, 5)
+        nnf = to_nnf(Not(And((a, b))))
+        assert isinstance(nnf, Or)
+
+    def test_dnf_structure(self):
+        a = comparison({"x": 1}, Rel.LE, 0)
+        b = congruence({"x": 1}, 0, 2)
+        c = comparison({"x": 1}, Rel.GE, 5)
+        branches = to_dnf(And((Or((a, c)), b)))
+        assert len(branches) == 2
+        assert all(len(branch) == 2 for branch in branches)
+
+
+class TestParser:
+    @pytest.mark.parametrize(
+        "text,env,expected",
+        [
+            ("3v = 5", {"v": 1}, False),
+            ("3v = 6", {"v": 2}, True),
+            ("2x = 3 mod 7", {"x": 5}, True),
+            ("x < y", {"x": 1, "y": 2}, True),
+            ("3x < 2y + 5", {"x": 1, "y": 0}, True),
+            ("3x < 2y + 5", {"x": 2, "y": 0}, False),
+            ("x = y mod 2", {"x": 4, "y": 6}, True),
+            ("~(x = 0)", {"x": 1}, True),
+            ("x >= 0 & x <= 5", {"x": 3}, True),
+            ("x < 0 | x > 5", {"x": 3}, False),
+            ("-x < 2", {"x": -1}, True),
+            ("x - y = 3", {"x": 5, "y": 2}, True),
+            ("2 * x = 4", {"x": 2}, True),
+        ],
+    )
+    def test_parse_and_evaluate(self, text, env, expected):
+        assert parse_formula(text).evaluate(env) == expected
+
+    @pytest.mark.parametrize(
+        "text", ["", "x +", "x == 3", "(x = 1", "x = 1)", "x = 1 mod", "x < 1 mod 3"]
+    )
+    def test_rejects(self, text):
+        with pytest.raises(ParseError):
+            parse_formula(text)
+
+    def test_precedence_and_over_or(self):
+        formula = parse_formula("x = 0 | x = 1 & x = 2")
+        # Parsed as x=0 | (x=1 & x=2): satisfied by x=0 only.
+        assert formula.evaluate({"x": 0})
+        assert not formula.evaluate({"x": 1})
+
+    def test_constants_fold(self):
+        formula = parse_formula("x + 2 = y - 3")
+        assert formula.evaluate({"x": 0, "y": 5})
+
+
+class TestSolutions:
+    def test_window_solutions(self):
+        formula = parse_formula("x = 0 mod 3 & x > 0")
+        assert solutions(formula, ["x"], -5, 10) == {(3,), (6,), (9,)}
+
+    def test_extra_axis(self):
+        formula = parse_formula("x = 0")
+        sols = solutions(formula, ["x", "y"], -1, 1)
+        assert sols == {(0, -1), (0, 0), (0, 1)}

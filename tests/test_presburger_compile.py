@@ -1,0 +1,270 @@
+"""Differential tests for the Presburger-to-relation compilers.
+
+These are the constructive halves of Theorems 2.1 and 2.2: every
+compiled relation must denote exactly the formula's solution set
+(checked over windows against the direct evaluator).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConstraintError
+from repro.presburger import (
+    Rel,
+    binary_to_restricted,
+    comparison,
+    compile_binary,
+    compile_unary,
+    compile_unary_comparison,
+    compile_unary_congruence,
+    congruence,
+    congruence_classes,
+    conj,
+    disj,
+    neg,
+    parse_formula,
+    relation_to_formula,
+    solutions,
+)
+
+WINDOW = (-15, 15)
+
+
+def unary_points(rel):
+    return {x for (x,) in rel.snapshot(*WINDOW)}
+
+
+def formula_points(formula, var="v"):
+    return {x for (x,) in solutions(formula, [var], *WINDOW)}
+
+
+class TestUnaryComparisons:
+    """Theorem 2.1 cases 1-3."""
+
+    @pytest.mark.parametrize(
+        "k1,rel,c",
+        [
+            (3, Rel.EQ, 6),
+            (3, Rel.EQ, 5),
+            (2, Rel.LT, 7),
+            (2, Rel.GT, -7),
+            (-3, Rel.LE, 7),
+            (-3, Rel.GE, 7),
+            (0, Rel.EQ, 0),
+            (0, Rel.LT, -1),
+            (1, Rel.LE, 0),
+        ],
+    )
+    def test_basic_cases(self, k1, rel, c):
+        compiled = compile_unary_comparison(k1, rel, c)
+        expected = {x for x in range(*WINDOW) if rel.holds(k1 * x, c)}
+        got = {x for x in unary_points(compiled) if WINDOW[0] <= x < WINDOW[1]}
+        assert got == expected
+
+    @given(
+        st.integers(-5, 5),
+        st.sampled_from(list(Rel)),
+        st.integers(-12, 12),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_all_comparisons(self, k1, rel, c):
+        compiled = compile_unary_comparison(k1, rel, c)
+        expected = {x for x in range(WINDOW[0], WINDOW[1] + 1) if rel.holds(k1 * x, c)}
+        assert unary_points(compiled) == expected
+
+
+class TestUnaryCongruences:
+    """Theorem 2.1 case 4."""
+
+    def test_paper_form(self):
+        # 2v ≡ 3 (mod 7): v ≡ 5 (mod 7)
+        compiled = compile_unary_congruence(2, 3, 7)
+        assert unary_points(compiled) == {
+            x for x in range(WINDOW[0], WINDOW[1] + 1) if (2 * x - 3) % 7 == 0
+        }
+
+    def test_unsolvable(self):
+        assert compile_unary_congruence(4, 1, 8).is_empty()
+
+    def test_degenerate_coefficient(self):
+        assert not compile_unary_congruence(8, 0, 4).is_empty()
+        assert compile_unary_congruence(8, 1, 4).is_empty()
+
+    def test_bad_modulus(self):
+        with pytest.raises(ValueError):
+            compile_unary_congruence(1, 0, 0)
+
+    @given(st.integers(-6, 6), st.integers(-8, 8), st.integers(1, 8))
+    @settings(max_examples=150, deadline=None)
+    def test_all_congruences(self, k1, c, k2):
+        compiled = compile_unary_congruence(k1, c, k2)
+        expected = {
+            x
+            for x in range(WINDOW[0], WINDOW[1] + 1)
+            if (k1 * x - c) % k2 == 0
+        }
+        assert unary_points(compiled) == expected
+
+
+@st.composite
+def unary_formulas(draw, depth=2):
+    if depth == 0 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return comparison(
+                {"v": draw(st.integers(-4, 4))},
+                draw(st.sampled_from(list(Rel))),
+                draw(st.integers(-8, 8)),
+            )
+        return congruence(
+            {"v": draw(st.integers(-4, 4)) or 1},
+            draw(st.integers(-4, 4)),
+            draw(st.integers(1, 6)),
+        )
+    connective = draw(st.integers(0, 2))
+    if connective == 0:
+        return neg(draw(unary_formulas(depth=depth - 1)))
+    left = draw(unary_formulas(depth=depth - 1))
+    right = draw(unary_formulas(depth=depth - 1))
+    return conj(left, right) if connective == 1 else disj(left, right)
+
+
+class TestUnaryBooleanCombinations:
+    """Theorem 2.1, full statement: boolean closure via the algebra."""
+
+    def test_conjunction(self):
+        formula = parse_formula("v = 0 mod 2 & v >= 0")
+        compiled = compile_unary(formula)
+        assert unary_points(compiled) == formula_points(formula)
+
+    def test_negation_via_complement(self):
+        formula = neg(parse_formula("v = 0 mod 3"))
+        compiled = compile_unary(formula)
+        assert unary_points(compiled) == formula_points(formula)
+
+    def test_variable_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            compile_unary(parse_formula("x = 0"), variable="y")
+        with pytest.raises(ValueError):
+            compile_unary(parse_formula("x = y"))
+
+    @given(unary_formulas())
+    @settings(max_examples=80, deadline=None)
+    def test_boolean_combinations(self, formula):
+        compiled = compile_unary(formula, variable="v")
+        assert unary_points(compiled) == formula_points(formula)
+
+
+class TestRoundTrip:
+    """Both directions of Theorem 2.1 composed: formula -> relation -> formula."""
+
+    @given(unary_formulas())
+    @settings(max_examples=50, deadline=None)
+    def test_formula_relation_formula(self, formula):
+        compiled = compile_unary(formula, variable="v")
+        back = relation_to_formula(compiled, variable="v")
+        assert formula_points(back) == formula_points(formula)
+
+    def test_requires_unary(self):
+        from repro.core.relations import relation
+
+        with pytest.raises(ValueError):
+            relation_to_formula(relation(temporal=["a", "b"]))
+
+
+class TestCongruenceClasses:
+    """The lattice-class decomposition in Theorem 2.2's proof."""
+
+    @given(
+        st.integers(-5, 5),
+        st.integers(-5, 5),
+        st.integers(-6, 6),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_classes_cover_exactly(self, a1, a2, c, m):
+        classes = congruence_classes(a1, a2, c, m)
+        for x in range(-8, 9):
+            for y in range(-8, 9):
+                expected = (a1 * x + a2 * y - c) % m == 0
+                covered = any(
+                    lx.contains(x) and ly.contains(y) for lx, ly in classes
+                )
+                assert covered == expected, (x, y)
+
+
+class TestBinaryCompilation:
+    """Theorem 2.2: binary Presburger -> general-constraint relations."""
+
+    BINARY_WINDOW = (-10, 10)
+
+    def binary_points(self, grel):
+        return grel.snapshot(*self.BINARY_WINDOW)
+
+    def formula_pairs(self, formula):
+        return solutions(formula, ["x", "y"], *self.BINARY_WINDOW)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "3x = 2y + 1",
+            "3x < 2y + 1",
+            "3x > 2y + 1",
+            "2x = 3y + 1 mod 5",
+            "x = y mod 2 & x >= 0",
+            "~(3x = 2y) & x < y + 4",
+            "2x = 4 | y = 1 mod 3",
+            "x = 3",
+        ],
+    )
+    def test_examples(self, text):
+        formula = parse_formula(text)
+        compiled = compile_binary(formula, variables=("x", "y"))
+        assert self.binary_points(compiled) == self.formula_pairs(formula)
+
+    @given(
+        st.integers(-4, 4),
+        st.integers(-4, 4),
+        st.integers(-6, 6),
+        st.sampled_from(list(Rel)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_basic_comparisons(self, k1, k2, c, rel):
+        formula = comparison({"x": k1, "y": -k2}, rel, c)
+        compiled = compile_binary(formula, variables=("x", "y"))
+        assert self.binary_points(compiled) == self.formula_pairs(formula)
+
+    @given(
+        st.integers(-4, 4),
+        st.integers(-4, 4),
+        st.integers(-5, 5),
+        st.integers(1, 5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_basic_congruences(self, k1, k2, c, m):
+        formula = congruence({"x": k1, "y": -k2}, c, m)
+        compiled = compile_binary(formula, variables=("x", "y"))
+        assert self.binary_points(compiled) == self.formula_pairs(formula)
+
+    def test_too_many_variables(self):
+        with pytest.raises(ValueError):
+            compile_binary(parse_formula("x + y + z = 0"))
+
+
+class TestBinaryToRestricted:
+    def test_unit_coefficients_convert(self):
+        formula = parse_formula("x = y mod 2 & x <= y + 4")
+        grel = compile_binary(formula, variables=("x", "y"))
+        restricted = binary_to_restricted(grel, names=("x", "y"))
+        assert restricted.snapshot(-8, 8) == solutions(
+            formula, ["x", "y"], -8, 8
+        )
+
+    def test_general_coefficients_rejected(self):
+        grel = compile_binary(
+            parse_formula("3x = 2y + 1"), variables=("x", "y")
+        )
+        with pytest.raises(ConstraintError):
+            binary_to_restricted(grel)

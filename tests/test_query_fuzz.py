@@ -1,0 +1,178 @@
+"""Fuzzing the first-order query evaluator against brute-force semantics.
+
+Random quantifier-free queries over random databases: the symbolic
+result must match direct FO evaluation where quantified/free variables
+range over a window.  Quantifiers over the temporal sort genuinely
+range over all of Z symbolically, so the brute-force comparison
+restricts to queries whose truth is window-determined:
+
+* quantifier-free bodies (free variables compared pointwise);
+* bounded existentials (witnesses, if any, lie inside the window by
+  construction of the generators: all constants are small).
+"""
+
+import itertools
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.relations import GeneralizedRelation, Schema
+from repro.query import Database
+from repro.query.ast import (
+    And,
+    Cmp,
+    CmpOp,
+    Not,
+    Or,
+    Pred,
+    TempConst,
+    TempVar,
+)
+
+WINDOW = (-7, 7)
+VARS = ["t", "u"]
+
+
+def random_database(rng: random.Random) -> Database:
+    """Two unary relations and one binary, small periods and bounds."""
+    db = Database()
+    for name in ("P", "Q"):
+        db.create(name, temporal=["x"])
+        rel = db.relation(name)
+        for _ in range(rng.randint(1, 2)):
+            period = rng.choice([1, 2, 3, 4])
+            offset = rng.randrange(period)
+            bound = rng.randint(-5, 5)
+            constraint = rng.choice(["", f"x >= {bound}", f"x <= {bound}"])
+            rel.add_tuple([f"{offset} + {period}n"], constraint)
+    db.create("R", temporal=["x", "y"])
+    rel = db.relation("R")
+    for _ in range(rng.randint(1, 2)):
+        p1, p2 = rng.choice([1, 2, 3]), rng.choice([1, 2, 3])
+        constraint = rng.choice(
+            ["", "x <= y", f"x = y - {rng.randint(0, 3)}"]
+        )
+        rel.add_tuple(
+            [f"{rng.randrange(p1)} + {p1}n", f"{rng.randrange(p2)} + {p2}n"],
+            constraint,
+        )
+    return db
+
+
+def random_qf_query(rng: random.Random, depth: int = 2):
+    """A random quantifier-free query over variables t, u."""
+    if depth == 0 or rng.random() < 0.4:
+        choice = rng.random()
+        if choice < 0.3:
+            return Pred("P", (TempVar(rng.choice(VARS), rng.randint(-2, 2)),))
+        if choice < 0.5:
+            return Pred("Q", (TempVar(rng.choice(VARS)),))
+        if choice < 0.75:
+            return Pred(
+                "R",
+                (
+                    TempVar("t", rng.randint(-1, 1)),
+                    TempVar("u", rng.randint(-1, 1)),
+                ),
+            )
+        left = TempVar(rng.choice(VARS), rng.randint(-2, 2))
+        right = rng.choice(
+            [TempVar(rng.choice(VARS)), TempConst(rng.randint(-4, 4))]
+        )
+        return Cmp(left, rng.choice(list(CmpOp)), right)
+    connective = rng.random()
+    if connective < 0.4:
+        return And((random_qf_query(rng, depth - 1), random_qf_query(rng, depth - 1)))
+    if connective < 0.8:
+        return Or((random_qf_query(rng, depth - 1), random_qf_query(rng, depth - 1)))
+    return Not(random_qf_query(rng, depth - 1))
+
+
+def brute_truth(db: Database, query, env: dict[str, int]) -> bool:
+    """Direct FO evaluation of a quantifier-free query."""
+    if isinstance(query, Pred):
+        rel = db.relation(query.name)
+        point = []
+        for arg in query.args:
+            if isinstance(arg, TempVar):
+                point.append(env[arg.name] + arg.offset)
+            else:
+                point.append(arg.value)
+        return rel.contains(point)
+    if isinstance(query, Cmp):
+        def value(term):
+            if isinstance(term, TempVar):
+                return env[term.name] + term.offset
+            return term.value
+
+        return query.op.holds(value(query.left), value(query.right))
+    if isinstance(query, And):
+        return all(brute_truth(db, p, env) for p in query.parts)
+    if isinstance(query, Or):
+        return any(brute_truth(db, p, env) for p in query.parts)
+    if isinstance(query, Not):
+        return not brute_truth(db, query.body, env)
+    raise TypeError(query)
+
+
+class TestQuantifierFreeFuzz:
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=120, deadline=None)
+    def test_symbolic_matches_pointwise(self, seed):
+        rng = random.Random(seed)
+        db = random_database(rng)
+        query = random_qf_query(rng)
+        from repro.query.ast import free_variables
+
+        free = sorted(free_variables(query))
+        result = db.query(query)
+        # The result schema's temporal order is sorted, matching `free`.
+        assert tuple(result.schema.names) == tuple(free)
+        for values in itertools.product(
+            range(WINDOW[0], WINDOW[1] + 1), repeat=len(free)
+        ):
+            env = dict(zip(free, values))
+            expected = brute_truth(db, query, env)
+            got = (
+                result.contains(values)
+                if free
+                else not result.is_empty()
+            )
+            assert got == expected, (env, str(query))
+
+
+class TestBoundedExistentialFuzz:
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=60, deadline=None)
+    def test_exists_one_var(self, seed):
+        """∃t φ(t, u) with φ quantifier-free: compare the u-sets.
+
+        All generator constants are <= 5 and periods <= 4, so every
+        satisfiable (φ, u) pair has a witness within ±60 of u; the brute
+        window accounts for that margin.
+        """
+        rng = random.Random(seed)
+        db = random_database(rng)
+        body = random_qf_query(rng)
+        from repro.query.ast import Exists, Sort, free_variables
+
+        if "t" not in free_variables(body):
+            return
+        query = Exists("t", Sort.TEMPORAL, body)
+        result = db.query(query)
+        remaining = sorted(free_variables(query))
+        for values in itertools.product(
+            range(-4, 5), repeat=len(remaining)
+        ):
+            env = dict(zip(remaining, values))
+            expected = any(
+                brute_truth(db, body, {**env, "t": witness})
+                for witness in range(-60, 61)
+            )
+            got = (
+                result.contains(values)
+                if remaining
+                else not result.is_empty()
+            )
+            assert got == expected, (env, str(query))

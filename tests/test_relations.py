@@ -1,0 +1,175 @@
+"""Tests for schemas and generalized relations."""
+
+import pytest
+
+from repro.core.errors import SchemaError
+from repro.core.lrp import LRP
+from repro.core.relations import (
+    Attribute,
+    GeneralizedRelation,
+    Schema,
+    relation,
+)
+from repro.core.tuples import GeneralizedTuple
+
+
+def robots_relation() -> GeneralizedRelation:
+    """The paper's Table 1 (robot activities).
+
+    Schema: interval [X1, X2], robot name, task name.
+    """
+    r = GeneralizedRelation.empty(
+        Schema.make(temporal=["X1", "X2"], data=["robot", "task"])
+    )
+    r.add_tuple(
+        ["2 + 2n", "4 + 2n"], "X1 = X2 - 2 & X1 >= -1", ["robot1", "task1"]
+    )
+    r.add_tuple(
+        ["6 + 10n", "7 + 10n"], "X1 = X2 - 1 & X1 >= 10", ["robot2", "task2"]
+    )
+    r.add_tuple(["10n", "3 + 10n"], "X1 = X2 - 3", ["robot2", "task1"])
+    return r
+
+
+class TestSchema:
+    def test_make_orders_attributes(self):
+        s = Schema.make(temporal=["t1", "t2"], data=["who"])
+        assert s.names == ("t1", "t2", "who")
+        assert s.temporal_names == ("t1", "t2")
+        assert s.data_names == ("who",)
+        assert s.temporal_arity == 2 and s.data_arity == 1
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.make(temporal=["a"], data=["a"])
+
+    def test_lookup(self):
+        s = Schema.make(temporal=["t"], data=["d"])
+        assert s.attribute("t").temporal
+        assert not s.attribute("d").temporal
+        assert s.has("t") and not s.has("zzz")
+        with pytest.raises(SchemaError):
+            s.attribute("zzz")
+
+    def test_indexes(self):
+        s = Schema((Attribute("d", False), Attribute("t", True)))
+        assert s.temporal_index("t") == 0
+        assert s.data_index("d") == 0
+        with pytest.raises(SchemaError):
+            s.temporal_index("d")
+        with pytest.raises(SchemaError):
+            s.data_index("t")
+
+    def test_point_order_interleaving(self):
+        s = Schema(
+            (
+                Attribute("d1", False),
+                Attribute("t1", True),
+                Attribute("d2", False),
+            )
+        )
+        assert s.point_order() == ((False, 0), (True, 0), (False, 1))
+
+    def test_len_and_str(self):
+        s = Schema.make(temporal=["t"], data=["d"])
+        assert len(s) == 2
+        assert "t:T" in str(s) and "d:D" in str(s)
+
+
+class TestRelationBasics:
+    def test_empty(self):
+        r = relation(temporal=["X1"])
+        assert len(r) == 0 and r.is_empty()
+
+    def test_add_checks_arity(self):
+        r = relation(temporal=["X1", "X2"])
+        with pytest.raises(SchemaError):
+            r.add(GeneralizedTuple.make(["n"]))
+        with pytest.raises(SchemaError):
+            r.add(GeneralizedTuple.make(["n", "n"], data=("extra",)))
+
+    def test_dedup_on_insert(self):
+        r = relation(temporal=["X1"])
+        r.add_tuple(["7 + 5n"])
+        r.add_tuple(["2 + 5n"])  # same canonical lrp
+        assert len(r) == 1
+
+    def test_universe(self):
+        u = GeneralizedRelation.universe(Schema.make(temporal=["a", "b"]))
+        assert u.contains([123, -456])
+        with pytest.raises(SchemaError):
+            GeneralizedRelation.universe(
+                Schema.make(temporal=["a"], data=["d"])
+            )
+
+    def test_syntactic_equality(self):
+        r1 = relation(temporal=["X1"])
+        r1.add_tuple(["2n"])
+        r2 = relation(temporal=["X1"])
+        r2.add_tuple(["2n"])
+        assert r1 == r2 and hash(r1) == hash(r2)
+
+    def test_str_and_repr(self):
+        r = relation(temporal=["X1"])
+        r.add_tuple(["2n"])
+        assert "1 generalized tuple" in str(r)
+        assert "n=1" in repr(r)
+
+
+class TestPointHandling:
+    def test_split_and_join_round_trip(self):
+        r = GeneralizedRelation.empty(
+            Schema(
+                (
+                    Attribute("d1", False),
+                    Attribute("t1", True),
+                    Attribute("t2", True),
+                )
+            )
+        )
+        point = ("label", 3, 9)
+        temporal, data = r.split_point(point)
+        assert temporal == (3, 9) and data == ("label",)
+        assert r.join_point(temporal, data) == point
+
+    def test_split_point_wrong_length(self):
+        r = relation(temporal=["X1"])
+        with pytest.raises(SchemaError):
+            r.split_point((1, 2))
+
+    def test_contains_point(self):
+        r = robots_relation()
+        assert r.contains_point((2, 4, "robot1", "task1"))
+        assert not r.contains_point((3, 5, "robot1", "task1"))
+
+
+class TestTable1:
+    """The paper's Table 1 denotes the expected concrete activities."""
+
+    def test_robot1_every_two_steps(self):
+        r = robots_relation()
+        for start in (0, 2, 4, 20):
+            assert r.contains([start, start + 2], ["robot1", "task1"])
+        assert not r.contains([-2, 0], ["robot1", "task1"])  # X1 >= -1
+        assert not r.contains([3, 5], ["robot1", "task1"])  # odd start
+
+    def test_robot2_task2_starts_at_16(self):
+        r = robots_relation()
+        assert r.contains([16, 17], ["robot2", "task2"])
+        assert not r.contains([6, 7], ["robot2", "task2"])  # X1 >= 10
+
+    def test_robot2_task1_unbounded(self):
+        r = robots_relation()
+        assert r.contains([-10, -7], ["robot2", "task1"])
+        assert r.contains([0, 3], ["robot2", "task1"])
+
+    def test_active_data_domain(self):
+        r = robots_relation()
+        assert r.active_data_domain() == {"robot1", "robot2", "task1", "task2"}
+
+    def test_snapshot_window(self):
+        r = robots_relation()
+        points = r.snapshot(0, 10)
+        assert (2, 4, "robot1", "task1") in points
+        assert (0, 3, "robot2", "task1") in points
+        assert all(0 <= p[0] <= 10 and 0 <= p[1] <= 10 for p in points)

@@ -1,0 +1,136 @@
+"""Tests for the 3-SAT substrate and the Theorem 3.6 reduction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import (
+    Clause,
+    Instance,
+    Literal,
+    clause,
+    complement_is_nonempty,
+    instance,
+    instance_to_relation,
+    random_3sat,
+    solve,
+    solve_via_complement,
+)
+
+
+class TestInstances:
+    def test_literal(self):
+        lit = Literal(0, True)
+        assert lit.holds({0: True}) and not lit.holds({0: False})
+        assert lit.negated() == Literal(0, False)
+        assert str(lit) == "x0" and str(lit.negated()) == "~x0"
+
+    def test_clause_builder(self):
+        c = clause((0, True), (1, False))
+        assert c.holds({0: False, 1: False})
+        assert not c.holds({0: False, 1: True})
+        assert c.variables() == {0, 1}
+
+    def test_out_of_range_literal(self):
+        with pytest.raises(ValueError):
+            instance(1, [clause((3, True))])
+
+    def test_brute_force(self):
+        sat = instance(2, [clause((0, True)), clause((1, False))])
+        model = sat.brute_force_satisfiable()
+        assert model == {0: True, 1: False}
+        unsat = instance(1, [clause((0, True)), clause((0, False))])
+        assert unsat.brute_force_satisfiable() is None
+
+    def test_random_generator_deterministic(self):
+        a = random_3sat(6, 10, seed=42)
+        b = random_3sat(6, 10, seed=42)
+        assert a == b
+        assert len(a.clauses) == 10
+        for c in a.clauses:
+            assert len(c.variables()) == 3
+
+    def test_random_generator_needs_3_vars(self):
+        with pytest.raises(ValueError):
+            random_3sat(2, 1)
+
+
+class TestDpll:
+    def test_simple_sat(self):
+        inst = instance(2, [clause((0, True)), clause((0, False), (1, True))])
+        model = solve(inst)
+        assert model is not None and inst.holds(model)
+
+    def test_simple_unsat(self):
+        inst = instance(
+            2,
+            [
+                clause((0, True), (1, True)),
+                clause((0, True), (1, False)),
+                clause((0, False), (1, True)),
+                clause((0, False), (1, False)),
+            ],
+        )
+        assert solve(inst) is None
+
+    def test_empty_instance(self):
+        assert solve(instance(3, [])) is not None
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=60, deadline=None)
+    def test_dpll_matches_brute_force(self, seed):
+        inst = random_3sat(6, 20, seed=seed)
+        model = solve(inst)
+        brute = inst.brute_force_satisfiable()
+        assert (model is None) == (brute is None)
+        if model is not None:
+            assert inst.holds(model)
+
+
+class TestReduction:
+    """Theorem 3.6: satisfiability == nonemptiness of complement."""
+
+    def test_relation_shape(self):
+        inst = instance(
+            3, [clause((0, True), (1, False), (2, True))]
+        )
+        rel = instance_to_relation(inst)
+        assert rel.schema.temporal_arity == 3
+        assert len(rel) == 1
+        # The clause tuple holds points "violating" the clause:
+        # x0 < 0, x1 >= 0, x2 < 0 (literal made false).
+        assert rel.contains([-1, 0, -1])
+        assert not rel.contains([0, 0, -1])
+
+    def test_satisfiable_instance(self):
+        inst = instance(2, [clause((0, True)), clause((1, False))])
+        model = solve_via_complement(inst)
+        assert model == {0: True, 1: False}
+
+    def test_unsatisfiable_instance(self):
+        inst = instance(
+            2,
+            [
+                clause((0, True), (1, True)),
+                clause((0, True), (1, False)),
+                clause((0, False), (1, True)),
+                clause((0, False), (1, False)),
+            ],
+        )
+        assert solve_via_complement(inst) is None
+        assert not complement_is_nonempty(inst)
+
+    def test_empty_instance(self):
+        model = solve_via_complement(instance(3, []))
+        assert model is not None
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=30, deadline=None)
+    def test_reduction_agrees_with_dpll(self, seed):
+        """The paper's reduction, cross-checked against classic DPLL."""
+        inst = random_3sat(5, 18, seed=seed)
+        via_db = solve_via_complement(inst)
+        via_dpll = solve(inst)
+        assert (via_db is None) == (via_dpll is None)
+        if via_db is not None:
+            assert inst.holds(via_db)

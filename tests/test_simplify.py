@@ -1,0 +1,75 @@
+"""Tests for redundancy elimination."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import atoms_to_dbm, parse_atoms
+from repro.core.relations import GeneralizedRelation, Schema, relation
+from repro.core.simplify import simplify_relation, tuple_subsumes
+from repro.core.tuples import GeneralizedTuple
+
+from tests.helpers import random_relation
+
+
+def make(lrps, constraints="", data=()):
+    names = [f"X{i + 1}" for i in range(len(lrps))]
+    dbm = atoms_to_dbm(parse_atoms(constraints), names)
+    return GeneralizedTuple.make(lrps, data=data, dbm=dbm)
+
+
+class TestSubsumption:
+    def test_lattice_subsumption(self):
+        assert tuple_subsumes(make(["2n"]), make(["4n"]))
+        assert not tuple_subsumes(make(["4n"]), make(["2n"]))
+
+    def test_constraint_subsumption(self):
+        big = make(["n"], "X1 >= 0")
+        small = make(["n"], "X1 >= 5")
+        assert tuple_subsumes(big, small)
+        assert not tuple_subsumes(small, big)
+
+    def test_empty_always_subsumed(self):
+        empty = make(["n"], "X1 >= 1 & X1 <= 0")
+        anything = make(["2n"])
+        assert tuple_subsumes(anything, empty)
+
+    def test_different_data(self):
+        a = make(["n"], data=("a",))
+        b = make(["n"], data=("b",))
+        assert not tuple_subsumes(a, b)
+
+
+class TestSimplify:
+    def test_removes_empty_tuples(self):
+        r = relation(temporal=["X1"])
+        r.add_tuple(["n"], "X1 >= 1 & X1 <= 0")
+        r.add_tuple(["2n"])
+        out = simplify_relation(r)
+        assert len(out) == 1
+
+    def test_removes_subsumed(self):
+        r = relation(temporal=["X1"])
+        r.add_tuple(["2n"])
+        r.add_tuple(["4n"])
+        r.add_tuple(["8n"])
+        out = simplify_relation(r)
+        assert len(out) == 1
+        assert out.contains([2])
+
+    def test_keeps_incomparable(self):
+        r = relation(temporal=["X1"])
+        r.add_tuple(["2n"])
+        r.add_tuple(["3n"])
+        out = simplify_relation(r)
+        assert len(out) == 2
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_simplification_preserves_semantics(self, seed):
+        rng = random.Random(seed)
+        r = random_relation(rng, Schema.make(temporal=["X1", "X2"]), 4)
+        out = simplify_relation(r)
+        assert len(out) <= len(r)
+        assert out.snapshot(-9, 9) == r.snapshot(-9, 9)

@@ -1,0 +1,126 @@
+"""Tests for text and JSON serialization."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ParseError
+from repro.core.relations import GeneralizedRelation, Schema, relation
+from repro.storage import jsonio, textio
+
+from tests.helpers import random_relation
+
+
+def robots_text() -> str:
+    return """
+# The paper's Table 1.
+relation Perform(t1:T, t2:T, robot:D, task:D)
+[2 + 2n, 4 + 2n] : t1 = t2 - 2 & t1 >= -1 | robot1, task1
+[6 + 10n, 7 + 10n] : t1 = t2 - 1 & t1 >= 10 | robot2, task2
+[10n, 3 + 10n] : t1 = t2 - 3 | robot2, task1
+"""
+
+
+class TestTextFormat:
+    def test_loads_table1(self):
+        name, rel = textio.loads(robots_text())
+        assert name == "Perform"
+        assert len(rel) == 3
+        assert rel.contains([2, 4], ["robot1", "task1"])
+        assert rel.contains([16, 17], ["robot2", "task2"])
+
+    def test_round_trip(self):
+        _, rel = textio.loads(robots_text())
+        dumped = textio.dumps(rel, name="Perform")
+        name2, rel2 = textio.loads(dumped)
+        assert name2 == "Perform"
+        assert rel.snapshot(-5, 25) == rel2.snapshot(-5, 25)
+
+    def test_no_constraints_no_data(self):
+        text = "relation R(t:T)\n[2n]\n"
+        _, rel = textio.loads(text)
+        assert rel.contains([4]) and not rel.contains([3])
+
+    def test_data_only_relation(self):
+        text = 'relation L(name:D)\n[] | "hello, world"\n'
+        _, rel = textio.loads(text)
+        assert rel.contains([], ["hello, world"])
+
+    def test_quoting_round_trip(self):
+        r = GeneralizedRelation.empty(Schema.make(temporal=["t"], data=["d"]))
+        r.add_tuple(["n"], data=["weird, value"])
+        dumped = textio.dumps(r)
+        _, back = textio.loads(dumped)
+        assert back.contains([0], ["weird, value"])
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "nonsense",
+            "relation R",
+            "relation (t:T)",
+            "relation R(t:X)",
+            "relation R(t)",
+            "relation R(t:T)\nnot a tuple",
+            "relation R(t:T)\n[2n",
+            "relation R(t:T)\n[2n] junk",
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(ParseError):
+            textio.loads(bad)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_round_trip(self, seed):
+        rng = random.Random(seed)
+        rel = random_relation(
+            rng,
+            Schema.make(temporal=["X1", "X2"], data=["who"]),
+            3,
+            data_choices=[("a",), ("b",)],
+        )
+        _, back = textio.loads(textio.dumps(rel))
+        assert back.snapshot(-8, 8) == rel.snapshot(-8, 8)
+
+
+class TestJsonFormat:
+    def test_round_trip(self):
+        _, rel = textio.loads(robots_text())
+        back = jsonio.loads(jsonio.dumps(rel))
+        assert back.schema == rel.schema
+        assert back.snapshot(-5, 25) == rel.snapshot(-5, 25)
+
+    def test_database_round_trip(self):
+        _, rel = textio.loads(robots_text())
+        other = relation(temporal=["t"])
+        other.add_tuple(["3n"])
+        text = jsonio.dump_database({"Perform": rel, "Tick": other})
+        back = jsonio.load_database(text)
+        assert set(back) == {"Perform", "Tick"}
+        assert back["Tick"].contains([3])
+
+    def test_malformed_payload(self):
+        with pytest.raises(ParseError):
+            jsonio.relation_from_dict({"schema": "nope"})
+        with pytest.raises(ParseError):
+            jsonio.relation_from_dict({"schema": [], "tuples": [{"bad": 1}]})
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_round_trip(self, seed):
+        rng = random.Random(seed)
+        rel = random_relation(
+            rng, Schema.make(temporal=["X1", "X2", "X3"]), 3
+        )
+        back = jsonio.loads(jsonio.dumps(rel))
+        assert back.snapshot(-6, 6) == rel.snapshot(-6, 6)
+
+    def test_pretty_printing(self):
+        r = relation(temporal=["t"])
+        r.add_tuple(["2n"], "t >= 0")
+        text = jsonio.dumps(r, indent=2)
+        assert '"lrps"' in text and "\n" in text

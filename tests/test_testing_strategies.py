@@ -1,0 +1,76 @@
+"""Tests for the public hypothesis strategies (and via them, more fuzz)."""
+
+from hypothesis import given, settings
+
+from repro.core import algebra
+from repro.core.lrp import LRP
+from repro.periodic import PeriodicSet
+from repro.testing import (
+    dbms,
+    generalized_relations,
+    generalized_tuples,
+    lrps,
+    periodic_sets,
+)
+
+
+class TestStrategyShapes:
+    @given(lrps())
+    def test_lrps_are_canonical(self, lrp):
+        assert isinstance(lrp, LRP)
+        assert lrp.period >= 0
+        if lrp.period > 0:
+            assert 0 <= lrp.offset < lrp.period
+
+    @given(lrps(allow_singletons=False))
+    def test_no_singletons_option(self, lrp):
+        assert lrp.period >= 1
+
+    @given(dbms(arity=3))
+    def test_dbms_have_right_size(self, dbm):
+        assert dbm.size == 3
+
+    @given(generalized_tuples(temporal_arity=2, data_values=("x",)))
+    def test_tuples_have_right_shape(self, gtuple):
+        assert gtuple.temporal_arity == 2
+        assert gtuple.data == ("x",)
+
+    @given(generalized_relations(temporal_arity=1, max_tuples=2))
+    @settings(max_examples=50)
+    def test_relations_have_right_schema(self, rel):
+        assert rel.schema.temporal_names == ("X1",)
+        assert rel.schema.data_arity == 0
+
+    @given(periodic_sets())
+    @settings(max_examples=50)
+    def test_periodic_sets_valid(self, ps):
+        assert isinstance(ps, PeriodicSet)
+        ps.between(-5, 5)  # must not raise
+
+
+class TestStrategiesDriveRealProperties:
+    """The strategies are good enough to state real theorems with."""
+
+    @given(
+        generalized_relations(temporal_arity=1, max_tuples=2),
+        generalized_relations(temporal_arity=1, max_tuples=2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_absorption_law(self, a, b):
+        """a ∪ (a ∩ b) == a."""
+        rebuilt = algebra.union(a, algebra.intersect(a, b))
+        assert rebuilt.snapshot(-10, 10) == a.snapshot(-10, 10)
+
+    @given(generalized_relations(temporal_arity=2, max_tuples=2))
+    @settings(max_examples=40, deadline=None)
+    def test_projection_monotone(self, rel):
+        """Π(a) ⊆ Π(a ∪ anything) — via the strategy's own union."""
+        doubled = algebra.union(rel, rel)
+        left = algebra.project(rel, ["X1"])
+        right = algebra.project(doubled, ["X1"])
+        assert left.snapshot(-10, 10) == right.snapshot(-10, 10)
+
+    @given(periodic_sets(), periodic_sets())
+    @settings(max_examples=50, deadline=None)
+    def test_symmetric_difference_disjoint_from_intersection(self, a, b):
+        assert (a ^ b).isdisjoint(a & b)

@@ -1,0 +1,202 @@
+"""Tests for the temporal-logic layer."""
+
+import pytest
+
+from repro.core import algebra
+from repro.core.errors import EvaluationError
+from repro.core.relations import GeneralizedRelation, Schema, relation
+from repro.tl import (
+    Model,
+    Next,
+    Previous,
+    always,
+    atom,
+    conj,
+    disj,
+    eventually,
+    eventually_always,
+    infinitely_often,
+    negate,
+    since,
+    until,
+)
+
+
+def periodic_model() -> Model:
+    """green at 6n and 6n+1; red at 6n+3; forever in both directions."""
+    green = relation(temporal=["t"])
+    green.add_tuple(["6n"])
+    green.add_tuple(["1 + 6n"])
+    red = relation(temporal=["t"])
+    red.add_tuple(["3 + 6n"])
+    return Model({"green": green, "red": red})
+
+
+def finite_model() -> Model:
+    """A single burst: p at {10, 11, 12} only."""
+    p = relation(temporal=["t"])
+    p.add_tuple(["n"], "t >= 10 & t <= 12")
+    return Model({"p": p})
+
+
+class TestAtoms:
+    def test_atom_membership(self):
+        m = periodic_model()
+        sat = m.sat(atom("green"))
+        assert sat.contains([6]) and sat.contains([7])
+        assert not sat.contains([8])
+        assert sat.contains([-6])
+
+    def test_atom_with_data_selection(self):
+        light = GeneralizedRelation.empty(
+            Schema.make(temporal=["t"], data=["color"])
+        )
+        light.add_tuple(["4n"], data=["green"])
+        light.add_tuple(["2 + 4n"], data=["red"])
+        m = Model({"light": light})
+        sat = m.sat(atom("light", color="green"))
+        assert sat.contains([4]) and not sat.contains([2])
+
+    def test_atom_needs_unique_column(self):
+        wide = relation(temporal=["a", "b"])
+        m = Model({"wide": wide})
+        with pytest.raises(EvaluationError):
+            m.sat(atom("wide"))
+        # explicit column selection works
+        from repro.tl import Atom
+
+        m.sat(Atom(name="wide", column="a"))
+
+    def test_unknown_relation(self):
+        with pytest.raises(EvaluationError):
+            periodic_model().sat(atom("blue"))
+
+
+class TestBooleansAndNext:
+    def test_negation(self):
+        m = periodic_model()
+        sat = m.sat(negate(atom("green")))
+        assert sat.contains([2]) and not sat.contains([6])
+
+    def test_conj_disj(self):
+        m = periodic_model()
+        never = m.sat(conj(atom("green"), atom("red")))
+        assert never.is_empty()
+        either = m.sat(disj(atom("green"), atom("red")))
+        assert either.contains([3]) and either.contains([6])
+        assert not either.contains([2])
+
+    def test_next_previous(self):
+        m = periodic_model()
+        assert m.holds_at(Next(atom("green")), 5)      # 6 is green
+        assert not m.holds_at(Next(atom("green")), 1)  # 2 is not
+        assert m.holds_at(Previous(atom("green")), 7)  # 6 is green
+        assert m.holds_at(Previous(atom("green")), 2)  # 1 is green
+
+    def test_next_previous_inverse(self):
+        m = periodic_model()
+        sat = m.sat(Next(Previous(atom("green"))))
+        assert algebra.equivalent(sat, m.sat(atom("green")))
+
+
+class TestFutureOperators:
+    def test_eventually_periodic_is_everything(self):
+        m = periodic_model()
+        assert m.holds_everywhere(eventually(atom("green")))
+
+    def test_eventually_finite_burst(self):
+        m = finite_model()
+        sat = m.sat(eventually(atom("p")))
+        # F p holds exactly up to the last occurrence.
+        for t in (-100, 0, 10, 12):
+            assert sat.contains([t]), t
+        assert not sat.contains([13])
+
+    def test_always_finite_burst(self):
+        m = finite_model()
+        assert m.sat(always(atom("p"))).is_empty()
+        # G(¬p) holds exactly after the burst.
+        sat = m.sat(always(negate(atom("p"))))
+        assert sat.contains([13]) and not sat.contains([12])
+        assert not sat.contains([0])
+
+    def test_always_periodic(self):
+        m = periodic_model()
+        assert m.sat(always(atom("green"))).is_empty()
+        assert m.holds_everywhere(always(disj(
+            atom("green"), negate(atom("green")))))
+
+    def test_infinitely_often(self):
+        m = periodic_model()
+        assert m.holds_everywhere(infinitely_often(atom("green")))
+        fin = finite_model()
+        assert fin.sat(infinitely_often(atom("p"))).is_empty()
+
+    def test_eventually_always(self):
+        fin = finite_model()
+        # FG(¬p): eventually the burst is over, from everywhere.
+        assert fin.holds_everywhere(eventually_always(negate(atom("p"))))
+        assert fin.sat(eventually_always(atom("p"))).is_empty()
+
+
+class TestUntilSince:
+    def test_until_basic(self):
+        m = finite_model()
+        # (¬p) U p: p eventually occurs, ¬p strictly before it.
+        sat = m.sat(until(negate(atom("p")), atom("p")))
+        assert sat.contains([0]) and sat.contains([10]) and sat.contains([12])
+        assert not sat.contains([13])
+
+    def test_until_requires_hold(self):
+        # q at 0; p at 5; r blocks at 3: (¬r) U p fails from t <= 3.
+        p = relation(temporal=["t"])
+        p.add_tuple([5])
+        r = relation(temporal=["t"])
+        r.add_tuple([3])
+        m = Model({"p": p, "r": r})
+        sat = m.sat(until(negate(atom("r")), atom("p")))
+        assert sat.contains([4]) and sat.contains([5])
+        assert not sat.contains([3]) and not sat.contains([0])
+
+    def test_until_release_now(self):
+        """φ U ψ holds wherever ψ holds (zero-step until)."""
+        m = periodic_model()
+        sat = m.sat(until(negate(atom("green")), atom("green")))
+        green = m.sat(atom("green"))
+        inter = algebra.intersect(sat, green)
+        assert algebra.equivalent(inter, green)
+
+    def test_true_until_is_eventually(self):
+        m = finite_model()
+        true_formula = disj(atom("p"), negate(atom("p")))
+        sat_until = m.sat(until(true_formula, atom("p")))
+        sat_f = m.sat(eventually(atom("p")))
+        assert algebra.equivalent(sat_until, sat_f)
+
+    def test_since_mirrors_until(self):
+        m = finite_model()
+        sat = m.sat(since(negate(atom("p")), atom("p")))
+        # p S at t: p occurred at some u <= t with ¬p in (u, t].
+        assert sat.contains([12]) and sat.contains([13]) and sat.contains([100])
+        assert not sat.contains([9])
+
+
+class TestDualities:
+    def test_g_is_not_f_not(self):
+        m = periodic_model()
+        g = m.sat(always(atom("green")))
+        fnf = algebra.complement(
+            m.sat(eventually(negate(atom("green"))))
+        )
+        assert algebra.equivalent(g, fnf)
+
+    def test_f_idempotent(self):
+        m = finite_model()
+        once = m.sat(eventually(atom("p")))
+        twice = m.sat(eventually(eventually(atom("p"))))
+        assert algebra.equivalent(once, twice)
+
+    def test_holds_somewhere(self):
+        m = periodic_model()
+        assert m.holds_somewhere(conj(atom("green"), Next(atom("green"))))
+        assert not m.holds_somewhere(conj(atom("green"), atom("red")))

@@ -1,0 +1,170 @@
+"""Property tests for temporal logic against reference semantics.
+
+Reference strategy: random *eventually-constant* models (all events
+inside a bounded window).  For such models the semantics of every
+operator is computable by hand on a slightly wider window, because
+beyond the event horizon all atoms are constantly false.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.relations import relation
+from repro.tl import (
+    Model,
+    Next,
+    always,
+    atom,
+    conj,
+    disj,
+    eventually,
+    negate,
+    since,
+    until,
+)
+
+EVENT_WINDOW = (-8, 8)
+CHECK_WINDOW = (-14, 14)
+
+
+def random_model(rng: random.Random) -> tuple[Model, dict[str, set[int]]]:
+    """A model with bounded event sets p, q; returns it plus the truth."""
+    truth: dict[str, set[int]] = {}
+    relations = {}
+    for name in ("p", "q"):
+        points = {
+            rng.randint(*EVENT_WINDOW)
+            for _ in range(rng.randint(0, 6))
+        }
+        truth[name] = points
+        rel = relation(temporal=["t"])
+        for x in points:
+            rel.add_tuple([x])
+        relations[name] = rel
+    return Model(relations), truth
+
+
+def reference_sat(formula, truth: dict[str, set[int]], t: int) -> bool:
+    """Direct semantics for bounded models (events within EVENT_WINDOW)."""
+    from repro.tl import (
+        Always,
+        And,
+        Atom,
+        Eventually,
+        Not,
+        Or,
+        Previous,
+        Since,
+        Until,
+    )
+
+    horizon_hi = EVENT_WINDOW[1] + 2
+    horizon_lo = EVENT_WINDOW[0] - 2
+
+    def sat(f, t):
+        if isinstance(f, Atom):
+            return t in truth[f.name]
+        if isinstance(f, Not):
+            return not sat(f.body, t)
+        if isinstance(f, And):
+            return all(sat(p, t) for p in f.parts)
+        if isinstance(f, Or):
+            return any(sat(p, t) for p in f.parts)
+        if isinstance(f, Next):
+            return sat(f.body, t + 1)
+        if isinstance(f, Previous):
+            return sat(f.body, t - 1)
+        if isinstance(f, Eventually):
+            # beyond horizon_hi, all atoms false forever: quantify over
+            # [t, horizon_hi] plus one representative point past it.
+            points = list(range(t, max(t, horizon_hi) + 1))
+            return any(sat(f.body, u) for u in points)
+        if isinstance(f, Always):
+            points = list(range(t, max(t, horizon_hi) + 1))
+            return all(sat(f.body, u) for u in points)
+        if isinstance(f, Until):
+            for u in range(t, max(t, horizon_hi) + 1):
+                if sat(f.release, u) and all(
+                    sat(f.hold, v) for v in range(t, u)
+                ):
+                    return True
+            return False
+        if isinstance(f, Since):
+            for u in range(min(t, horizon_lo) - 1, t + 1):
+                if sat(f.release, u) and all(
+                    sat(f.hold, v) for v in range(u + 1, t + 1)
+                ):
+                    return True
+            return False
+        raise TypeError(f)
+
+    return sat(formula, t)
+
+
+def random_formula(rng: random.Random, depth: int = 2):
+    if depth == 0 or rng.random() < 0.35:
+        return atom(rng.choice(["p", "q"]))
+    choice = rng.random()
+    sub = random_formula(rng, depth - 1)
+    if choice < 0.15:
+        return negate(sub)
+    if choice < 0.3:
+        return conj(sub, random_formula(rng, depth - 1))
+    if choice < 0.45:
+        return disj(sub, random_formula(rng, depth - 1))
+    if choice < 0.6:
+        return Next(sub)
+    if choice < 0.72:
+        return eventually(sub)
+    if choice < 0.84:
+        return always(sub)
+    if choice < 0.92:
+        return until(sub, random_formula(rng, depth - 1))
+    return since(sub, random_formula(rng, depth - 1))
+
+
+class TestAgainstReferenceSemantics:
+    @given(st.integers(0, 50_000))
+    @settings(max_examples=80, deadline=None)
+    def test_satisfaction_sets_match(self, seed):
+        """Caveat: the reference only handles the reflexive semantics
+        used by the checker; both sides are checked point by point."""
+        rng = random.Random(seed)
+        model, truth = random_model(rng)
+        formula = random_formula(rng)
+        sat_set = model.sat(formula)
+        for t in range(CHECK_WINDOW[0], CHECK_WINDOW[1] + 1):
+            expected = reference_sat(formula, truth, t)
+            got = sat_set.contains([t])
+            assert got == expected, (t, str(formula))
+
+    @given(st.integers(0, 50_000))
+    @settings(max_examples=40, deadline=None)
+    def test_until_unfolding_law(self, seed):
+        """φ U ψ  ==  ψ ∨ (φ ∧ X(φ U ψ)) — the classic fixpoint law."""
+        from repro.core import algebra
+
+        rng = random.Random(seed)
+        model, _truth = random_model(rng)
+        phi = random_formula(rng, 1)
+        psi = random_formula(rng, 1)
+        left = model.sat(until(phi, psi))
+        right = model.sat(
+            disj(psi, conj(phi, Next(until(phi, psi))))
+        )
+        assert algebra.equivalent(left, right)
+
+    @given(st.integers(0, 50_000))
+    @settings(max_examples=40, deadline=None)
+    def test_always_dual(self, seed):
+        """G φ == ¬F¬φ on random formulas and models."""
+        from repro.core import algebra
+
+        rng = random.Random(seed)
+        model, _truth = random_model(rng)
+        phi = random_formula(rng, 1)
+        left = model.sat(always(phi))
+        right = model.sat(negate(eventually(negate(phi))))
+        assert algebra.equivalent(left, right)

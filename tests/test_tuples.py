@@ -1,0 +1,152 @@
+"""Tests for generalized tuples."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import atoms_to_dbm, parse_atoms
+from repro.core.dbm import DBM
+from repro.core.lrp import LRP
+from repro.core.tuples import GeneralizedTuple
+
+from tests.helpers import random_tuple
+
+
+def make(lrps, constraints="", data=()):
+    names = [f"X{i + 1}" for i in range(len(lrps))]
+    dbm = atoms_to_dbm(parse_atoms(constraints), names)
+    return GeneralizedTuple.make(lrps, data=data, dbm=dbm)
+
+
+class TestConstruction:
+    def test_make_coerces(self):
+        t = GeneralizedTuple.make([3, "1 + 2n", LRP.make(0, 4)])
+        assert t.lrps == (LRP.point(3), LRP.make(1, 2), LRP.make(0, 4))
+
+    def test_arities(self):
+        t = make(["2n", 5], data=("robot1",))
+        assert t.temporal_arity == 2 and t.data_arity == 1
+
+    def test_dbm_size_mismatch(self):
+        with pytest.raises(ValueError):
+            GeneralizedTuple(lrps=(LRP.point(0),), dbm=DBM(2))
+
+    def test_free_extension(self):
+        t = make(["2n", "3n"], "X1 <= X2")
+        free = t.free_extension()
+        assert free.lrps == t.lrps
+        assert not free.has_constraints()
+        assert t.has_constraints()
+
+
+class TestSemantics:
+    def test_example_2_2_first(self):
+        """Paper Example 2.2: [1, 1+2n] ∧ X2 >= 0."""
+        t = make([1, "1 + 2n"], "X2 >= 0")
+        assert t.contains([1, 1]) and t.contains([1, 3]) and t.contains([1, 5])
+        assert not t.contains([1, -1])
+        assert not t.contains([2, 3])
+        assert not t.contains([1, 2])
+
+    def test_example_2_2_second(self):
+        """Paper Example 2.2: [3+2n, 5+2n] ∧ X1 = X2 - 2."""
+        t = make(["3 + 2n", "5 + 2n"], "X1 = X2 - 2")
+        for pair in [(3, 5), (5, 7), (7, 9), (-1, 1), (3, 1)]:
+            expected = pair[1] - pair[0] == 2 and pair[0] % 2 == 1
+            assert t.contains(list(pair)) == expected, pair
+
+    def test_contains_data(self):
+        t = make([5], data=("a", 1))
+        assert t.contains([5], ("a", 1))
+        assert not t.contains([5], ("b", 1))
+
+    def test_contains_wrong_arity(self):
+        with pytest.raises(ValueError):
+            make([5]).contains([5, 6])
+
+    def test_enumerate_zero_arity(self):
+        t = GeneralizedTuple.make([])
+        assert list(t.enumerate(-5, 5)) == [()]
+
+    def test_enumerate_unsatisfiable(self):
+        t = make(["n"], "X1 <= 0 & X1 >= 1")
+        assert list(t.enumerate(-10, 10)) == []
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60)
+    def test_enumerate_matches_contains(self, seed):
+        rng = random.Random(seed)
+        t = random_tuple(rng, 2)
+        window = (-8, 8)
+        enumerated = set(t.enumerate(*window))
+        brute = {
+            (a, b)
+            for a in range(window[0], window[1] + 1)
+            for b in range(window[0], window[1] + 1)
+            if t.contains([a, b])
+        }
+        assert enumerated == brute
+
+
+class TestIntersection:
+    def test_example_3_1_tuples(self):
+        """Paper Example 3.1 at the tuple level."""
+        t1 = make(["2n + 1", "3n - 4"], "X1 <= X2 & X1 >= 3")
+        t2 = make(["5n", "5n + 2"], "X1 = X2 - 2")
+        meet = t1.intersect(t2)
+        assert meet is not None
+        assert meet.lrps == (LRP.make(5, 10), LRP.make(2, 15))
+        # Constraints are the union: X1 <= X2, X1 >= 3, X1 = X2 - 2.
+        assert meet.contains([15, 17])
+        assert not meet.contains([5, 2])  # violates X1 = X2 - 2
+
+    def test_disjoint_lrps(self):
+        t1 = make(["2n"])
+        t2 = make(["2n + 1"])
+        assert t1.intersect(t2) is None
+
+    def test_different_data(self):
+        t1 = make(["n"], data=("a",))
+        t2 = make(["n"], data=("b",))
+        assert t1.intersect(t2) is None
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            make(["n"]).intersect(make(["n", "n"]))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60)
+    def test_intersection_is_set_intersection(self, seed):
+        rng = random.Random(seed)
+        t1 = random_tuple(rng, 2)
+        t2 = random_tuple(rng, 2)
+        meet = t1.intersect(t2)
+        window = (-10, 10)
+        s1 = set(t1.enumerate(*window))
+        s2 = set(t2.enumerate(*window))
+        got = set(meet.enumerate(*window)) if meet is not None else set()
+        assert got == s1 & s2
+
+
+class TestCanonicalKey:
+    def test_equal_tuples_equal_keys(self):
+        t1 = make(["2n", "2n"], "X1 <= X2 & X1 >= X2")
+        t2 = make(["2n", "2n"], "X1 = X2")
+        assert t1 == t2
+        assert hash(t1) == hash(t2)
+
+    def test_canonical_lrp_equality(self):
+        a = GeneralizedTuple.make([LRP.make(7, 5)])
+        b = GeneralizedTuple.make([LRP.make(2, 5)])
+        assert a == b
+
+    def test_distinct_data_distinct(self):
+        assert make(["n"], data=("a",)) != make(["n"], data=("b",))
+
+    def test_str_contains_pieces(self):
+        t = make(["3 + 5n", 7], "X1 <= X2", data=("robot",))
+        text = str(t)
+        assert "3 + 5n" in text and "7" in text
+        assert "X1 <= X2" in text and "robot" in text
