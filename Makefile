@@ -1,0 +1,24 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-smoke reports clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Full-size before/after benchmark of the optimization layer; writes
+# BENCH_perf.json (see docs/performance.md for the format).
+bench:
+	$(PYTHON) -m repro.perf.bench
+
+# Small sizes for CI smoke runs.
+bench-smoke:
+	$(PYTHON) -m repro.perf.bench --smoke
+
+# Regenerate every paper artifact report (tables, figures, theorems).
+reports:
+	$(PYTHON) benchmarks/run_all_reports.py REPORTS.md
+
+clean:
+	rm -rf .pytest_cache .benchmarks
+	find . -type d -name __pycache__ -prune -exec rm -rf {} \;

@@ -40,6 +40,7 @@ REPORTS = [
     ("test_bench_ablation_lcm", "ablation_report"),
     ("test_bench_ablation_baseline", "baseline_report"),
     ("test_bench_ablation_complement", "ablation_report"),
+    ("perf_report", "perf_report"),
 ]
 
 

@@ -4,6 +4,14 @@ Wall-clock timings are noisy; the benchmarks corroborate them with
 simple structural counts — how many tuples an operation produced, how
 many pairwise tuple combinations it examined — which track the paper's
 complexity parameters (N tuples, m columns) directly.
+
+The optimization layer's own hit/miss/skip instrumentation (closure
+cache, incremental closures, prefilter rejections, parallel fan-outs)
+is surfaced here through :func:`perf_counters` /
+:func:`reset_perf_counters` / :func:`perf_cache_stats`, so analysis and
+benchmark code has one import for every kind of counter.  Note that
+counters bumped inside worker processes stay in those processes; with
+``workers > 1`` the perf counters describe only the serial fraction.
 """
 
 from __future__ import annotations
@@ -13,6 +21,27 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.core.relations import GeneralizedRelation
+
+
+def perf_counters() -> dict[str, int]:
+    """A snapshot of the optimization layer's hit/miss/skip counters."""
+    from repro.perf.config import counters_snapshot
+
+    return counters_snapshot()
+
+
+def reset_perf_counters() -> None:
+    """Zero the optimization layer's counters."""
+    from repro.perf.config import reset_counters
+
+    reset_counters()
+
+
+def perf_cache_stats() -> dict[str, dict[str, int]]:
+    """Statistics of the interning caches that currently exist."""
+    from repro.perf.cache import cache_stats
+
+    return cache_stats()
 
 
 @dataclass

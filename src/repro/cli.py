@@ -23,6 +23,7 @@ Commands:
                                        relations join the catalog
     next NAME.COLUMN AFTER             exact next event at/after AFTER
     prev NAME.COLUMN BEFORE            exact previous event at/before BEFORE
+    perf                               show optimization-layer counters
     help                               this text
     quit                               leave
 
@@ -177,6 +178,33 @@ class Session:
         )
         return f"derived {sizes}"
 
+    def _cmd_perf(self, _rest: str) -> str:
+        """Show optimization-layer counters and cache statistics."""
+        from repro.analysis.counters import perf_cache_stats, perf_counters
+        from repro.perf.config import get_config
+
+        cfg = get_config()
+        lines = [
+            f"config: cache={'on' if cfg.cache_enabled else 'off'} "
+            f"(size {cfg.cache_size}), "
+            f"prefilter={'on' if cfg.prefilter_enabled else 'off'}, "
+            f"incremental={'on' if cfg.incremental_enabled else 'off'}, "
+            f"workers={cfg.workers}"
+        ]
+        counts = perf_counters()
+        if counts:
+            lines.append(
+                "counters: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+            )
+        for name, stats in sorted(perf_cache_stats().items()):
+            lines.append(
+                f"{name} cache: {stats['hits']} hits, "
+                f"{stats['misses']} misses, {stats['evictions']} evictions, "
+                f"{stats['size']}/{stats['maxsize']} entries"
+            )
+        return "\n".join(lines)
+
     def _cmd_next(self, rest: str) -> str:
         return self._next_prev(rest, forward=True)
 
@@ -229,7 +257,28 @@ def main(argv: list[str] | None = None) -> int:
         default=[],
         help="run one command (repeatable)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan pairwise algebra operations out to N worker processes",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the interning caches of the optimization layer",
+    )
     args = parser.parse_args(argv)
+    if args.workers is not None or args.no_cache:
+        from repro.perf.config import configure
+
+        changes: dict = {}
+        if args.workers is not None:
+            changes["workers"] = max(0, args.workers)
+        if args.no_cache:
+            changes["cache_enabled"] = False
+        configure(**changes)
     session = Session()
     if args.commands:
         for command in args.commands:

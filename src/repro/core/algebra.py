@@ -38,6 +38,8 @@ from repro.core.negation import (
 from repro.core.normalize import DEFAULT_MAX_TUPLES
 from repro.core.relations import Attribute, GeneralizedRelation, Schema
 from repro.core.tuples import GeneralizedTuple
+from repro.perf import prefilter
+from repro.perf.config import PERF_COUNTERS, get_config
 
 # ----------------------------------------------------------------------
 # DBM assembly helpers
@@ -85,6 +87,42 @@ def _require_same_schema(r1: GeneralizedRelation, r2: GeneralizedRelation) -> No
 
 
 # ----------------------------------------------------------------------
+# optimization-layer plumbing (repro.perf)
+# ----------------------------------------------------------------------
+
+
+def _fan_out(worker, payloads: list, extra) -> list:
+    """Run a chunk worker over ``payloads``, parallel when configured.
+
+    ``worker(chunk, extra)`` must map a payload list to a result list of
+    the same length and order; fan-out concatenates contiguous chunks in
+    submission order, so the output is identical for any worker count.
+    """
+    cfg = get_config()
+    if cfg.workers > 1 and len(payloads) >= cfg.parallel_threshold:
+        from repro.perf import parallel
+
+        return parallel.run_chunked(worker, payloads, extra, cfg.workers)
+    return worker(payloads, extra)
+
+
+class _ProbeMemo:
+    """Per-chunk memo of closed DBM probes, keyed on tuple identity."""
+
+    __slots__ = ("_probes",)
+
+    def __init__(self) -> None:
+        self._probes: dict[int, tuple[DBM, bool]] = {}
+
+    def __call__(self, t: GeneralizedTuple) -> tuple[DBM, bool]:
+        probe = self._probes.get(id(t))
+        if probe is None:
+            probe = prefilter.closed_probe(t.dbm)
+            self._probes[id(t)] = probe
+        return probe
+
+
+# ----------------------------------------------------------------------
 # union / intersection (Sections 3.1, 3.2)
 # ----------------------------------------------------------------------
 
@@ -106,15 +144,52 @@ def union(r1: GeneralizedRelation, r2: GeneralizedRelation) -> GeneralizedRelati
 def intersect(
     r1: GeneralizedRelation, r2: GeneralizedRelation
 ) -> GeneralizedRelation:
-    """Set intersection: pairwise tuple intersections (Section 3.2.2)."""
+    """Set intersection: pairwise tuple intersections (Section 3.2.2).
+
+    Unsatisfiable meets (nonempty lrp intersections whose merged
+    constraints have no solution) denote the empty set and are dropped.
+    With prefilters enabled, provably-empty pairs are rejected before the
+    CRT + DBM work; with ``workers > 1`` the pair list fans out across a
+    process pool.  Both return the same tuples as the plain double loop.
+    """
     _require_same_schema(r1, r2)
     out = GeneralizedRelation.empty(r1.schema)
-    for t1 in r1:
-        for t2 in r2:
-            meet = t1.intersect(t2)
-            if meet is not None:
-                out.add(meet)
+    pairs = [(t1, t2) for t1 in r1 for t2 in r2]
+    for meets in _fan_out(_intersect_chunk, pairs, None):
+        for meet in meets:
+            out.add(meet)
     return out
+
+
+def _intersect_chunk(
+    pairs: list[tuple[GeneralizedTuple, GeneralizedTuple]], _extra
+) -> list[list[GeneralizedTuple]]:
+    probe = _ProbeMemo()
+    return [_intersect_pair(t1, t2, probe) for t1, t2 in pairs]
+
+
+def _intersect_pair(
+    t1: GeneralizedTuple, t2: GeneralizedTuple, probe: _ProbeMemo
+) -> list[GeneralizedTuple]:
+    if get_config().prefilter_enabled:
+        if t1.data != t2.data:
+            return []
+        if not prefilter.lrps_compatible(t1.lrps, t2.lrps):
+            PERF_COUNTERS["prefilter_lrp_skip"] += 1
+            return []
+        closed1, sat1 = probe(t1)
+        if not sat1:
+            return []
+        closed2, sat2 = probe(t2)
+        if not sat2:
+            return []
+        if not prefilter.intervals_compatible(closed1, closed2):
+            PERF_COUNTERS["prefilter_interval_skip"] += 1
+            return []
+    meet = t1.intersect(t2)
+    if meet is None or not meet.dbm.copy().close():
+        return []
+    return [meet]
 
 
 # ----------------------------------------------------------------------
@@ -172,6 +247,20 @@ def subtract_tuples(
         return [t1]  # subtracting the empty set
     if t1.data != t2.data:
         return [t1]
+    if get_config().prefilter_enabled:
+        if not prefilter.lrps_compatible(t1.lrps, t2.lrps):
+            # Some component meets are empty: same [t1] the loop below
+            # would return, minus the CRT work.
+            PERF_COUNTERS["prefilter_lrp_skip"] += 1
+            return [t1]
+        closed1, _ = prefilter.closed_probe(t1.dbm)
+        closed2, _ = prefilter.closed_probe(t2.dbm)
+        if not prefilter.intervals_compatible(closed1, closed2):
+            # t1 ∩ t2 is empty, so the difference *is* t1 — skipping the
+            # staircase decomposition returns it in one piece instead of
+            # as the equivalent carved-up union.
+            PERF_COUNTERS["prefilter_subtract_skip"] += 1
+            return [t1]
     arity = t1.temporal_arity
     meets: list[LRP] = []
     for a, b in zip(t1.lrps, t2.lrps):
@@ -209,29 +298,56 @@ def subtract_tuples(
 def subtract(
     r1: GeneralizedRelation, r2: GeneralizedRelation
 ) -> GeneralizedRelation:
-    """Set difference, folding tuple subtraction over ``r2`` (Section 3.3.2)."""
+    """Set difference, folding tuple subtraction over ``r2`` (Section 3.3.2).
+
+    Each minuend tuple's fold is independent of the others, so with
+    ``workers > 1`` the minuends fan out across a process pool.
+    """
     _require_same_schema(r1, r2)
     out = GeneralizedRelation.empty(r1.schema)
+    minuends = list(r1)
     subtrahends = list(r2)
-    for t1 in r1:
-        current = [t1]
-        for t2 in subtrahends:
-            next_round: list[GeneralizedTuple] = []
-            for t in current:
-                next_round.extend(subtract_tuples(t, t2))
-            current = _dedup(next_round)
-            if not current:
-                break
-        for t in current:
+    for survivors in _fan_out(_subtract_chunk, minuends, subtrahends):
+        for t in survivors:
             out.add(t)
     return out
 
 
+def _subtract_chunk(
+    minuends: list[GeneralizedTuple], subtrahends: list[GeneralizedTuple]
+) -> list[list[GeneralizedTuple]]:
+    return [_subtract_fold(t1, subtrahends) for t1 in minuends]
+
+
+def _subtract_fold(
+    t1: GeneralizedTuple, subtrahends: list[GeneralizedTuple]
+) -> list[GeneralizedTuple]:
+    current = [t1]
+    for t2 in subtrahends:
+        next_round: list[GeneralizedTuple] = []
+        for t in current:
+            next_round.extend(subtract_tuples(t, t2))
+        current = _dedup(next_round)
+        if not current:
+            break
+    return current
+
+
 def _dedup(tuples: list[GeneralizedTuple]) -> list[GeneralizedTuple]:
+    """Deduplicate by semantic key, dropping provably-empty tuples.
+
+    The semantic key (see :meth:`GeneralizedTuple.semantic_key`) folds
+    constraint-forced values into the lrps and singleton lrps into the
+    closure, so equivalent tuples produced by different operation orders
+    — a pinned-DBM variant here, a singleton-lrp variant there — collapse
+    to one representative instead of accumulating across the fold.
+    """
     seen: set[tuple] = set()
     out: list[GeneralizedTuple] = []
     for t in tuples:
-        key = t.canonical_key()
+        key = t.semantic_key()
+        if key[0] == "EMPTY":
+            continue
         if key not in seen:
             seen.add(key)
             out.append(t)
@@ -542,11 +658,15 @@ def product(
     a1 = r1.schema.temporal_arity
     a2 = r2.schema.temporal_arity
     out = GeneralizedRelation.empty(new_schema)
+    probe = _ProbeMemo()
+    hoist = get_config().prefilter_enabled
     for t1 in r1:
-        if not t1.dbm.copy().close():
+        sat1 = probe(t1)[1] if hoist else t1.dbm.copy().close()
+        if not sat1:
             continue  # empty tuple: nothing to combine
         for t2 in r2:
-            if not t2.dbm.copy().close():
+            sat2 = probe(t2)[1] if hoist else t2.dbm.copy().close()
+            if not sat2:
                 continue
             dbm = DBM(a1 + a2)
             _dbm_merge_into(dbm, t1.dbm, list(range(a1)))
@@ -603,37 +723,77 @@ def join(
         for a in r2_only
         if a.temporal
     ]
+    context = (
+        a1,
+        map1,
+        map2,
+        shared_t,
+        shared_d,
+        t2_only,
+        d2_only_idx,
+        len(result_t_names),
+    )
     out = GeneralizedRelation.empty(new_schema)
-    for t1 in r1:
-        if not t1.dbm.copy().close():
-            continue  # empty tuple: joins with nothing
-        for t2 in r2:
-            if not t2.dbm.copy().close():
-                continue
-            if any(t1.data[i] != t2.data[j] for i, j in shared_d):
-                continue
-            lrps: list[LRP | None] = [None] * len(result_t_names)
-            for i1, pos in zip(range(a1), map1):
-                lrps[pos] = t1.lrps[i1]
-            feasible = True
-            for i1, i2 in shared_t:
-                meet = t1.lrps[i1].intersect(t2.lrps[i2])
-                if meet is None:
-                    feasible = False
-                    break
-                lrps[map1[i1]] = meet
-            if not feasible:
-                continue
-            for i2, pos in t2_only:
-                lrps[pos] = t2.lrps[i2]
-            dbm = DBM(len(result_t_names))
-            _dbm_merge_into(dbm, t1.dbm, map1)
-            _dbm_merge_into(dbm, t2.dbm, map2)
-            if not dbm.copy().close():
-                continue
-            data = t1.data + tuple(t2.data[i] for i in d2_only_idx)
-            out.add(GeneralizedTuple(tuple(lrps), dbm, data))
+    pairs = [(t1, t2) for t1 in r1 for t2 in r2]
+    for joined in _fan_out(_join_chunk, pairs, context):
+        if joined is not None:
+            out.add(joined)
     return out
+
+
+def _join_chunk(
+    pairs: list[tuple[GeneralizedTuple, GeneralizedTuple]], context: tuple
+) -> list[GeneralizedTuple | None]:
+    probe = _ProbeMemo()
+    return [_join_pair(t1, t2, context, probe) for t1, t2 in pairs]
+
+
+def _join_pair(
+    t1: GeneralizedTuple,
+    t2: GeneralizedTuple,
+    context: tuple,
+    probe: _ProbeMemo,
+) -> GeneralizedTuple | None:
+    (a1, map1, map2, shared_t, shared_d, t2_only, d2_only_idx, arity) = context
+    pre = get_config().prefilter_enabled
+    if any(t1.data[i] != t2.data[j] for i, j in shared_d):
+        return None
+    if pre and shared_t:
+        if not prefilter.lrps_compatible(t1.lrps, t2.lrps, shared_t):
+            PERF_COUNTERS["prefilter_lrp_skip"] += 1
+            return None
+    if pre:
+        closed1, sat1 = probe(t1)
+        if not sat1:
+            return None
+        closed2, sat2 = probe(t2)
+        if not sat2:
+            return None
+        if shared_t and not prefilter.intervals_compatible(
+            closed1, closed2, shared_t
+        ):
+            PERF_COUNTERS["prefilter_interval_skip"] += 1
+            return None
+    else:
+        if not t1.dbm.copy().close() or not t2.dbm.copy().close():
+            return None
+    lrps: list[LRP | None] = [None] * arity
+    for i1, pos in zip(range(a1), map1):
+        lrps[pos] = t1.lrps[i1]
+    for i1, i2 in shared_t:
+        meet = t1.lrps[i1].intersect(t2.lrps[i2])
+        if meet is None:
+            return None
+        lrps[map1[i1]] = meet
+    for i2, pos in t2_only:
+        lrps[pos] = t2.lrps[i2]
+    dbm = DBM(arity)
+    _dbm_merge_into(dbm, t1.dbm, map1)
+    _dbm_merge_into(dbm, t2.dbm, map2)
+    if not dbm.copy().close():
+        return None
+    data = t1.data + tuple(t2.data[i] for i in d2_only_idx)
+    return GeneralizedTuple(tuple(lrps), dbm, data)
 
 
 # ----------------------------------------------------------------------

@@ -31,6 +31,9 @@ from __future__ import annotations
 
 from collections.abc import Iterator, Sequence
 
+from repro.perf.cache import closure_cache
+from repro.perf.config import PERF_COUNTERS, get_config
+
 Bound = int | None  # None encodes +infinity
 
 
@@ -58,7 +61,7 @@ class DBM:
     and translates.
     """
 
-    __slots__ = ("_n", "_b", "_closed")
+    __slots__ = ("_n", "_b", "_closed", "_dirty")
 
     def __init__(self, size: int) -> None:
         if size < 0:
@@ -69,6 +72,9 @@ class DBM:
             for i in range(self._n)
         ]
         self._closed = True  # the unconstrained system is trivially closed
+        # Entries written since the matrix was last closed; None means
+        # the edit history is unknown and only a full closure is safe.
+        self._dirty: list[tuple[int, int]] | None = []
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -80,11 +86,17 @@ class DBM:
         return self._n - 1
 
     def copy(self) -> DBM:
-        """Return an independent copy."""
+        """Return an independent copy.
+
+        Closure state travels with the copy: a copied already-closed
+        matrix answers :meth:`close` in O(1), and pending dirty edges
+        stay eligible for the incremental closure.
+        """
         out = DBM.__new__(DBM)
         out._n = self._n
         out._b = [row[:] for row in self._b]
         out._closed = self._closed
+        out._dirty = None if self._dirty is None else list(self._dirty)
         return out
 
     def _set(self, i: int, j: int, bound: int) -> None:
@@ -92,6 +104,14 @@ class DBM:
         if current is None or bound < current:
             self._b[i][j] = bound
             self._closed = False
+            dirty = self._dirty
+            if dirty is not None:
+                if len(dirty) < self._n:
+                    dirty.append((i, j))
+                else:
+                    # Too many edits for the incremental closure to beat
+                    # Floyd–Warshall; stop tracking.
+                    self._dirty = None
 
     def add_difference(self, i: int, j: int, bound: int) -> None:
         """Add ``X_i - X_j <= bound`` (0-based variable indices)."""
@@ -100,8 +120,7 @@ class DBM:
         if i == j:
             if bound < 0:
                 # X_i - X_i <= negative: immediately unsatisfiable.
-                self._b[0][0] = min_bound(self._b[0][0], bound)
-                self._closed = False
+                self._set(0, 0, min_bound(self._b[0][0], bound))
             return
         self._set(i + 1, j + 1, bound)
 
@@ -134,14 +153,55 @@ class DBM:
     # ------------------------------------------------------------------
 
     def close(self) -> bool:
-        """Run Floyd–Warshall closure; return whether the system is satisfiable.
+        """Close the system; return whether it is satisfiable.
 
         After a successful closure every entry holds the tightest implied
         bound.  An unsatisfiable system is detected by a negative value on
         the diagonal and left in that state (callers should discard it).
+
+        ``close`` is idempotent (a ``_closed`` flag makes repeats O(n)),
+        consults the global interning cache when enabled (identical
+        written systems are closed once process-wide), and tightens
+        incrementally in O(d·n²) when only ``d < n`` bounds were written
+        since the last closure, instead of re-running the O(n³)
+        Floyd–Warshall pass.
         """
         if self._closed:
             return self.is_satisfiable()
+        cache = closure_cache()
+        key = None
+        if cache is not None:
+            key = (self._n, tuple(tuple(row) for row in self._b))
+            hit = cache.get(key)
+            if hit is not None:
+                PERF_COUNTERS["closure_cache_hit"] += 1
+                sat, rows = hit
+                self._b = [list(row) for row in rows]
+                self._closed = True
+                self._dirty = []
+                return sat
+            PERF_COUNTERS["closure_cache_miss"] += 1
+        dirty = self._dirty
+        if (
+            dirty is not None
+            and dirty
+            and len(set(dirty)) < self._n
+            and get_config().incremental_enabled
+        ):
+            PERF_COUNTERS["closure_incremental"] += 1
+            self._close_incremental(list(dict.fromkeys(dirty)))
+        else:
+            PERF_COUNTERS["closure_full"] += 1
+            self._close_full()
+        self._closed = True
+        self._dirty = []
+        sat = self.is_satisfiable()
+        if cache is not None:
+            cache.put(key, (sat, tuple(tuple(row) for row in self._b)))
+        return sat
+
+    def _close_full(self) -> None:
+        """The classic O(n³) Floyd–Warshall tightening pass."""
         n = self._n
         b = self._b
         for k in range(n):
@@ -159,8 +219,39 @@ class DBM:
                     current = row_i[j]
                     if current is None or candidate < current:
                         row_i[j] = candidate
-        self._closed = True
-        return self.is_satisfiable()
+
+    def _close_incremental(self, edges: list[tuple[int, int]]) -> None:
+        """Re-close after writing only ``edges`` into a closed matrix.
+
+        For each written entry ``b[u][v] = w`` (the constraint
+        ``X_u - X_v <= w``), the closure of the old matrix plus that
+        single edge is ``b'[i][j] = min(b[i][j], b[i][u] + w + b[v][j])``
+        — one O(n²) sweep.  Processing the written edges sequentially is
+        exact: each sweep uses entries that are already closed over the
+        previously processed edges, and raw not-yet-processed writes only
+        ever make entries tighter than required, never looser.
+        """
+        n = self._n
+        b = self._b
+        for u, v in edges:
+            w = b[u][v]
+            if w is None:  # pragma: no cover - dirty writes are finite
+                continue
+            row_v = b[v]
+            for i in range(n):
+                b_iu = b[i][u]
+                if b_iu is None:
+                    continue
+                head = b_iu + w
+                row_i = b[i]
+                for j in range(n):
+                    b_vj = row_v[j]
+                    if b_vj is None:
+                        continue
+                    candidate = head + b_vj
+                    current = row_i[j]
+                    if current is None or candidate < current:
+                        row_i[j] = candidate
 
     def is_satisfiable(self) -> bool:
         """Return whether the (closed) system has an integer solution.
@@ -238,8 +329,7 @@ class DBM:
             for j in range(self._n):
                 merged = min_bound(out._b[i][j], other._b[i][j])
                 if merged != out._b[i][j]:
-                    out._b[i][j] = merged
-                    out._closed = False
+                    out._set(i, j, merged)
         return out
 
     def project(self, keep: Sequence[int]) -> DBM:
@@ -271,14 +361,19 @@ class DBM:
         return self.project(new_order)
 
     def extend(self, extra: int) -> DBM:
-        """Return a copy with ``extra`` fresh, unconstrained variables appended."""
+        """Return a copy with ``extra`` fresh, unconstrained variables appended.
+
+        Appending unconstrained variables preserves closure: no path can
+        improve through a variable that has no finite bounds.
+        """
         if extra < 0:
             raise ValueError("extra must be >= 0")
         out = DBM(self.size + extra)
         for i in range(self._n):
             for j in range(self._n):
                 out._b[i][j] = self._b[i][j]
-        out._closed = False
+        out._closed = self._closed
+        out._dirty = None if not self._closed else []
         return out
 
     def shift_variable(self, i: int, delta: int) -> DBM:
@@ -389,8 +484,7 @@ class DBM:
             probe = self.copy()
             for i in range(1, self._n):
                 if probe._b[i][0] is None:
-                    probe._b[i][0] = big
-                    probe._closed = False
+                    probe._set(i, 0, big)
             if not probe.close():  # pragma: no cover - cap cannot conflict
                 raise AssertionError("capping unbounded variables broke the DBM")
         result = [probe._b[i][0] for i in range(1, probe._n)]

@@ -17,6 +17,8 @@ from repro.core.normalize import (
 )
 from repro.core.relations import GeneralizedRelation
 from repro.core.tuples import GeneralizedTuple
+from repro.perf.cache import normalize_cache
+from repro.perf.config import PERF_COUNTERS
 
 
 def tuple_is_empty(
@@ -26,11 +28,35 @@ def tuple_is_empty(
 
     Normalization is streamed and stops at the first satisfiable
     normal-form tuple, so the common case is far cheaper than a full
-    normalization.
+    normalization.  Verdicts are memoized on the written tuple form
+    (simplification asks about the same tuples repeatedly).
     """
+    if not gtuple.dbm.copy().close():
+        # Unsatisfiable systems may carry a diagonal marker invisible to
+        # iter_bounds, so they must be decided before the memo key is
+        # built from the written bounds.
+        return True
+    cache = normalize_cache()
+    key = None
+    if cache is not None:
+        key = (
+            "empty",
+            max_tuples,
+            gtuple.lrps,
+            tuple(gtuple.dbm.iter_bounds()),
+        )
+        verdict = cache.get(key)
+        if verdict is not None:
+            PERF_COUNTERS["empty_cache_hit"] += 1
+            return verdict
+        PERF_COUNTERS["empty_cache_miss"] += 1
+    empty = True
     for _ in iter_normalize_tuple(gtuple, max_tuples=max_tuples):
-        return False
-    return True
+        empty = False
+        break
+    if key is not None:
+        cache.put(key, empty)
+    return empty
 
 
 def relation_is_empty(

@@ -32,6 +32,8 @@ from repro.core.normalize import (
     normalize_relation_tuples,
 )
 from repro.core.tuples import GeneralizedTuple
+from repro.perf import prefilter
+from repro.perf.config import PERF_COUNTERS, get_config
 
 DEFAULT_MAX_EXTENSIONS = 1_000_000
 
@@ -110,9 +112,29 @@ def complement_constraint_systems(
         negated = negate_dbm(system, size)
         if not negated:
             return []
+        pre = get_config().prefilter_enabled
+        # Every negated piece carries exactly one written bound, so an
+        # O(1) closed-path test decides whether conjoining it can stay
+        # satisfiable — skipping the pieces the canonical-key check
+        # below would discard anyway, without building the merge.
+        piece_bounds = (
+            [next(iter(piece.iter_bounds()), None) for piece in negated]
+            if pre
+            else None
+        )
         next_round: dict[tuple, DBM] = {}
         for conjunct in current:
-            for piece in negated:
+            closed_conjunct = (
+                prefilter.closed_probe(conjunct)[0] if pre else None
+            )
+            for index, piece in enumerate(negated):
+                if piece_bounds is not None:
+                    bound = piece_bounds[index]
+                    if bound is not None and not prefilter.added_bound_satisfiable(
+                        closed_conjunct, *bound
+                    ):
+                        PERF_COUNTERS["prefilter_negation_skip"] += 1
+                        continue
                 merged = conjunct.intersect(piece)
                 # Satisfiability and deduplication both go through the
                 # canonical key, which closes a *copy*: the stored

@@ -39,6 +39,8 @@ from repro.core.dbm import DBM
 from repro.core.errors import NormalizationLimitError
 from repro.core.lrp import LRP
 from repro.core.tuples import GeneralizedTuple
+from repro.perf.cache import normalize_cache
+from repro.perf.config import PERF_COUNTERS
 
 DEFAULT_MAX_TUPLES = 1_000_000
 
@@ -293,12 +295,41 @@ def iter_normalize_tuple(
     if not gtuple.dbm.copy().close():
         return
     arity = gtuple.temporal_arity
+    x_bounds = list(gtuple.dbm.iter_bounds())
+    # The memo key is the written tuple form.  Limit validation happened
+    # above, so a hit cannot mask a NormalizationLimitError; values are
+    # handed out as fresh copies because callers close and project the
+    # n_dbm in place, which must not leak back into the cache.
+    cache = normalize_cache()
+    key = None
+    if cache is not None:
+        key = (
+            "normalize",
+            period,
+            keep_empty,
+            gtuple.lrps,
+            tuple(x_bounds),
+            gtuple.data,
+        )
+        hit = cache.get(key)
+        if hit is not None:
+            PERF_COUNTERS["normalize_cache_hit"] += 1
+            for cached in hit:
+                yield NormalizedTuple(
+                    period=cached.period,
+                    offsets=cached.offsets,
+                    singleton=cached.singleton,
+                    n_dbm=cached.n_dbm.copy(),
+                    data=cached.data,
+                )
+            return
+        PERF_COUNTERS["normalize_cache_miss"] += 1
+    produced: list[NormalizedTuple] = []
     # Step 1: split every periodic lrp onto the common period.
     choices: list[list[LRP]] = [
         lrp.split(period) if lrp.period != 0 else [lrp]
         for lrp in gtuple.lrps
     ]
-    x_bounds = list(gtuple.dbm.iter_bounds())
     # Step 2: cross product of the splits.
     for combo in _product(choices):
         offsets = tuple(lrp.offset for lrp in combo)
@@ -326,7 +357,22 @@ def iter_normalize_tuple(
             data=gtuple.data,
         )
         if keep_empty or not normalized.is_empty():
+            if key is not None:
+                produced.append(
+                    NormalizedTuple(
+                        period=period,
+                        offsets=offsets,
+                        singleton=singleton,
+                        n_dbm=n_dbm.copy(),
+                        data=gtuple.data,
+                    )
+                )
             yield normalized
+    # Only a fully-consumed expansion is memoized: an early-exiting
+    # consumer (emptiness stops at its first witness) leaves the loop
+    # before this line runs.
+    if key is not None:
+        cache.put(key, produced)
 
 
 def normalize_tuple(

@@ -30,6 +30,7 @@ class GeneralizedTuple:
     dbm: DBM
     data: tuple[Hashable, ...] = ()
     _key: tuple | None = field(default=None, repr=False, compare=False)
+    _skey: tuple | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.lrps = tuple(self.lrps)
@@ -99,6 +100,46 @@ class GeneralizedTuple:
         if self._key is None:
             self._key = (self.lrps, self.dbm.canonical_key(), self.data)
         return self._key
+
+    def semantic_key(self) -> tuple:
+        """A hashable key refining :meth:`canonical_key` semantically.
+
+        Equal keys imply equal denoted point sets, and the key collapses
+        two syntactic disguises the algebra's decompositions produce:
+
+        * a singleton lrp versus an equality constraint pinning the
+          attribute to the same value (the pin is folded into the
+          closure either way);
+        * a periodic lrp whose constraints force a single value versus
+          that value as a singleton lrp (the forced value is folded into
+          the lrp).
+
+        Every tuple denoting the empty set — an unsatisfiable constraint
+        system, or a forced value outside its lrp — maps to the single
+        key ``("EMPTY", arity)``.
+        """
+        if self._skey is not None:
+            return self._skey
+        arity = len(self.lrps)
+        probe = self.dbm.copy()
+        for i, lrp in enumerate(self.lrps):
+            if lrp.period == 0:
+                probe.add_value(i, lrp.offset)
+        if not probe.close():
+            self._skey = ("EMPTY", arity)
+            return self._skey
+        lrps = list(self.lrps)
+        for i, lrp in enumerate(lrps):
+            if lrp.period == 0:
+                continue
+            low = probe.lower(i)
+            if low is not None and low == probe.upper(i):
+                if not lrp.contains(low):
+                    self._skey = ("EMPTY", arity)
+                    return self._skey
+                lrps[i] = LRP.point(low)
+        self._skey = (tuple(lrps), probe.canonical_key(), self.data)
+        return self._skey
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, GeneralizedTuple):

@@ -1,0 +1,71 @@
+"""Hot-path optimization layer for the generalized algebra.
+
+Four independently switchable optimizations (see ``docs/performance.md``):
+
+1. **Incremental DBM closure** — adding a few bounds to an already
+   closed matrix tightens in O(d·n²) instead of re-running the O(n³)
+   Floyd–Warshall closure (:mod:`repro.core.dbm`).
+2. **Canonical interning caches** — bounded LRU caches memoize closures,
+   satisfiability checks, normal-form expansions and emptiness verdicts
+   keyed on written constraint forms (:mod:`repro.perf.cache`).
+3. **Pairwise-op prefilters** — O(m) residue/interval rejection tests
+   skip provably-empty tuple pairs before the CRT + DBM work in
+   ``intersect``/``join``/``subtract`` (:mod:`repro.perf.prefilter`).
+4. **Process-parallel fan-out** — the pairwise product is chunked across
+   a worker pool with deterministic, index-ordered reassembly
+   (:mod:`repro.perf.parallel`); off by default, enabled via
+   ``REPRO_WORKERS`` / ``Evaluator(workers=N)`` / ``itql --workers``.
+
+This package's ``__init__`` must stay import-light: :mod:`repro.core.dbm`
+imports it at the bottom of the dependency graph, so only the
+dependency-free ``config`` and ``cache`` modules load eagerly;
+``prefilter``, ``parallel`` and ``bench`` (which import the core) load
+lazily on attribute access.
+"""
+
+from __future__ import annotations
+
+from repro.perf.cache import (
+    LRUCache,
+    cache_stats,
+    closure_cache,
+    normalize_cache,
+    reset_caches,
+)
+from repro.perf.config import (
+    PERF_COUNTERS,
+    PerfConfig,
+    configure,
+    counters_snapshot,
+    get_config,
+    overrides,
+    reset_config,
+    reset_counters,
+)
+
+_LAZY_SUBMODULES = ("prefilter", "parallel", "bench")
+
+__all__ = [
+    "LRUCache",
+    "PERF_COUNTERS",
+    "PerfConfig",
+    "cache_stats",
+    "closure_cache",
+    "configure",
+    "counters_snapshot",
+    "get_config",
+    "normalize_cache",
+    "overrides",
+    "reset_caches",
+    "reset_config",
+    "reset_counters",
+    *_LAZY_SUBMODULES,
+]
+
+
+def __getattr__(name: str):
+    if name in _LAZY_SUBMODULES:
+        import importlib
+
+        return importlib.import_module(f"repro.perf.{name}")
+    raise AttributeError(f"module 'repro.perf' has no attribute {name!r}")

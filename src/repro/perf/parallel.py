@@ -1,0 +1,95 @@
+"""Deterministic process-parallel fan-out for pairwise products.
+
+Off by default.  When :class:`repro.perf.config.PerfConfig` carries
+``workers > 1`` and an operation has at least ``parallel_threshold``
+independent work items, the items are split into contiguous chunks and
+mapped across a cached ``ProcessPoolExecutor``.
+
+Determinism: chunks are contiguous slices of the serial work list, chunk
+results are concatenated in submission order, and every chunk worker is
+a pure function of its payload — so the assembled output is equal to the
+serial output, item for item, for any worker count.
+
+Any pool failure (fork refused by the sandbox, a worker dying, pickling
+trouble) falls back to running the worker serially in-process, which by
+the same purity argument returns identical results.
+"""
+
+from __future__ import annotations
+
+import atexit
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any
+
+from repro.perf.config import PERF_COUNTERS
+
+#: Chunks per worker: small enough to amortize submission overhead,
+#: large enough to smooth out uneven per-pair costs.
+CHUNKS_PER_WORKER = 4
+
+_pools: dict[int, ProcessPoolExecutor] = {}
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    pool = _pools.get(workers)
+    if pool is None:
+        import multiprocessing
+
+        # Prefer fork: children inherit the live perf configuration and
+        # the imported core modules, so no per-task warmup is needed.
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        _pools[workers] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Shut down every cached worker pool (registered atexit)."""
+    for pool in _pools.values():
+        pool.shutdown(wait=False, cancel_futures=True)
+    _pools.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+def run_chunked(
+    worker: Callable[[list, Any], list],
+    payloads: Sequence,
+    extra: Any,
+    workers: int,
+) -> list:
+    """Fan ``worker(chunk, extra)`` across processes, preserving order.
+
+    ``worker`` must be a picklable module-level function mapping a list
+    of payload items to a list of results of the same length and order;
+    ``extra`` carries per-operation context shared by all chunks.  The
+    concatenated chunk results equal ``worker(list(payloads), extra)``.
+    """
+    payloads = list(payloads)
+    if workers <= 1 or len(payloads) <= 1:
+        return worker(payloads, extra)
+    chunk_size = max(
+        1, -(-len(payloads) // (workers * CHUNKS_PER_WORKER))
+    )
+    chunks = [
+        payloads[start : start + chunk_size]
+        for start in range(0, len(payloads), chunk_size)
+    ]
+    if len(chunks) <= 1:
+        return worker(payloads, extra)
+    try:
+        pool = _get_pool(workers)
+        futures = [pool.submit(worker, chunk, extra) for chunk in chunks]
+        out: list = []
+        for future in futures:
+            out.extend(future.result())
+    except Exception:
+        PERF_COUNTERS["parallel_fallback"] += 1
+        return worker(payloads, extra)
+    PERF_COUNTERS["parallel_fanout"] += 1
+    return out

@@ -1,0 +1,117 @@
+"""Cheap rejection tests for pairwise tuple operations.
+
+The quadratic pairwise loops of the algebra (``intersect``, ``join``,
+``subtract``, complement's DNF expansion) spend most of their time on
+pairs whose combination is provably empty.  Each helper here rejects
+such a pair with a few integer operations, before any CRT solving, DBM
+copying or Floyd–Warshall closure happens:
+
+* **residue compatibility** — two lrps ``c1 + p1·Z`` and ``c2 + p2·Z``
+  intersect iff ``gcd(p1, p2)`` divides ``c1 − c2`` (the solvability
+  condition of the CRT), an exact test;
+* **interval overlap** — with both DBMs closed, attribute ``i``'s value
+  range on each side is ``[-b(0,i), b(i,0)]``; disjoint ranges on any
+  shared attribute make the conjunction unsatisfiable, again exactly;
+* **single-bound satisfiability** — adding one constraint
+  ``X_u - X_v <= w`` to a closed satisfiable system is unsatisfiable iff
+  the closure's reverse path gives ``b(v, u) + w < 0`` (any new negative
+  cycle must traverse the new edge, and ``b(v, u)`` is the cheapest way
+  back).
+
+All three tests are exact (they reject only pairs the full computation
+would also discard), so the filtered operations return the same results
+as the unfiltered ones.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from math import gcd
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.dbm import DBM
+    from repro.core.lrp import LRP
+
+
+def lrp_pair_compatible(a: "LRP", b: "LRP") -> bool:
+    """Whether two lrps have a nonempty intersection (exact, no CRT)."""
+    pa = a.period
+    pb = b.period
+    if pa == 0:
+        return b.contains(a.offset)
+    if pb == 0:
+        return a.contains(b.offset)
+    return (a.offset - b.offset) % gcd(pa, pb) == 0
+
+
+def lrps_compatible(
+    lrps1: Sequence["LRP"],
+    lrps2: Sequence["LRP"],
+    pairs: Sequence[tuple[int, int]] | None = None,
+) -> bool:
+    """Componentwise lrp compatibility.
+
+    With ``pairs`` omitted the vectors are matched positionally (the
+    ``intersect`` case); otherwise only the ``(i1, i2)`` index pairs are
+    tested (the shared attributes of a join).
+    """
+    if pairs is None:
+        for a, b in zip(lrps1, lrps2):
+            if not lrp_pair_compatible(a, b):
+                return False
+        return True
+    for i1, i2 in pairs:
+        if not lrp_pair_compatible(lrps1[i1], lrps2[i2]):
+            return False
+    return True
+
+
+def closed_probe(dbm: "DBM") -> tuple["DBM", bool]:
+    """A closed copy of ``dbm`` plus its satisfiability verdict.
+
+    The original keeps its written bounds (the negation algorithms depend
+    on that); with the interning cache enabled, repeated probes of the
+    same written system cost one matrix copy and a cache hit.
+    """
+    probe = dbm.copy()
+    return probe, probe.close()
+
+
+def intervals_compatible(
+    closed1: "DBM",
+    closed2: "DBM",
+    pairs: Sequence[tuple[int, int]] | None = None,
+) -> bool:
+    """Whether every shared attribute's value ranges overlap.
+
+    Both arguments must be closed.  ``pairs`` works as in
+    :func:`lrps_compatible`.  A ``False`` verdict is exact: some shared
+    attribute cannot take a common value, so the conjunction of the two
+    systems (under the pairing) is unsatisfiable.
+    """
+    if pairs is None:
+        pairs = [(i, i) for i in range(closed1.size)]
+    for i1, i2 in pairs:
+        up1 = closed1.bound(i1, -1)
+        neg_lo2 = closed2.bound(-1, i2)
+        if up1 is not None and neg_lo2 is not None and up1 + neg_lo2 < 0:
+            return False
+        up2 = closed2.bound(i2, -1)
+        neg_lo1 = closed1.bound(-1, i1)
+        if up2 is not None and neg_lo1 is not None and up2 + neg_lo1 < 0:
+            return False
+    return True
+
+
+def added_bound_satisfiable(
+    closed: "DBM", u: int, v: int, w: int
+) -> bool:
+    """Whether a closed satisfiable system stays satisfiable after adding
+    ``X_u - X_v <= w`` (indices as in ``iter_bounds``: -1 = zero var).
+
+    Exact: a negative cycle created by one new edge must use that edge,
+    and the cheapest return path ``v → u`` is the closure entry.
+    """
+    back = closed.bound(v, u)
+    return back is None or back + w >= 0

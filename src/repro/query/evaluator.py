@@ -91,7 +91,10 @@ class Evaluator:
     Parameters mirror the algebra's safety limits: ``max_tuples`` caps
     normalization blow-up, ``max_extensions`` caps the free-extension
     enumeration inside complements (negation is inherently exponential
-    in the schema size; Theorem 3.6).
+    in the schema size; Theorem 3.6).  ``workers`` routes the pairwise
+    algebra operations through the :mod:`repro.perf` process pool for
+    this evaluator's queries (``None`` keeps the global configuration);
+    results are identical for every worker count.
     """
 
     def __init__(
@@ -100,10 +103,12 @@ class Evaluator:
         extra_data_constants: set[Hashable] | None = None,
         max_tuples: int = DEFAULT_MAX_TUPLES,
         max_extensions: int = DEFAULT_MAX_EXTENSIONS,
+        workers: int | None = None,
     ) -> None:
         self.relations = relations
         self.max_tuples = max_tuples
         self.max_extensions = max_extensions
+        self.workers = workers
         domain: set[Hashable] = set()
         for rel in relations.values():
             domain |= rel.active_data_domain()
@@ -129,7 +134,12 @@ class Evaluator:
         constants = _data_constants(query)
         if not constants <= self.data_domain:
             self.data_domain = self.data_domain | constants
-        return _canonical_order(self._walk(query))
+        if self.workers is None:
+            return _canonical_order(self._walk(query))
+        from repro.perf.config import overrides
+
+        with overrides(workers=self.workers):
+            return _canonical_order(self._walk(query))
 
     def ask(self, query: Query) -> bool:
         """Evaluate a closed (yes/no) query."""
