@@ -1,10 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-smoke reports clean
+.PHONY: test lint bench bench-smoke reports clean
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Static checks; skips gracefully where ruff is not installed (the
+# library itself has no dependencies).  CI always runs it.
+lint:
+	@$(PYTHON) -m ruff --version >/dev/null 2>&1 \
+		&& $(PYTHON) -m ruff check src tests benchmarks \
+		|| echo "ruff not installed; skipping lint (CI runs it)"
 
 # Full-size before/after benchmark of the optimization layer; writes
 # BENCH_perf.json (see docs/performance.md for the format).

@@ -12,9 +12,12 @@ restricted constraints, supports the full relational algebra on them
 complement), characterizes their expressiveness against Presburger
 arithmetic, and evaluates a two-sorted first-order query language.
 
+The stable, documented import surface is :mod:`repro.api`; this
+top-level package re-exports the core data model for convenience.
+
 Quickstart::
 
-    from repro import GeneralizedRelation, Schema
+    from repro.api import GeneralizedRelation, Schema
 
     trains = GeneralizedRelation.empty(
         Schema.make(temporal=["dep", "arr"], data=["service"])
@@ -38,6 +41,8 @@ from repro.core import (
     Op,
     ParseError,
     ReproError,
+    ReproTypeError,
+    ReproValueError,
     Schema,
     SchemaError,
     VarConstAtom,
@@ -65,6 +70,8 @@ __all__ = [
     "ParseError",
     "PeriodicSet",
     "ReproError",
+    "ReproTypeError",
+    "ReproValueError",
     "Schema",
     "SchemaError",
     "VarConstAtom",

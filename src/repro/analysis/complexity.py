@@ -13,6 +13,7 @@ import math
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
+from repro.core.errors import ReproValueError
 
 
 @dataclass(frozen=True)
@@ -37,7 +38,7 @@ def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
     fast, timer-resolution-limited runs do not break the fit.
     """
     if len(xs) != len(ys) or len(xs) < 2:
-        raise ValueError("need at least two (x, y) points")
+        raise ReproValueError("need at least two (x, y) points")
     eps = 1e-9
     lx = [math.log(max(x, eps)) for x in xs]
     ly = [math.log(max(y, eps)) for y in ys]
@@ -47,7 +48,7 @@ def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
     sxx = sum((x - mean_x) ** 2 for x in lx)
     sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(lx, ly))
     if sxx == 0:
-        raise ValueError("x values must not all be equal")
+        raise ReproValueError("x values must not all be equal")
     slope = sxy / sxx
     intercept = mean_y - slope * mean_x
     ss_res = sum(

@@ -5,11 +5,14 @@ simple structural counts — how many tuples an operation produced, how
 many pairwise tuple combinations it examined — which track the paper's
 complexity parameters (N tuples, m columns) directly.
 
-The optimization layer's own hit/miss/skip instrumentation (closure
-cache, incremental closures, prefilter rejections, parallel fan-outs)
-is surfaced here through :func:`perf_counters` /
-:func:`reset_perf_counters` / :func:`perf_cache_stats`, so analysis and
-benchmark code has one import for every kind of counter.  Note that
+All counters are re-homed in the unified
+:class:`repro.obs.metrics.MetricsRegistry` — :func:`metrics_registry`
+/ :func:`metrics_snapshot` below are the one accounting API shared by
+benchmarks, the CLI and tests.  The narrower helpers
+(:func:`perf_counters` / :func:`reset_perf_counters` /
+:func:`perf_cache_stats`) remain as focused views of the optimization
+layer's hit/miss/skip instrumentation (closure cache, incremental
+closures, prefilter rejections, parallel fan-outs).  Note that
 counters bumped inside worker processes stay in those processes; with
 ``workers > 1`` the perf counters describe only the serial fraction.
 """
@@ -21,6 +24,23 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.core.relations import GeneralizedRelation
+
+
+def metrics_registry():
+    """The process-global :class:`repro.obs.metrics.MetricsRegistry`."""
+    from repro.obs.metrics import get_registry
+
+    return get_registry()
+
+
+def metrics_snapshot() -> dict[str, dict]:
+    """One snapshot of *everything* the engine counts.
+
+    Counters (operation + optimization-layer counts), gauges (cache
+    populations), histograms (span wall times from trace runs) — the
+    union of every accounting source, keyed by metric name.
+    """
+    return metrics_registry().snapshot()
 
 
 def perf_counters() -> dict[str, int]:

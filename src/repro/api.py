@@ -1,0 +1,110 @@
+"""repro.api — the supported public surface, in one import.
+
+The library grew module by module (core algebra, query language,
+Presburger characterization, optimization layer, observability); this
+facade pins down what is *stable*: everything exported here follows
+deprecation policy (one release of warnings before a breaking change).
+Anything reached by deeper imports — ``repro.core.dbm``,
+``repro.perf.prefilter``, ... — is engine internals and may change
+without notice.
+
+Quickstart::
+
+    from repro.api import Database
+
+    db = Database()
+    db.create("Train", temporal=["dep", "arr"], data=["service"])
+    db.relation("Train").add_tuple(
+        ["2 + 60n", "80 + 60n"], "dep = arr - 78", ["slow"]
+    )
+    assert db.ask('EXISTS d. EXISTS a. Train(d, a, "slow") & d >= 60')
+
+    print(db.query("EXPLAIN EXISTS d. EXISTS a. Train(d, a, \\"slow\\")"))
+    trace = db.trace('EXISTS d. EXISTS a. Train(d, a, "slow")')
+    print(trace.flamegraph())
+
+The surface, by area:
+
+* **data model** — :class:`Schema`, :class:`GeneralizedRelation`,
+  :class:`GeneralizedTuple`, :class:`LRP`, :func:`relation`;
+* **queries** — :class:`Database`, :class:`Evaluator`,
+  :func:`parse_query`, :func:`explain`, :func:`explain_analyze`,
+  :class:`PlanNode`, :class:`QueryTrace`;
+* **observability** — :func:`tracing`, :class:`TraceRecorder`,
+  :class:`Span`, :func:`render_flamegraph`, :func:`metrics`,
+  :class:`MetricsRegistry`;
+* **errors** — :class:`ReproError` and its documented subclasses (see
+  :mod:`repro.core.errors`).
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    LRP,
+    GeneralizedRelation,
+    GeneralizedTuple,
+    Schema,
+    relation,
+)
+from repro.core.errors import (
+    ConstraintError,
+    DomainError,
+    EvaluationError,
+    NormalizationLimitError,
+    ParseError,
+    ReproError,
+    ReproTypeError,
+    ReproValueError,
+    SchemaError,
+)
+from repro.obs import (
+    MetricsRegistry,
+    Span,
+    TraceRecorder,
+    metrics,
+    render_flamegraph,
+    tracing,
+)
+from repro.query import (
+    Database,
+    Evaluator,
+    PlanNode,
+    QueryTrace,
+    explain,
+    explain_analyze,
+    parse_query,
+)
+
+__all__ = [
+    # data model
+    "GeneralizedRelation",
+    "GeneralizedTuple",
+    "LRP",
+    "Schema",
+    "relation",
+    # queries
+    "Database",
+    "Evaluator",
+    "PlanNode",
+    "QueryTrace",
+    "explain",
+    "explain_analyze",
+    "parse_query",
+    # observability
+    "MetricsRegistry",
+    "Span",
+    "TraceRecorder",
+    "metrics",
+    "render_flamegraph",
+    "tracing",
+    # errors
+    "ConstraintError",
+    "DomainError",
+    "EvaluationError",
+    "NormalizationLimitError",
+    "ParseError",
+    "ReproError",
+    "ReproTypeError",
+    "ReproValueError",
+    "SchemaError",
+]

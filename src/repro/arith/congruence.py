@@ -13,6 +13,7 @@ import math
 from dataclasses import dataclass
 
 from repro.arith.euclid import extended_gcd, lcm
+from repro.core.errors import ReproValueError
 
 
 @dataclass(frozen=True)
@@ -27,9 +28,9 @@ class CongruenceSolution:
 
     def __post_init__(self) -> None:
         if self.modulus < 0:
-            raise ValueError("modulus must be non-negative")
+            raise ReproValueError("modulus must be non-negative")
         if self.modulus > 0 and not 0 <= self.residue < self.modulus:
-            raise ValueError(
+            raise ReproValueError(
                 f"residue {self.residue} not reduced modulo {self.modulus}"
             )
 
@@ -51,7 +52,7 @@ def solve_linear_congruence(a: int, b: int, m: int) -> CongruenceSolution | None
     with ``(k1*j + (c1 - c2)) mod k2 == 0``.
     """
     if m <= 0:
-        raise ValueError(f"modulus must be positive, got {m}")
+        raise ReproValueError(f"modulus must be positive, got {m}")
     g, x, _ = extended_gcd(a, m)
     if b % g != 0:
         return None
@@ -68,7 +69,7 @@ def crt_pair(r1: int, m1: int, r2: int, m2: int) -> CongruenceSolution | None:
     system is unsatisfiable.
     """
     if m1 < 0 or m2 < 0:
-        raise ValueError("moduli must be non-negative")
+        raise ReproValueError("moduli must be non-negative")
     if m1 == 0 and m2 == 0:
         return CongruenceSolution(r1, 0) if r1 == r2 else None
     if m1 == 0:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 from collections.abc import Iterable
+from repro.core.errors import ReproValueError
 
 
 def extended_gcd(a: int, b: int) -> tuple[int, int, int]:
@@ -38,10 +39,10 @@ def mod_inverse(a: int, m: int) -> int:
     i.e. when ``gcd(a, m) != 1``.
     """
     if m <= 0:
-        raise ValueError(f"modulus must be positive, got {m}")
+        raise ReproValueError(f"modulus must be positive, got {m}")
     g, x, _ = extended_gcd(a, m)
     if g != 1:
-        raise ValueError(f"{a} has no inverse modulo {m} (gcd is {g})")
+        raise ReproValueError(f"{a} has no inverse modulo {m} (gcd is {g})")
     return x % m
 
 

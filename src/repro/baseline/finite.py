@@ -16,6 +16,7 @@ import itertools
 from collections.abc import Callable, Hashable, Iterable, Sequence
 
 from repro.core.relations import GeneralizedRelation, Schema
+from repro.core.errors import ReproValueError
 
 
 class FiniteRelation:
@@ -48,7 +49,7 @@ class FiniteRelation:
         """Insert one concrete row (arity-checked)."""
         row = tuple(row)
         if len(row) != len(self.schema):
-            raise ValueError(
+            raise ReproValueError(
                 f"row has {len(row)} fields, schema has {len(self.schema)}"
             )
         self.rows.add(row)
@@ -103,7 +104,7 @@ class FiniteRelation:
         """Cross product (attribute names must be disjoint)."""
         overlap = set(self.schema.names) & set(other.schema.names)
         if overlap:
-            raise ValueError(f"shared attribute names: {sorted(overlap)}")
+            raise ReproValueError(f"shared attribute names: {sorted(overlap)}")
         new_schema = Schema(self.schema.attributes + other.schema.attributes)
         return FiniteRelation(
             new_schema,
@@ -146,7 +147,7 @@ class FiniteRelation:
         """
         for name in self.schema.names:
             if name not in domains:
-                raise ValueError(f"no domain for attribute {name!r}")
+                raise ReproValueError(f"no domain for attribute {name!r}")
         axes = [list(domains[name]) for name in self.schema.names]
         universe = set(itertools.product(*axes))
         return FiniteRelation(self.schema, universe - self.rows)
@@ -157,4 +158,4 @@ class FiniteRelation:
 
     def _check(self, other: FiniteRelation) -> None:
         if self.schema != other.schema:
-            raise ValueError("schemas differ")
+            raise ReproValueError("schemas differ")

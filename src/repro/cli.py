@@ -5,6 +5,7 @@ Usage::
     python -m repro.cli                      # interactive REPL
     python -m repro.cli script.itql          # run a command file
     python -m repro.cli -c 'ask EXISTS t. P(t)' -c 'quit'
+    python -m repro.cli trace script.itql --trace-json out.json
 
 Commands:
 
@@ -18,7 +19,11 @@ Commands:
     window NAME LO HI                  enumerate concrete points
     ask QUERY                          yes/no first-order query
     query QUERY                        open query; prints the result
+                                       (EXPLAIN / EXPLAIN ANALYZE prefixes
+                                       work here too)
     explain QUERY                      show the algebraic evaluation plan
+    trace QUERY                        EXPLAIN ANALYZE: run under the trace
+                                       recorder, print a text flamegraph
     rules FILE                         run a Datalog program file; derived
                                        relations join the catalog
     next NAME.COLUMN AFTER             exact next event at/after AFTER
@@ -46,11 +51,19 @@ HELP_TEXT = __doc__.split("Commands:", 1)[1].rsplit("The query", 1)[0]
 
 
 class Session:
-    """One CLI session: a database plus command dispatch."""
+    """One CLI session: a database plus command dispatch.
 
-    def __init__(self) -> None:
+    With ``trace_all`` set (the ``trace`` subcommand), every ``ask`` /
+    ``query`` command runs under the trace recorder, prints its
+    flamegraph, and the collected traces accumulate in
+    :attr:`traces` for ``--trace-json`` export.
+    """
+
+    def __init__(self, trace_all: bool = False) -> None:
         self.db = Database()
         self.done = False
+        self.trace_all = trace_all
+        self.traces: list[dict] = []
 
     # ------------------------------------------------------------------
     # dispatch
@@ -150,18 +163,51 @@ class Session:
         return "\n".join(lines)
 
     def _cmd_ask(self, rest: str) -> str:
+        if self.trace_all:
+            trace = self._record_trace(rest)
+            verdict = "false" if trace.result.is_empty() else "true"
+            return verdict + "\n" + trace.flamegraph()
         return "true" if self.db.ask(rest) else "false"
 
     def _cmd_query(self, rest: str) -> str:
+        from repro.query.explain import PlanNode, QueryTrace
+
+        if self.trace_all:
+            trace = self._record_trace(rest)
+            return self._format_result(trace.result) + "\n" + trace.flamegraph()
         result = self.db.query(rest)
+        if isinstance(result, PlanNode):  # EXPLAIN prefix
+            return str(result)
+        if isinstance(result, QueryTrace):  # EXPLAIN ANALYZE prefix
+            self.traces.append(result.to_dict())
+            return self._format_result(result.result) + "\n" + result.flamegraph()
+        return self._format_result(result)
+
+    def _format_result(self, result: GeneralizedRelation) -> str:
         header = f"result{result.schema}: {len(result)} generalized tuple(s)"
         body = "\n".join(f"  {t}" for t in result.tuples[:20])
         if len(result) > 20:
             body += f"\n  ... and {len(result) - 20} more"
         return header + ("\n" + body if body else "")
 
+    def _record_trace(self, text: str):
+        from repro.query.parser import split_directive
+
+        trace = self.db.trace(split_directive(text)[1])
+        self.traces.append(trace.to_dict())
+        return trace
+
     def _cmd_explain(self, rest: str) -> str:
         return str(self.db.explain(rest))
+
+    def _cmd_trace(self, rest: str) -> str:
+        """EXPLAIN ANALYZE one query; print result size + flamegraph."""
+        trace = self._record_trace(rest)
+        result = trace.result
+        return (
+            f"result{result.schema}: {len(result)} generalized tuple(s)\n"
+            + trace.flamegraph()
+        )
 
     def _cmd_rules(self, rest: str) -> str:
         """Run a Datalog program file against the current database."""
@@ -242,9 +288,19 @@ def repl(session: Session, stream=None, out=None) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point: interactive, script file, or -c commands."""
+    """Entry point: interactive, script file, or -c commands.
+
+    ``repro.cli trace ...`` is the observability subcommand: the same
+    shell, but every ``ask``/``query`` runs under the trace recorder
+    and prints its flamegraph; ``--trace-json out.json`` writes every
+    collected span tree to a JSON file on exit.
+    """
+    argv = list(sys.argv[1:] if argv is None else argv)
+    trace_mode = bool(argv) and argv[0] == "trace"
+    if trace_mode:
+        argv = argv[1:]
     parser = argparse.ArgumentParser(
-        prog="repro.cli",
+        prog="repro.cli trace" if trace_mode else "repro.cli",
         description="Infinite temporal database shell",
     )
     parser.add_argument(
@@ -269,7 +325,15 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="disable the interning caches of the optimization layer",
     )
+    parser.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        default=None,
+        help="write every collected trace (span tree) to PATH as JSON; "
+        "implies trace mode",
+    )
     args = parser.parse_args(argv)
+    trace_mode = trace_mode or args.trace_json is not None
     if args.workers is not None or args.no_cache:
         from repro.perf.config import configure
 
@@ -279,20 +343,27 @@ def main(argv: list[str] | None = None) -> int:
         if args.no_cache:
             changes["cache_enabled"] = False
         configure(**changes)
-    session = Session()
-    if args.commands:
-        for command in args.commands:
-            response = session.execute(command)
-            if response:
-                print(response)
-            if session.done:
-                break
-        return 0
-    if args.script:
-        with open(args.script) as handle:
-            repl(session, stream=handle)
-        return 0
-    repl(session)
+    session = Session(trace_all=trace_mode)
+    try:
+        if args.commands:
+            for command in args.commands:
+                response = session.execute(command)
+                if response:
+                    print(response)
+                if session.done:
+                    break
+        elif args.script:
+            with open(args.script) as handle:
+                repl(session, stream=handle)
+        else:
+            repl(session)
+    finally:
+        if args.trace_json:
+            import json
+
+            with open(args.trace_json, "w") as handle:
+                json.dump({"traces": session.traces}, handle, indent=2,
+                          default=repr)
     return 0
 
 

@@ -21,6 +21,8 @@ from repro.core.errors import (
     NormalizationLimitError,
     ParseError,
     ReproError,
+    ReproTypeError,
+    ReproValueError,
     SchemaError,
 )
 from repro.core.lrp import LRP
@@ -64,6 +66,8 @@ __all__ = [
     "Op",
     "ParseError",
     "ReproError",
+    "ReproTypeError",
+    "ReproValueError",
     "Schema",
     "SchemaError",
     "VarConstAtom",

@@ -19,6 +19,7 @@ paper's algorithms:
 
 from __future__ import annotations
 
+import functools
 from collections.abc import Hashable, Sequence
 
 from repro.arith import lcm
@@ -29,7 +30,7 @@ from repro.core.constraints import (
     parse_atoms,
 )
 from repro.core.dbm import DBM
-from repro.core.errors import DomainError, SchemaError
+from repro.core.errors import DomainError, ReproValueError, SchemaError
 from repro.core.lrp import LRP
 from repro.core.negation import (
     DEFAULT_MAX_EXTENSIONS,
@@ -38,8 +39,49 @@ from repro.core.negation import (
 from repro.core.normalize import DEFAULT_MAX_TUPLES
 from repro.core.relations import Attribute, GeneralizedRelation, Schema
 from repro.core.tuples import GeneralizedTuple
+from repro.obs import trace as obs
 from repro.perf import prefilter
 from repro.perf.config import PERF_COUNTERS, get_config
+
+
+def _traced(op_name: str, pairwise: bool = False):
+    """Wrap an algebra operation in an ``algebra.<op>`` span.
+
+    When tracing is off the wrapper costs one :func:`repro.obs.trace.span`
+    call (a global load and a branch) per *operation* — never per tuple.
+    When a recorder is installed the span carries the structural cost
+    attributes of :mod:`repro.analysis.counters`: input/output tuple
+    counts, the result's schema width and, for pairwise operations, the
+    number of tuple combinations examined; the optimization layer's
+    counter deltas (prefilter rejections, cache hits, fan-outs) observed
+    during the span are attached automatically.
+    """
+
+    def decorate(fn):
+        span_name = f"algebra.{op_name}"
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            sp = obs.span(span_name)
+            if sp is obs.NULL_SPAN:
+                return fn(*args, **kwargs)
+            with sp:
+                result = fn(*args, **kwargs)
+                inputs = [
+                    a for a in args[:2] if isinstance(a, GeneralizedRelation)
+                ]
+                sp.set(
+                    input_tuples=sum(len(r) for r in inputs),
+                    output_tuples=len(result),
+                    schema_width=len(result.schema),
+                )
+                if pairwise and len(inputs) == 2:
+                    sp.set(pairs_examined=len(inputs[0]) * len(inputs[1]))
+                return result
+
+        return wrapper
+
+    return decorate
 
 # ----------------------------------------------------------------------
 # DBM assembly helpers
@@ -127,6 +169,7 @@ class _ProbeMemo:
 # ----------------------------------------------------------------------
 
 
+@_traced("union")
 def union(r1: GeneralizedRelation, r2: GeneralizedRelation) -> GeneralizedRelation:
     """Set union: merge the tuple lists (Section 3.1).
 
@@ -141,6 +184,7 @@ def union(r1: GeneralizedRelation, r2: GeneralizedRelation) -> GeneralizedRelati
     return out
 
 
+@_traced("intersect", pairwise=True)
 def intersect(
     r1: GeneralizedRelation, r2: GeneralizedRelation
 ) -> GeneralizedRelation:
@@ -214,7 +258,7 @@ def lrp_subtract_pieces(
     if minuend.period == 0:
         # meet ⊆ {c} and meet != minuend means meet is empty: impossible
         # here because callers pass a nonempty intersection.
-        raise ValueError("nonempty sub-lrp of a singleton must equal it")
+        raise ReproValueError("nonempty sub-lrp of a singleton must equal it")
     if meet.period == 0:
         point = meet.offset
         return [
@@ -295,6 +339,7 @@ def subtract_tuples(
     return [t for t in out if t.dbm.copy().close()]
 
 
+@_traced("subtract", pairwise=True)
 def subtract(
     r1: GeneralizedRelation, r2: GeneralizedRelation
 ) -> GeneralizedRelation:
@@ -359,6 +404,7 @@ def _dedup(tuples: list[GeneralizedTuple]) -> list[GeneralizedTuple]:
 # ----------------------------------------------------------------------
 
 
+@_traced("project")
 def project(
     relation: GeneralizedRelation,
     names: Sequence[str],
@@ -455,6 +501,8 @@ def project_tuple_temporal(
             f"projection would normalize into {split_sizes} tuples "
             f"(limit {max_tuples})"
         )
+    # Partial normalization's blow-up parameter (Section 3.4/3.8).
+    PERF_COUNTERS["normalize_expansion"] += split_sizes
     import itertools
 
     choices = [
@@ -576,6 +624,7 @@ def _constraint_cluster(
 # ----------------------------------------------------------------------
 
 
+@_traced("select")
 def select(
     relation: GeneralizedRelation, condition: str | Sequence[Atom]
 ) -> GeneralizedRelation:
@@ -614,6 +663,7 @@ def _check_temporal_atom(schema: Schema, atom: Atom) -> None:
         )
 
 
+@_traced("select_data")
 def select_data(
     relation: GeneralizedRelation, name: str, value: Hashable
 ) -> GeneralizedRelation:
@@ -626,6 +676,7 @@ def select_data(
     return out
 
 
+@_traced("select_data_equal")
 def select_data_equal(
     relation: GeneralizedRelation, name1: str, name2: str
 ) -> GeneralizedRelation:
@@ -644,6 +695,7 @@ def select_data_equal(
 # ----------------------------------------------------------------------
 
 
+@_traced("product", pairwise=True)
 def product(
     r1: GeneralizedRelation, r2: GeneralizedRelation
 ) -> GeneralizedRelation:
@@ -681,6 +733,7 @@ def product(
     return out
 
 
+@_traced("join", pairwise=True)
 def join(
     r1: GeneralizedRelation, r2: GeneralizedRelation
 ) -> GeneralizedRelation:
@@ -801,6 +854,7 @@ def _join_pair(
 # ----------------------------------------------------------------------
 
 
+@_traced("complement")
 def complement(
     relation: GeneralizedRelation,
     data_domains: dict[str, Sequence[Hashable]] | None = None,
@@ -857,6 +911,7 @@ def complement(
 # ----------------------------------------------------------------------
 
 
+@_traced("rename")
 def rename(
     relation: GeneralizedRelation, mapping: dict[str, str]
 ) -> GeneralizedRelation:
@@ -871,6 +926,7 @@ def rename(
     return GeneralizedRelation(Schema(new_attrs), relation.tuples)
 
 
+@_traced("shift_column")
 def shift_column(
     relation: GeneralizedRelation, name: str, delta: int
 ) -> GeneralizedRelation:

@@ -33,6 +33,7 @@ from collections.abc import Iterator, Sequence
 
 from repro.perf.cache import closure_cache
 from repro.perf.config import PERF_COUNTERS, get_config
+from repro.core.errors import ReproValueError
 
 Bound = int | None  # None encodes +infinity
 
@@ -65,7 +66,7 @@ class DBM:
 
     def __init__(self, size: int) -> None:
         if size < 0:
-            raise ValueError("DBM size must be >= 0")
+            raise ReproValueError("DBM size must be >= 0")
         self._n = size + 1
         self._b: list[list[Bound]] = [
             [0 if i == j else None for j in range(self._n)]
@@ -297,7 +298,7 @@ class DBM:
         staying exactly as written.
         """
         if self._n != other._n:
-            raise ValueError("DBM sizes differ")
+            raise ReproValueError("DBM sizes differ")
         mine_probe = self if self._closed else self.copy()
         if not mine_probe.close():
             return True
@@ -323,7 +324,7 @@ class DBM:
     def intersect(self, other: DBM) -> DBM:
         """Return the conjunction of both systems (pointwise min)."""
         if self._n != other._n:
-            raise ValueError("DBM sizes differ")
+            raise ReproValueError("DBM sizes differ")
         out = self.copy()
         for i in range(self._n):
             for j in range(self._n):
@@ -357,7 +358,7 @@ class DBM:
     def permute(self, new_order: Sequence[int]) -> DBM:
         """Reorder variables: new variable ``p`` is old variable ``new_order[p]``."""
         if sorted(new_order) != list(range(self._n - 1)):
-            raise ValueError("new_order must be a permutation of the variables")
+            raise ReproValueError("new_order must be a permutation of the variables")
         return self.project(new_order)
 
     def extend(self, extra: int) -> DBM:
@@ -367,7 +368,7 @@ class DBM:
         improve through a variable that has no finite bounds.
         """
         if extra < 0:
-            raise ValueError("extra must be >= 0")
+            raise ReproValueError("extra must be >= 0")
         out = DBM(self.size + extra)
         for i in range(self._n):
             for j in range(self._n):
@@ -403,7 +404,7 @@ class DBM:
         counters ``n_i = (X_i - c_i) / k``.
         """
         if divisor <= 0:
-            raise ValueError("divisor must be positive")
+            raise ReproValueError("divisor must be positive")
         out = self.copy()
         for i in range(self._n):
             for j in range(self._n):
@@ -411,7 +412,7 @@ class DBM:
                 if bound is None:
                     continue
                 if bound % divisor != 0:
-                    raise ValueError(
+                    raise ReproValueError(
                         f"bound {bound} not a multiple of {divisor}; "
                         "normalize before scaling"
                     )
@@ -421,7 +422,7 @@ class DBM:
     def scale_up(self, factor: int) -> DBM:
         """Multiply every finite bound by ``factor`` (inverse of scale_down)."""
         if factor <= 0:
-            raise ValueError("factor must be positive")
+            raise ReproValueError("factor must be positive")
         out = self.copy()
         for i in range(self._n):
             for j in range(self._n):
@@ -451,7 +452,7 @@ class DBM:
     def satisfied_by(self, point: Sequence[int]) -> bool:
         """Return whether the concrete point satisfies every constraint."""
         if len(point) != self._n - 1:
-            raise ValueError(
+            raise ReproValueError(
                 f"point has {len(point)} coordinates, expected {self._n - 1}"
             )
         values = (0, *point)

@@ -1,4 +1,24 @@
-"""Exception hierarchy for the repro library."""
+"""Exception hierarchy for the repro library.
+
+Every error the library raises on a public code path derives from
+:class:`ReproError`, so ``except ReproError`` is the one catch-all a
+caller needs.  The hierarchy::
+
+    ReproError
+    ├── SchemaError              incompatible/unknown attributes
+    ├── ConstraintError          malformed restricted constraints
+    ├── ParseError               lrp / tuple / formula / query text
+    ├── NormalizationLimitError  Section 3.8 blow-up guard
+    ├── DomainError              missing finite data universe
+    ├── EvaluationError          first-order query evaluation
+    ├── ReproValueError          invalid argument value (also ValueError)
+    └── ReproTypeError           invalid argument type (also TypeError)
+
+:class:`ReproValueError` and :class:`ReproTypeError` dual-inherit from
+the corresponding builtins, so code written against the historical
+``ValueError`` / ``TypeError`` raise sites keeps working while
+``except ReproError`` now covers them too.
+"""
 
 from __future__ import annotations
 
@@ -44,3 +64,19 @@ class DomainError(ReproError):
 
 class EvaluationError(ReproError):
     """A first-order query could not be evaluated."""
+
+
+class ReproValueError(ReproError, ValueError):
+    """An argument has an invalid value.
+
+    Dual-inherits :class:`ValueError` for backward compatibility with
+    callers that catch the builtin.
+    """
+
+
+class ReproTypeError(ReproError, TypeError):
+    """An argument has an invalid type (or an AST node is unexpected).
+
+    Dual-inherits :class:`TypeError` for backward compatibility with
+    callers that catch the builtin.
+    """

@@ -14,7 +14,7 @@ from collections.abc import Iterator
 from dataclasses import dataclass
 
 from repro.arith import crt_pair, lcm
-from repro.core.errors import ParseError
+from repro.core.errors import ParseError, ReproValueError
 
 _LRP_RE = re.compile(
     r"""^\s*
@@ -42,9 +42,9 @@ class LRP:
 
     def __post_init__(self) -> None:
         if self.period < 0:
-            raise ValueError("canonical LRP must have period >= 0")
+            raise ReproValueError("canonical LRP must have period >= 0")
         if self.period > 0 and not 0 <= self.offset < self.period:
-            raise ValueError(
+            raise ReproValueError(
                 f"canonical LRP must have 0 <= offset < period, "
                 f"got offset={self.offset}, period={self.period}"
             )
@@ -128,7 +128,7 @@ class LRP:
         if self.period == 0:
             return [self]
         if new_period <= 0 or new_period % self.period != 0:
-            raise ValueError(
+            raise ReproValueError(
                 f"cannot split period {self.period} into period {new_period}"
             )
         count = new_period // self.period
@@ -164,7 +164,7 @@ class LRP:
             # only occur here if other is a singleton; handle by keeping
             # the progression split around the point via period doubling
             # being impossible -- so raise instead.
-            raise ValueError(
+            raise ReproValueError(
                 "difference of an infinite lrp and a single point is not "
                 "a finite union of lrps; subtract within a common period"
             )
@@ -190,7 +190,7 @@ class LRP:
         if self.period == 0:
             if self.offset >= low:
                 return self.offset
-            raise ValueError(f"lrp {self} has no member >= {low}")
+            raise ReproValueError(f"lrp {self} has no member >= {low}")
         return low + ((self.offset - low) % self.period)
 
     def last_at_or_below(self, high: int) -> int:
@@ -198,7 +198,7 @@ class LRP:
         if self.period == 0:
             if self.offset <= high:
                 return self.offset
-            raise ValueError(f"lrp {self} has no member <= {high}")
+            raise ReproValueError(f"lrp {self} has no member <= {high}")
         return high - ((high - self.offset) % self.period)
 
     def __str__(self) -> str:

@@ -188,6 +188,7 @@ def complement_normalized(
             f"complement would enumerate {period ** arity} free extensions "
             f"(limit {max_extensions})"
         )
+    PERF_COUNTERS["complement_extensions"] += period ** arity
     groups: dict[tuple[int, ...], list[DBM]] = {}
     for nt in normalized:
         flat = desingularize(nt)
@@ -392,6 +393,9 @@ def _complement_tuples_decomposed(
                 f"complement would enumerate more than {max_extensions} "
                 "free extensions"
             )
+    # Structural accounting (Theorem 3.6's blow-up parameter): number of
+    # free-extension combinations this complement enumerates.
+    PERF_COUNTERS["complement_extensions"] += total
     groups: dict[tuple[int, ...], list[DBM]] = {}
     budget = 0
     for gtuple in tuples:

@@ -36,7 +36,7 @@ from dataclasses import dataclass
 
 from repro.arith import lcm
 from repro.core.dbm import DBM
-from repro.core.errors import NormalizationLimitError
+from repro.core.errors import NormalizationLimitError, ReproValueError
 from repro.core.lrp import LRP
 from repro.core.tuples import GeneralizedTuple
 from repro.perf.cache import normalize_cache
@@ -69,11 +69,11 @@ class NormalizedTuple:
 
     def __post_init__(self) -> None:
         if self.period < 1:
-            raise ValueError("normalized period must be >= 1")
+            raise ReproValueError("normalized period must be >= 1")
         if len(self.offsets) != len(self.singleton):
-            raise ValueError("offsets/singleton length mismatch")
+            raise ReproValueError("offsets/singleton length mismatch")
         if self.n_dbm.size != len(self.offsets):
-            raise ValueError("n_dbm size does not match arity")
+            raise ReproValueError("n_dbm size does not match arity")
 
     @property
     def arity(self) -> int:
@@ -150,7 +150,7 @@ class NormalizedTuple:
         constraints.
         """
         if self.period != other.period:
-            raise ValueError("normalized periods differ; re-normalize first")
+            raise ReproValueError("normalized periods differ; re-normalize first")
         if self.arity != other.arity or self.data != other.data:
             return None
         k = self.period
@@ -279,7 +279,7 @@ def iter_normalize_tuple(
     if period is None:
         period = own
     if period < 1 or period % own != 0:
-        raise ValueError(
+        raise ReproValueError(
             f"period {period} is not a positive multiple of the tuple's "
             f"lcm period {own}"
         )
@@ -289,6 +289,9 @@ def iter_normalize_tuple(
             f"normalization would produce {size} tuples "
             f"(limit {max_tuples}); periods are too unrelated"
         )
+    # Structural accounting (Section 3.8's blow-up parameter): how many
+    # normal-form tuples this expansion denotes, cache hit or not.
+    PERF_COUNTERS["normalize_expansion"] += size
     # An unsatisfiable constraint system denotes the empty set; it may be
     # recorded as a diagonal marker that iter_bounds cannot expose, so it
     # must be checked before the bounds are transcribed.

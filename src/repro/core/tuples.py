@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.core.dbm import DBM
 from repro.core.lrp import LRP
+from repro.core.errors import ReproValueError
 
 
 @dataclass
@@ -36,7 +37,7 @@ class GeneralizedTuple:
         self.lrps = tuple(self.lrps)
         self.data = tuple(self.data)
         if self.dbm.size != len(self.lrps):
-            raise ValueError(
+            raise ReproValueError(
                 f"DBM has {self.dbm.size} variables but tuple has "
                 f"{len(self.lrps)} temporal attributes"
             )
@@ -158,7 +159,7 @@ class GeneralizedTuple:
     ) -> bool:
         """Whether the concrete temporal point (and data values) belong here."""
         if len(temporal) != len(self.lrps):
-            raise ValueError(
+            raise ReproValueError(
                 f"expected {len(self.lrps)} temporal values, got {len(temporal)}"
             )
         if data is not None and tuple(data) != self.data:
@@ -178,7 +179,7 @@ class GeneralizedTuple:
         use :func:`repro.core.emptiness.tuple_is_empty` to decide.
         """
         if len(self.lrps) != len(other.lrps):
-            raise ValueError("temporal arities differ")
+            raise ReproValueError("temporal arities differ")
         if self.data != other.data:
             return None
         merged: list[LRP] = []

@@ -16,6 +16,7 @@ from __future__ import annotations
 from repro.core import algebra
 from repro.core.constraints import Atom, parse_atoms
 from repro.core.relations import GeneralizedRelation
+from repro.core.errors import ReproValueError
 
 #: The thirteen Allen relations, as constraint templates over the
 #: placeholder attribute names s1/e1 (first interval) and s2/e2 (second).
@@ -116,7 +117,7 @@ def holds(relation_name: str, first: tuple[int, int], second: tuple[int, int]) -
 def classify(first: tuple[int, int], second: tuple[int, int]) -> str:
     """The unique Allen relation between two proper concrete intervals."""
     if not (first[0] < first[1] and second[0] < second[1]):
-        raise ValueError("classify expects proper intervals (start < end)")
+        raise ReproValueError("classify expects proper intervals (start < end)")
     for name in ALLEN_TEMPLATES:
         if holds(name, first, second):
             return name

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.core.lrp import LRP
 from repro.core.relations import GeneralizedRelation, Schema
+from repro.core.errors import ReproValueError
 
 MINUTES_PER_HOUR = 60
 MINUTES_PER_DAY = 24 * MINUTES_PER_HOUR
@@ -23,9 +24,9 @@ MINUTES_PER_WEEK = 7 * MINUTES_PER_DAY
 def at_time(hour: int, minute: int = 0, day: int = 0) -> int:
     """Minutes from the epoch for day ``day`` at ``hour:minute``."""
     if not 0 <= hour < 24:
-        raise ValueError(f"hour out of range: {hour}")
+        raise ReproValueError(f"hour out of range: {hour}")
     if not 0 <= minute < 60:
-        raise ValueError(f"minute out of range: {minute}")
+        raise ReproValueError(f"minute out of range: {minute}")
     return day * MINUTES_PER_DAY + hour * MINUTES_PER_HOUR + minute
 
 
@@ -40,7 +41,7 @@ def fmt_time(minutes: int) -> str:
 def hourly(minute: int) -> LRP:
     """Every hour at the given minute past the hour."""
     if not 0 <= minute < MINUTES_PER_HOUR:
-        raise ValueError(f"minute out of range: {minute}")
+        raise ReproValueError(f"minute out of range: {minute}")
     return LRP.make(minute, MINUTES_PER_HOUR)
 
 
@@ -52,14 +53,14 @@ def daily(hour: int, minute: int = 0) -> LRP:
 def weekly(weekday: int, hour: int, minute: int = 0) -> LRP:
     """Every week on ``weekday`` (0 = day 0 of the epoch) at ``hour:minute``."""
     if not 0 <= weekday < 7:
-        raise ValueError(f"weekday out of range: {weekday}")
+        raise ReproValueError(f"weekday out of range: {weekday}")
     return LRP.make(at_time(hour, minute, day=weekday), MINUTES_PER_WEEK)
 
 
 def every(period: int, first: int = 0) -> LRP:
     """Every ``period`` minutes, starting from epoch-minute ``first``."""
     if period <= 0:
-        raise ValueError("period must be positive")
+        raise ReproValueError("period must be positive")
     return LRP.make(first, period)
 
 
@@ -77,7 +78,7 @@ class RecurringTrip:
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
-            raise ValueError("trip duration must be positive")
+            raise ReproValueError("trip duration must be positive")
 
 
 def schedule_relation(

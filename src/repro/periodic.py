@@ -24,6 +24,7 @@ from collections.abc import Iterable, Iterator
 from repro.core import algebra
 from repro.core.lrp import LRP
 from repro.core.relations import GeneralizedRelation, Schema
+from repro.core.errors import ReproTypeError, ReproValueError
 from repro.core.temporal import (
     column_profile,
     count_points,
@@ -51,7 +52,7 @@ class PeriodicSet:
             relation.schema.temporal_arity != 1
             or relation.schema.data_arity != 0
         ):
-            raise ValueError("PeriodicSet wraps unary temporal relations")
+            raise ReproValueError("PeriodicSet wraps unary temporal relations")
         if relation.schema.temporal_names != ("t",):
             relation = algebra.rename(
                 relation, {relation.schema.temporal_names[0]: "t"}
@@ -76,7 +77,7 @@ class PeriodicSet:
     def every(cls, period: int, offset: int = 0) -> PeriodicSet:
         """``{offset + period·n | n ∈ Z}``."""
         if period <= 0:
-            raise ValueError("period must be positive")
+            raise ReproValueError("period must be positive")
         rel = GeneralizedRelation.empty(_SCHEMA)
         rel.add_tuple([LRP.make(offset, period)])
         return cls(rel)
@@ -160,7 +161,7 @@ class PeriodicSet:
         return algebra.equivalent(self._relation, other._relation)
 
     def __hash__(self) -> int:  # pragma: no cover - sets are mutable-ish
-        raise TypeError(
+        raise ReproTypeError(
             "PeriodicSet is unhashable (semantic equality is not "
             "canonical); use str(s) or a snapshot as a key"
         )
@@ -198,7 +199,7 @@ class PeriodicSet:
         """Exact cardinality; raises :class:`TypeError` when infinite."""
         count = count_points(self._relation)
         if count is None:
-            raise TypeError("infinite PeriodicSet has no len()")
+            raise ReproTypeError("infinite PeriodicSet has no len()")
         return count
 
     def next_at_or_after(self, value: int) -> int | None:

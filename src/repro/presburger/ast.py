@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass
 from enum import Enum
+from repro.core.errors import ReproTypeError, ReproValueError
 
 
 class Rel(Enum):
@@ -71,7 +72,7 @@ class Congruence:
 
     def __post_init__(self) -> None:
         if self.modulus <= 0:
-            raise ValueError("congruence modulus must be positive")
+            raise ReproValueError("congruence modulus must be positive")
 
     def variables(self) -> set[str]:
         return {v for v, _ in self.coeffs}
@@ -218,7 +219,7 @@ def to_nnf(formula: Formula) -> Formula:
         if not others:  # modulus 1: congruence is trivially true
             return Comparison((), Rel.LT, 0)  # 0 < 0: canonical "false"
         return others[0] if len(others) == 1 else Or(others)
-    raise TypeError(f"unexpected formula node: {body!r}")
+    raise ReproTypeError(f"unexpected formula node: {body!r}")
 
 
 def to_dnf(formula: Formula) -> list[list[Comparison | Congruence]]:
@@ -243,6 +244,6 @@ def to_dnf(formula: Formula) -> list[list[Comparison | Congruence]]:
                     for branch in branches
                 ]
             return acc
-        raise TypeError(f"negation survived NNF: {node!r}")
+        raise ReproTypeError(f"negation survived NNF: {node!r}")
 
     return walk(formula)

@@ -39,6 +39,7 @@ from repro.presburger.ast import (
     disj,
     to_dnf,
 )
+from repro.core.errors import ReproTypeError, ReproValueError
 from repro.presburger.general import (
     GeneralRelation,
     GeneralTuple,
@@ -101,7 +102,7 @@ def compile_unary_congruence(k1: int, c: int, k2: int) -> GeneralizedRelation:
     to the extended Euclidean algorithm).
     """
     if k2 <= 0:
-        raise ValueError("congruence modulus must be positive")
+        raise ReproValueError("congruence modulus must be positive")
     if k1 % k2 == 0:
         # Constraint degenerates to c ≡ 0 (mod k2).
         if c % k2 == 0:
@@ -123,10 +124,10 @@ def compile_unary(formula: Formula, variable: str | None = None) -> GeneralizedR
     variables = formula.variables()
     if variable is None:
         if len(variables) > 1:
-            raise ValueError(f"formula has several variables: {variables}")
+            raise ReproValueError(f"formula has several variables: {variables}")
         variable = next(iter(variables), "v")
     elif not variables <= {variable}:
-        raise ValueError(
+        raise ReproValueError(
             f"formula mentions {variables - {variable}} besides {variable!r}"
         )
     return _compile_unary_walk(formula, variable)
@@ -158,7 +159,7 @@ def _compile_unary_walk(formula: Formula, v: str) -> GeneralizedRelation:
         return out
     if isinstance(formula, Not):
         return algebra.complement(_compile_unary_walk(formula.body, v))
-    raise TypeError(f"unexpected formula node: {formula!r}")
+    raise ReproTypeError(f"unexpected formula node: {formula!r}")
 
 
 # ----------------------------------------------------------------------
@@ -177,7 +178,7 @@ def congruence_classes(
     collapse to a single free axis.
     """
     if m <= 0:
-        raise ValueError("modulus must be positive")
+        raise ReproValueError("modulus must be positive")
     free = LRP.make(0, 1)
     if a1 % m == 0 and a2 % m == 0:
         return [(free, free)] if c % m == 0 else []
@@ -214,12 +215,12 @@ def compile_binary(
     found = sorted(formula.variables())
     if variables is None:
         if len(found) > 2:
-            raise ValueError(f"formula has more than two variables: {found}")
+            raise ReproValueError(f"formula has more than two variables: {found}")
         while len(found) < 2:
             found.append(f"_v{len(found)}")
         variables = (found[0], found[1])
     elif not set(found) <= set(variables):
-        raise ValueError(
+        raise ReproValueError(
             f"formula mentions {set(found) - set(variables)} besides "
             f"{variables}"
         )
@@ -293,7 +294,7 @@ def relation_to_formula(
     An empty relation maps to the canonical false ``0 < 0``.
     """
     if relation.schema.temporal_arity != 1 or relation.schema.data_arity != 0:
-        raise ValueError("relation_to_formula expects a unary temporal schema")
+        raise ReproValueError("relation_to_formula expects a unary temporal schema")
     parts: list[Formula] = []
     for gtuple in relation:
         lrp = gtuple.lrps[0]

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 from repro.core.constraints import Op, VarConstAtom, VarVarAtom
 from repro.core.constraints import Atom as RestrictedAtom
-from repro.core.errors import ConstraintError
+from repro.core.errors import ConstraintError, ReproValueError
 from repro.core.lrp import LRP
 
 
@@ -90,7 +90,7 @@ class GeneralTuple:
     def contains(self, point: Sequence[int]) -> bool:
         """Membership of a concrete point."""
         if len(point) != len(self.lrps):
-            raise ValueError("arity mismatch")
+            raise ReproValueError("arity mismatch")
         return all(
             lrp.contains(x) for lrp, x in zip(self.lrps, point)
         ) and all(atom.satisfied_by(point) for atom in self.atoms)
@@ -98,7 +98,7 @@ class GeneralTuple:
     def intersect(self, other: GeneralTuple) -> GeneralTuple | None:
         """Componentwise lrp intersection, constraint union."""
         if self.arity != other.arity:
-            raise ValueError("arity mismatch")
+            raise ReproValueError("arity mismatch")
         merged: list[LRP] = []
         for a, b in zip(self.lrps, other.lrps):
             meet = a.intersect(b)
@@ -187,7 +187,7 @@ class GeneralRelation:
     def add(self, gtuple: GeneralTuple) -> None:
         """Insert one tuple (arity-checked)."""
         if gtuple.arity != self.arity:
-            raise ValueError(
+            raise ReproValueError(
                 f"tuple arity {gtuple.arity} != relation arity {self.arity}"
             )
         self.tuples.append(gtuple)
@@ -212,13 +212,13 @@ class GeneralRelation:
     def union(self, other: GeneralRelation) -> GeneralRelation:
         """Relation-level union (merge)."""
         if self.arity != other.arity:
-            raise ValueError("arity mismatch")
+            raise ReproValueError("arity mismatch")
         return GeneralRelation(self.arity, self.tuples + other.tuples)
 
     def intersect(self, other: GeneralRelation) -> GeneralRelation:
         """Pairwise tuple intersection."""
         if self.arity != other.arity:
-            raise ValueError("arity mismatch")
+            raise ReproValueError("arity mismatch")
         out = GeneralRelation(self.arity)
         for t1 in self.tuples:
             for t2 in other.tuples:

@@ -21,8 +21,13 @@ from repro.query.ast import (
 )
 from repro.query.database import Database
 from repro.query.evaluator import Evaluator
-from repro.query.explain import PlanNode, explain
-from repro.query.parser import parse_query
+from repro.query.explain import (
+    PlanNode,
+    QueryTrace,
+    explain,
+    explain_analyze,
+)
+from repro.query.parser import Directive, parse_query, split_directive
 
 __all__ = [
     "And",
@@ -32,6 +37,7 @@ __all__ = [
     "DataEq",
     "DataVar",
     "Database",
+    "Directive",
     "Evaluator",
     "Exists",
     "Forall",
@@ -41,10 +47,13 @@ __all__ = [
     "PlanNode",
     "Pred",
     "Query",
+    "QueryTrace",
     "Sort",
-    "explain",
     "TempConst",
     "TempVar",
+    "explain",
+    "explain_analyze",
     "free_variables",
     "parse_query",
+    "split_directive",
 ]

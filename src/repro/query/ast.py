@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections.abc import Hashable
 from dataclasses import dataclass
 from enum import Enum
+from repro.core.errors import ReproTypeError, ReproValueError
 
 
 class Sort(Enum):
@@ -214,7 +215,7 @@ def free_variables(query: Query) -> dict[str, Sort]:
 
     def note(name: str, sort: Sort) -> None:
         if out.get(name, sort) != sort:
-            raise ValueError(
+            raise ReproValueError(
                 f"variable {name!r} used at both sorts in {query}"
             )
         out[name] = sort
@@ -245,7 +246,7 @@ def free_variables(query: Query) -> dict[str, Sort]:
         elif isinstance(node, (Exists, Forall)):
             walk(node.body, {**bound, node.var: node.sort})
         else:  # pragma: no cover - exhaustive
-            raise TypeError(f"unexpected query node: {node!r}")
+            raise ReproTypeError(f"unexpected query node: {node!r}")
 
     walk(query, {})
     return out

@@ -7,15 +7,16 @@ values) against them.
 
 from __future__ import annotations
 
-from collections.abc import Hashable
+import warnings
+from collections.abc import Hashable, Sequence
 
-from repro.core.errors import EvaluationError, SchemaError
+from repro.core.errors import EvaluationError, ReproTypeError, SchemaError
 from repro.core.negation import DEFAULT_MAX_EXTENSIONS
 from repro.core.normalize import DEFAULT_MAX_TUPLES
 from repro.core.relations import GeneralizedRelation, Schema
 from repro.query.ast import Query
 from repro.query.evaluator import Evaluator
-from repro.query.parser import parse_query
+from repro.query.parser import Directive, parse_query, split_directive
 
 
 class Database:
@@ -47,10 +48,36 @@ class Database:
     def create(
         self,
         name: str,
-        temporal: list[str] = (),
-        data: list[str] = (),
+        *args: Sequence[str],
+        temporal: Sequence[str] = (),
+        data: Sequence[str] = (),
     ) -> GeneralizedRelation:
-        """Create and register an empty relation."""
+        """Create and register an empty relation.
+
+        ``temporal`` and ``data`` are keyword-only: ``create("Train",
+        temporal=["dep", "arr"], data=["service"])``.  The old
+        positional form still works for one release but emits a
+        :class:`DeprecationWarning`.
+        """
+        if args:
+            warnings.warn(
+                "positional temporal/data arguments to Database.create() "
+                "are deprecated; use create(name, temporal=..., data=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > 2 or (len(args) == 2 and data):
+                raise ReproTypeError(
+                    "create() takes at most temporal and data column lists"
+                )
+            if temporal:
+                raise ReproTypeError(
+                    "create() got temporal columns both positionally and "
+                    "by keyword"
+                )
+            temporal = args[0]
+            if len(args) == 2:
+                data = args[1]
         if name in self._relations:
             raise SchemaError(f"relation {name!r} already exists")
         rel = GeneralizedRelation.empty(Schema.make(temporal, data))
@@ -98,10 +125,22 @@ class Database:
         """Parse a query against the catalog's schemas."""
         return parse_query(text, self.schemas())
 
-    def query(self, query: str | Query) -> GeneralizedRelation:
-        """Evaluate a query; the result schema is the free variables."""
+    def query(self, query: str | Query):
+        """Evaluate a query; the result schema is the free variables.
+
+        A query string may carry a leading directive: ``EXPLAIN <q>``
+        returns the :class:`~repro.query.explain.PlanNode` operator
+        tree and ``EXPLAIN ANALYZE <q>`` the instrumented
+        :class:`~repro.query.explain.QueryTrace` (span tree, timings,
+        result).  Plain queries return the result relation.
+        """
         if isinstance(query, str):
-            query = self.parse(query)
+            directive, text = split_directive(query)
+            if directive is Directive.EXPLAIN:
+                return self.explain(text)
+            if directive is Directive.EXPLAIN_ANALYZE:
+                return self.trace(text)
+            query = self.parse(text)
         evaluator = Evaluator(
             dict(self._relations),
             max_tuples=self.max_tuples,
@@ -121,7 +160,7 @@ class Database:
         return evaluator.ask(query)
 
     def explain(self, query: str | Query):
-        """Evaluate ``query`` while recording its algebraic plan.
+        """Record the algebraic plan of ``query`` (it really runs).
 
         Returns a :class:`repro.query.explain.PlanNode`; ``str()``
         renders the annotated operator tree.
@@ -129,6 +168,19 @@ class Database:
         from repro.query.explain import explain as _explain
 
         return _explain(self, query)
+
+    def trace(self, query: str | Query):
+        """EXPLAIN ANALYZE: evaluate ``query`` under the trace recorder.
+
+        Returns a :class:`repro.query.explain.QueryTrace` holding the
+        result relation, the full span tree (per-operator tuple counts,
+        pairwise combinations, prefilter rejections, cache hits,
+        normalization expansions, wall times), the annotated plan, a
+        text flamegraph and JSON export.
+        """
+        from repro.query.explain import explain_analyze
+
+        return explain_analyze(self, query)
 
     def __contains__(self, name: str) -> bool:
         return name in self._relations

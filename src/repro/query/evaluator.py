@@ -27,7 +27,8 @@ from __future__ import annotations
 from collections.abc import Hashable
 
 from repro.core import algebra
-from repro.core.errors import EvaluationError
+from repro.core.errors import EvaluationError, ReproTypeError
+from repro.obs import trace as obs
 from repro.core.negation import DEFAULT_MAX_EXTENSIONS
 from repro.core.normalize import DEFAULT_MAX_TUPLES
 from repro.core.relations import GeneralizedRelation, Schema
@@ -50,6 +51,46 @@ from repro.query.ast import (
     TempVar,
     free_variables,
 )
+
+
+#: Query-node class -> plan/trace operator name (the algebra operation
+#: the evaluator translates it into).
+_NODE_OPERATORS = {
+    Pred: "scan",
+    Cmp: "compare",
+    DataEq: "data-eq",
+    And: "join",
+    Or: "union",
+    Not: "complement",
+    Implies: "implies",
+    Exists: "project",
+    Forall: "forall",
+}
+
+
+def node_operator(node: Query) -> str:
+    """The plan-operator name of a query node (``scan``, ``join``, ...)."""
+    return _NODE_OPERATORS[type(node)]
+
+
+def node_detail(node: Query) -> str:
+    """A one-line human description of how a query node evaluates."""
+    if isinstance(node, (Pred, Cmp, DataEq)):
+        return str(node)
+    if isinstance(node, And):
+        return f"{len(node.parts)}-way natural join"
+    if isinstance(node, Or):
+        return f"{len(node.parts)}-way aligned union"
+    if isinstance(node, Not):
+        return "negation pushed inward, then Z-complement at atoms"
+    if isinstance(node, Implies):
+        return "rewritten to ~antecedent | consequent"
+    if isinstance(node, Exists):
+        sort = "Z" if node.sort is Sort.TEMPORAL else "active domain"
+        return f"∃{node.var} over {sort}"
+    if isinstance(node, Forall):
+        return f"∀{node.var} as ~∃~"
+    return ""  # pragma: no cover - every node type is covered above
 
 
 def _with_offset(column: str, delta: int) -> str:
@@ -134,12 +175,16 @@ class Evaluator:
         constants = _data_constants(query)
         if not constants <= self.data_domain:
             self.data_domain = self.data_domain | constants
-        if self.workers is None:
-            return _canonical_order(self._walk(query))
-        from repro.perf.config import overrides
+        with obs.span("query.evaluate", workers=self.workers or 0) as sp:
+            if self.workers is None:
+                result = _canonical_order(self._walk(query))
+            else:
+                from repro.perf.config import overrides
 
-        with overrides(workers=self.workers):
-            return _canonical_order(self._walk(query))
+                with overrides(workers=self.workers):
+                    result = _canonical_order(self._walk(query))
+            sp.set(out_tuples=len(result), out_schema=str(result.schema))
+            return result
 
     def ask(self, query: Query) -> bool:
         """Evaluate a closed (yes/no) query."""
@@ -154,6 +199,29 @@ class Evaluator:
     # ------------------------------------------------------------------
 
     def _walk(self, node: Query) -> GeneralizedRelation:
+        """Translate one query node, wrapped in a ``query.*`` span.
+
+        With a trace recorder installed (:func:`repro.obs.tracing`)
+        every node contributes a span named ``query.<operator>`` whose
+        children are the sub-query spans plus the ``algebra.*`` spans
+        of the operations that implemented it; rewritten forms
+        (implications expanded, ∀ as ¬∃¬, negations pushed inward)
+        appear as child nodes of the original, which is exactly what
+        runs.  Tracing off: straight dispatch, no span objects.
+        """
+        recorder = obs.active_recorder()
+        if recorder is None:
+            return self._dispatch(node)
+        with recorder.span(
+            f"query.{node_operator(node)}", detail=node_detail(node)
+        ) as sp:
+            result = self._dispatch(node)
+            sp.set(
+                out_tuples=len(result), out_schema=str(result.schema)
+            )
+            return result
+
+    def _dispatch(self, node: Query) -> GeneralizedRelation:
         if isinstance(node, Pred):
             return self._pred(node)
         if isinstance(node, Cmp):
@@ -179,7 +247,7 @@ class Evaluator:
         if isinstance(node, Forall):
             rewritten = Not(Exists(node.var, node.sort, Not(node.body)))
             return self._walk(rewritten)
-        raise TypeError(f"unexpected query node: {node!r}")  # pragma: no cover
+        raise ReproTypeError(f"unexpected query node: {node!r}")  # pragma: no cover
 
     def _pred(self, node: Pred) -> GeneralizedRelation:
         stored = self.relations.get(node.name)

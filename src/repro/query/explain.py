@@ -1,51 +1,74 @@
-"""Query plans: how a first-order query maps onto the algebra.
+"""Query plans and EXPLAIN ANALYZE: how a query maps onto the algebra.
 
-``explain(db, query)`` mirrors the evaluator's translation and produces
-an operator tree annotated with the *actual* intermediate sizes (tuple
-counts and schema widths) — generalized relations are finitely
-represented, so "run it and look" is cheap and honest at the scale this
-engine targets.  The output doubles as documentation of the classical
-calculus-to-algebra translation (Theorem 4.1's evaluation strategy).
+``explain(db, query)`` produces an operator tree annotated with the
+*actual* intermediate sizes (tuple counts and schema widths) —
+generalized relations are finitely represented, so "run it and look"
+is cheap and honest at the scale this engine targets.  The output
+doubles as documentation of the classical calculus-to-algebra
+translation (Theorem 4.1's evaluation strategy).
+
+``explain_analyze(db, query)`` is the instrumented form: the query
+runs under a :class:`repro.obs.trace.TraceRecorder`, and the returned
+:class:`QueryTrace` carries the full span tree — per-plan-node *and*
+per-algebra-operation wall times, tuple counts, pairwise combinations
+examined, prefilter rejections, cache hits and normalization
+expansions — plus the query result itself.  It renders as a text
+flamegraph and exports to JSON (see ``docs/observability.md`` for the
+schema).
+
+Both are trace-driven: the evaluator emits ``query.*`` spans as it
+walks (see :meth:`repro.query.evaluator.Evaluator._walk`), and the
+plan tree here is a projection of that span tree.  The plan therefore
+reflects the *rewritten* query (implications expanded, negations
+pushed inward, ∀ as ¬∃¬), which is exactly what runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.relations import GeneralizedRelation
-from repro.query.ast import (
-    And,
-    Cmp,
-    DataEq,
-    Exists,
-    Forall,
-    Implies,
-    Not,
-    Or,
-    Pred,
-    Query,
-    Sort,
-)
+from repro.obs.trace import Span, TraceRecorder, render_flamegraph, tracing
+from repro.query.ast import Query
 from repro.query.database import Database
 from repro.query.evaluator import Evaluator
+
+_QUERY_PREFIX = "query."
 
 
 @dataclass
 class PlanNode:
-    """One step of the algebraic plan."""
+    """One step of the algebraic plan.
+
+    ``attrs`` is empty for a plain EXPLAIN; EXPLAIN ANALYZE fills it
+    with ``wall_ms``, the per-operator algebra summaries (``ops``) and
+    the optimization-layer counter deltas (``perf``).
+    """
 
     operator: str
     detail: str
     out_tuples: int
     out_schema: str
     children: list["PlanNode"] = field(default_factory=list)
+    attrs: dict[str, Any] = field(default_factory=dict)
 
     def render(self, indent: int = 0) -> list[str]:
         pad = "  " * indent
+        timing = ""
+        if "wall_ms" in self.attrs:
+            timing = f" [{self.attrs['wall_ms']:.3f}ms]"
         lines = [
             f"{pad}{self.operator:<12} {self.detail}  "
-            f"-> {self.out_tuples} tuple(s) over {self.out_schema}"
+            f"-> {self.out_tuples} tuple(s) over {self.out_schema}{timing}"
         ]
+        for op in self.attrs.get("ops", ()):
+            op_text = ", ".join(
+                f"{key}={value}"
+                for key, value in op.items()
+                if key != "op" and value is not None
+            )
+            lines.append(f"{pad}  · {op['op']}: {op_text}")
         for child in self.children:
             lines.extend(child.render(indent + 1))
         return lines
@@ -54,65 +77,129 @@ class PlanNode:
         return "\n".join(self.render())
 
 
-class _ExplainingEvaluator(Evaluator):
-    """Evaluator subclass that records a plan tree as it walks."""
+def _algebra_summaries(span: Span) -> list[dict[str, Any]]:
+    """Summaries of the algebra spans directly under a query node.
 
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
-        self._stack: list[list[PlanNode]] = [[]]
+    Direct means not nested inside a deeper ``query.*`` span — those
+    belong to the child plan nodes.
+    """
+    out: list[dict[str, Any]] = []
 
-    def _walk(self, node: Query) -> GeneralizedRelation:
-        self._stack.append([])
-        result = super()._walk(node)
-        children = self._stack.pop()
-        plan = PlanNode(
-            operator=_operator_name(node),
-            detail=_operator_detail(node),
-            out_tuples=len(result),
-            out_schema=str(result.schema),
-            children=children,
-        )
-        self._stack[-1].append(plan)
-        return result
+    def visit(node: Span) -> None:
+        for child in node.children:
+            if child.name.startswith(_QUERY_PREFIX):
+                continue
+            if child.name.startswith("algebra."):
+                summary: dict[str, Any] = {
+                    "op": child.name[len("algebra."):],
+                    "wall_ms": round(child.wall_ms, 6),
+                }
+                for key in (
+                    "input_tuples",
+                    "output_tuples",
+                    "pairs_examined",
+                    "schema_width",
+                ):
+                    if key in child.attrs:
+                        summary[key] = child.attrs[key]
+                if child.perf:
+                    summary["perf"] = dict(child.perf)
+                out.append(summary)
+            visit(child)
 
-    @property
+    visit(span)
+    return out
+
+
+def plan_from_span(span: Span, analyze: bool = False) -> PlanNode:
+    """Project a ``query.*`` span (sub)tree onto a :class:`PlanNode` tree."""
+    children = [
+        plan_from_span(child, analyze)
+        for child in span.children
+        if child.name.startswith(_QUERY_PREFIX)
+    ]
+    attrs: dict[str, Any] = {}
+    if analyze:
+        attrs["wall_ms"] = round(span.wall_ms, 6)
+        ops = _algebra_summaries(span)
+        if ops:
+            attrs["ops"] = ops
+        if span.perf:
+            attrs["perf"] = dict(span.perf)
+    return PlanNode(
+        operator=span.name[len(_QUERY_PREFIX):],
+        detail=span.attrs.get("detail", ""),
+        out_tuples=span.attrs.get("out_tuples", 0),
+        out_schema=span.attrs.get("out_schema", ""),
+        children=children,
+        attrs=attrs,
+    )
+
+
+@dataclass
+class QueryTrace:
+    """The structured result of EXPLAIN ANALYZE / :meth:`Database.trace`.
+
+    * ``result`` — the evaluated relation (EXPLAIN ANALYZE really runs);
+    * ``root`` — the ``query.evaluate`` span tree with every plan node
+      and algebra operation underneath;
+    * :meth:`plan` — the annotated :class:`PlanNode` projection;
+    * :meth:`flamegraph` / :meth:`to_json` — renderings.
+    """
+
+    query: Query
+    result: GeneralizedRelation
+    root: Span
+
     def plan(self) -> PlanNode:
-        return self._stack[0][-1]
+        """The annotated operator tree (timings, ops, perf deltas)."""
+        return self._project(analyze=True)
+
+    def plan_only(self) -> PlanNode:
+        """The bare operator tree (what plain EXPLAIN shows)."""
+        return self._project(analyze=False)
+
+    def _project(self, analyze: bool) -> PlanNode:
+        for child in self.root.children:
+            if child.name.startswith(_QUERY_PREFIX):
+                return plan_from_span(child, analyze=analyze)
+        # A query with no recorded nodes (never happens in practice,
+        # but keep the projection total).
+        return plan_from_span(self.root, analyze=analyze)
+
+    def flamegraph(self, width: int = 24) -> str:
+        """Indented text flamegraph of the whole evaluation."""
+        return render_flamegraph(self.root, width=width)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"query": str(self.query), "trace": self.root.to_dict()}
+
+    def to_json(self, indent: int | None = 2) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent, default=repr)
+
+    def __str__(self) -> str:
+        return self.flamegraph()
 
 
-def _operator_name(node: Query) -> str:
-    return {
-        Pred: "scan",
-        Cmp: "compare",
-        DataEq: "data-eq",
-        And: "join",
-        Or: "union",
-        Not: "complement",
-        Implies: "implies",
-        Exists: "project",
-        Forall: "forall",
-    }[type(node)]
-
-
-def _operator_detail(node: Query) -> str:
-    if isinstance(node, Pred):
-        return str(node)
-    if isinstance(node, (Cmp, DataEq)):
-        return str(node)
-    if isinstance(node, And):
-        return f"{len(node.parts)}-way natural join"
-    if isinstance(node, Or):
-        return f"{len(node.parts)}-way aligned union"
-    if isinstance(node, Not):
-        return "negation pushed inward, then Z-complement at atoms"
-    if isinstance(node, Implies):
-        return "rewritten to ~antecedent | consequent"
-    if isinstance(node, Exists):
-        sort = "Z" if node.sort is Sort.TEMPORAL else "active domain"
-        return f"∃{node.var} over {sort}"
-    if isinstance(node, Forall):
-        return f"∀{node.var} as ~∃~"
-    return ""
+def _traced_evaluation(
+    db: Database, query: str | Query
+) -> tuple[Query, GeneralizedRelation, Span]:
+    if isinstance(query, str):
+        query = db.parse(query)
+    evaluator = Evaluator(
+        {name: db.relation(name) for name in db.names},
+        max_tuples=db.max_tuples,
+        max_extensions=db.max_extensions,
+    )
+    recorder = TraceRecorder()
+    with tracing(recorder):
+        result = evaluator.evaluate(query)
+    root = recorder.root
+    if root is None:  # pragma: no cover - evaluate always opens a span
+        root = Span("query.evaluate", recorder)
+    return query, result, root
 
 
 def explain(db: Database, query: str | Query) -> PlanNode:
@@ -122,12 +209,14 @@ def explain(db: Database, query: str | Query) -> PlanNode:
     Note the plan reflects the *rewritten* query (implications expanded,
     negations pushed inward, ∀ as ¬∃¬), which is exactly what runs.
     """
-    if isinstance(query, str):
-        query = db.parse(query)
-    evaluator = _ExplainingEvaluator(
-        {name: db.relation(name) for name in db.names},
-        max_tuples=db.max_tuples,
-        max_extensions=db.max_extensions,
-    )
-    evaluator.evaluate(query)
-    return evaluator.plan
+    return explain_analyze(db, query).plan_only()
+
+
+def explain_analyze(db: Database, query: str | Query) -> QueryTrace:
+    """EXPLAIN ANALYZE: run the query under tracing, keep everything.
+
+    The returned :class:`QueryTrace` holds the result relation, the
+    full span tree and the annotated plan.
+    """
+    parsed, result, root = _traced_evaluation(db, query)
+    return QueryTrace(query=parsed, result=result, root=root)

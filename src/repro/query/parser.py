@@ -29,10 +29,11 @@ is data.  Conflicting uses raise :class:`ParseError`.
 
 from __future__ import annotations
 
+import enum
 import re
 from dataclasses import dataclass
 
-from repro.core.errors import ParseError
+from repro.core.errors import ParseError, ReproTypeError
 from repro.core.relations import Schema
 from repro.query.ast import (
     And,
@@ -426,7 +427,45 @@ def _resolve(node, ctx: _SortContext) -> Query:
         sort = ctx.sort_of(node.var)
         cls = Exists if node.exists else Forall
         return cls(node.var, sort, body)
-    raise TypeError(f"unexpected raw node {node!r}")  # pragma: no cover
+    raise ReproTypeError(f"unexpected raw node {node!r}")  # pragma: no cover
+
+
+class Directive(enum.Enum):
+    """What a query string asks the engine to do with the query."""
+
+    QUERY = "query"
+    EXPLAIN = "explain"
+    EXPLAIN_ANALYZE = "explain analyze"
+
+
+_DIRECTIVE_RE = re.compile(
+    r"^\s*explain\b(?P<analyze>\s+analyze\b)?\s*", re.IGNORECASE
+)
+
+
+def split_directive(text: str) -> tuple[Directive, str]:
+    """Split a leading ``EXPLAIN [ANALYZE]`` directive off a query string.
+
+    Returns the directive and the remaining query text.  ``EXPLAIN`` is
+    only a directive in head position followed by a query — a relation
+    actually *named* ``Explain`` still works, because a predicate atom
+    continues with ``(`` directly::
+
+        split_directive("EXPLAIN ANALYZE EXISTS t. P(t)")
+        (Directive.EXPLAIN_ANALYZE, "EXISTS t. P(t)")
+        split_directive("Explain(t)")
+        (Directive.QUERY, "Explain(t)")
+    """
+    match = _DIRECTIVE_RE.match(text)
+    if match is None:
+        return Directive.QUERY, text
+    rest = text[match.end():]
+    if rest.startswith("("):
+        # "Explain(...)" / "Explain Analyze(...)" are predicate atoms.
+        return Directive.QUERY, text
+    if match.group("analyze"):
+        return Directive.EXPLAIN_ANALYZE, rest
+    return Directive.EXPLAIN, rest
 
 
 def parse_query(text: str, schemas: dict[str, Schema]) -> Query:

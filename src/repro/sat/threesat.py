@@ -13,6 +13,7 @@ import itertools
 import random
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
+from repro.core.errors import ReproValueError
 
 
 @dataclass(frozen=True)
@@ -59,7 +60,7 @@ class Instance:
         for clause in self.clauses:
             for lit in clause.literals:
                 if not 0 <= lit.var < self.n_vars:
-                    raise ValueError(
+                    raise ReproValueError(
                         f"literal {lit} out of range for {self.n_vars} vars"
                     )
 
@@ -103,7 +104,7 @@ def random_3sat(
     hard region used in the NP-completeness benchmark.
     """
     if n_vars < 3:
-        raise ValueError("random 3-SAT needs at least 3 variables")
+        raise ReproValueError("random 3-SAT needs at least 3 variables")
     rng = random.Random(seed)
     clauses = []
     for _ in range(n_clauses):

@@ -23,7 +23,7 @@ a special type of database" the paper's introduction describes.
 from __future__ import annotations
 
 from repro.core import algebra
-from repro.core.errors import EvaluationError
+from repro.core.errors import EvaluationError, ReproTypeError
 from repro.core.relations import GeneralizedRelation, Schema
 from repro.tl.formulas import (
     Always,
@@ -111,7 +111,7 @@ class Model:
             return self._until(
                 self.sat(formula.hold), self.sat(formula.release), future=False
             )
-        raise TypeError(f"unexpected formula node: {formula!r}")
+        raise ReproTypeError(f"unexpected formula node: {formula!r}")
 
     def holds_at(self, formula: Formula, instant: int) -> bool:
         """Whether the formula holds at one instant."""

@@ -203,3 +203,66 @@ class TestRulesCommand:
     def test_rules_missing_file(self):
         session = Session()
         assert session.execute("rules /no/such/file.dl").startswith("error")
+
+
+class TestTraceCommands:
+    SETUP = (
+        "create Train(dep:T, arr:T, svc:D)",
+        "insert Train [2 + 60n, 80 + 60n] : dep = arr - 78 | slow",
+    )
+    ASK = 'ask EXISTS d. EXISTS a. Train(d, a, "slow") & d >= 60'
+
+    def test_trace_command(self):
+        session = Session()
+        run(session, *self.SETUP)
+        out = session.execute(
+            'trace EXISTS d. EXISTS a. Train(d, a, "slow")'
+        )
+        assert "generalized tuple(s)" in out
+        assert "query.evaluate" in out
+        assert len(session.traces) == 1
+
+    def test_explain_analyze_query(self):
+        session = Session()
+        run(session, *self.SETUP)
+        out = session.execute(
+            'query EXPLAIN ANALYZE EXISTS d. EXISTS a. Train(d, a, "slow")'
+        )
+        assert "query.evaluate" in out
+        assert len(session.traces) == 1
+
+    def test_trace_all_mode(self):
+        session = Session(trace_all=True)
+        run(session, *self.SETUP)
+        out = session.execute(self.ASK)
+        assert out.startswith("true")
+        assert "query.evaluate" in out
+        assert len(session.traces) == 1
+
+    def test_trace_subcommand_writes_json(self, tmp_path):
+        import json
+
+        script = tmp_path / "script.itql"
+        script.write_text("\n".join(self.SETUP + (self.ASK, "quit")) + "\n")
+        out_path = tmp_path / "traces.json"
+        code = main(["trace", str(script), "--trace-json", str(out_path)])
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        assert len(doc["traces"]) == 1
+        assert doc["traces"][0]["trace"]["name"] == "query.evaluate"
+
+    def test_trace_json_flag_implies_trace_mode(self, tmp_path):
+        import json
+
+        out_path = tmp_path / "traces.json"
+        code = main(
+            [
+                "-c", self.SETUP[0],
+                "-c", self.SETUP[1],
+                "-c", self.ASK,
+                "--trace-json", str(out_path),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(out_path.read_text())
+        assert len(doc["traces"]) == 1
