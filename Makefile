@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke reports clean
+.PHONY: test lint bench bench-smoke fuzz reports clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,6 +21,13 @@ bench:
 # Small sizes for CI smoke runs.
 bench-smoke:
 	$(PYTHON) -m repro.perf.bench --smoke
+
+# Differential fuzzing against the finite-window oracle; shrunk repros
+# of any failure land in fuzz-failures/ (see docs/fuzzing.md).
+FUZZ_SEED ?= 0
+FUZZ_BUDGET ?= 500
+fuzz:
+	$(PYTHON) -m repro.cli fuzz --seed $(FUZZ_SEED) --budget $(FUZZ_BUDGET)
 
 # Regenerate every paper artifact report (tables, figures, theorems).
 reports:

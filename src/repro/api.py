@@ -57,6 +57,14 @@ from repro.core.errors import (
     ReproValueError,
     SchemaError,
 )
+from repro.fuzz import (
+    Case,
+    CaseResult,
+    generate_case,
+    load_case,
+    run_case,
+    shrink_case,
+)
 from repro.obs import (
     MetricsRegistry,
     Span,
@@ -90,6 +98,13 @@ __all__ = [
     "explain",
     "explain_analyze",
     "parse_query",
+    # differential fuzzing
+    "Case",
+    "CaseResult",
+    "generate_case",
+    "load_case",
+    "run_case",
+    "shrink_case",
     # observability
     "MetricsRegistry",
     "Span",

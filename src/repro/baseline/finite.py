@@ -41,7 +41,10 @@ class FiniteRelation:
 
         This is exactly the "1989 ... 2090" encoding: every concrete
         point with temporal coordinates inside the horizon becomes one
-        stored row.
+        stored row.  An inverted horizon (``low > high``) denotes the
+        empty window and produces the empty relation — the library-wide
+        convention (see :meth:`GeneralizedRelation.enumerate
+        <repro.core.relations.GeneralizedRelation.enumerate>`).
         """
         return cls(relation.schema, relation.enumerate(low, high))
 

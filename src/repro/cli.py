@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli script.itql          # run a command file
     python -m repro.cli -c 'ask EXISTS t. P(t)' -c 'quit'
     python -m repro.cli trace script.itql --trace-json out.json
+    python -m repro.cli fuzz --seed 0 --budget 500
 
 Commands:
 
@@ -296,6 +297,10 @@ def main(argv: list[str] | None = None) -> int:
     collected span tree to a JSON file on exit.
     """
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "fuzz":
+        from repro.fuzz.cli import fuzz_main
+
+        return fuzz_main(argv[1:])
     trace_mode = bool(argv) and argv[0] == "trace"
     if trace_mode:
         argv = argv[1:]

@@ -276,7 +276,17 @@ class GeneralizedRelation:
 
     def enumerate(self, low: int, high: int) -> Iterator[tuple]:
         """Yield concrete points (schema order) with temporal values in
-        ``[low, high]``, deduplicated across tuples."""
+        ``[low, high]``, deduplicated across tuples.
+
+        An inverted horizon (``low > high``) denotes the empty window and
+        yields nothing — uniformly, including for zero-arity schemas.
+        The same convention holds everywhere a window is taken:
+        :meth:`snapshot`, :meth:`FiniteRelation.materialize
+        <repro.baseline.finite.FiniteRelation.materialize>`, and
+        :func:`repro.storage.csvio.export_window`.
+        """
+        if low > high:
+            return
         seen: set[tuple] = set()
         for gtuple in self._tuples:
             for temporal in gtuple.enumerate(low, high):

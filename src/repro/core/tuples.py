@@ -200,7 +200,12 @@ class GeneralizedTuple:
         Enumeration prunes with the DBM's implied bounds and checks
         partial assignments against the difference constraints, so it is
         usable for the window sizes the differential tests employ.
+
+        An inverted window (``low > high``) is uniformly empty, even for
+        zero-arity tuples (whose points carry no temporal coordinates).
         """
+        if low > high:
+            return
         arity = len(self.lrps)
         if arity == 0:
             if self.dbm.copy().close():

@@ -1,0 +1,91 @@
+"""repro.fuzz — differential fuzzing against the finite-window oracle.
+
+The paper's strawman — materializing an infinite relation up to a
+horizon — doubles as an executable specification: over a bounded
+window, the generalized (symbolic) algebra and a conventional finite
+engine must agree exactly.  This package exploits that:
+
+* :mod:`repro.fuzz.expr` / :mod:`repro.fuzz.case` — algebra-expression
+  trees and replayable (relations, expression, window) cases with a
+  stable JSON form (the ``tests/corpus/`` format).
+* :mod:`repro.fuzz.gen` — seeded deterministic case generation, built
+  on the same drawing logic as the :mod:`repro.testing` strategies.
+* :mod:`repro.fuzz.diff` — the three-way differential executor:
+  optimized algebra vs the algebra with every :mod:`repro.perf`
+  optimization disabled vs :class:`~repro.baseline.finite.FiniteRelation`
+  over per-node windows.
+* :mod:`repro.fuzz.shrink` — delta-debugging minimization of failing
+  cases to few-tuple, few-node repros.
+* :mod:`repro.fuzz.cli` — the ``repro fuzz`` subcommand.
+
+See ``docs/fuzzing.md`` for the window-commutation argument and usage.
+"""
+
+from repro.fuzz.case import FORMAT, Case, case_from_dict, load_case
+from repro.fuzz.cli import fuzz_main
+from repro.fuzz.diff import (
+    DEFAULT_CONFIG,
+    CaseResult,
+    DiffConfig,
+    Divergence,
+    OversizeError,
+    compute_margin,
+    eval_finite,
+    eval_generalized,
+    run_case,
+)
+from repro.fuzz.expr import (
+    Complement,
+    Expr,
+    Intersect,
+    Join,
+    Leaf,
+    Product,
+    Project,
+    Select,
+    Subtract,
+    Union,
+    expr_from_dict,
+)
+from repro.fuzz.gen import (
+    DEFAULT_PROFILE,
+    FuzzProfile,
+    case_seed,
+    generate_case,
+)
+from repro.fuzz.shrink import ShrinkResult, same_failure, shrink_case
+
+__all__ = [
+    "FORMAT",
+    "Case",
+    "CaseResult",
+    "Complement",
+    "DEFAULT_CONFIG",
+    "DEFAULT_PROFILE",
+    "DiffConfig",
+    "Divergence",
+    "Expr",
+    "FuzzProfile",
+    "Intersect",
+    "Join",
+    "Leaf",
+    "OversizeError",
+    "Product",
+    "Project",
+    "Select",
+    "ShrinkResult",
+    "Subtract",
+    "Union",
+    "case_from_dict",
+    "case_seed",
+    "compute_margin",
+    "eval_finite",
+    "eval_generalized",
+    "expr_from_dict",
+    "fuzz_main",
+    "generate_case",
+    "load_case",
+    "run_case",
+    "same_failure",
+    "shrink_case",
+]

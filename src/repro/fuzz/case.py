@@ -1,0 +1,155 @@
+"""Fuzz cases: (relations, expression, window) triples, JSON round-trip.
+
+A :class:`Case` is the unit the harness generates, executes, shrinks
+and persists.  The JSON form (``format: repro-fuzz-case/1``) is what
+lands in ``tests/corpus/`` — every field needed to replay the case
+byte-for-byte on any checkout, plus a free-form ``note`` recording why
+the case was interesting.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+from repro.core.errors import ReproValueError
+from repro.core.relations import GeneralizedRelation, Schema
+from repro.fuzz.expr import Expr, expr_from_dict
+from repro.storage import jsonio
+
+FORMAT = "repro-fuzz-case/1"
+
+
+@dataclass(frozen=True)
+class Case:
+    """One differential-fuzzing case.
+
+    Attributes:
+        relations: the named base relations the expression's leaves read.
+        expr: the algebra expression under test.
+        low, high: the core comparison window (symbolic and finite
+            results are compared on points whose temporal coordinates
+            all lie in ``[low, high]``).
+        data_domains: finite universe per data attribute name, used by
+            both complement implementations.
+        seed: the generator seed that produced the case (``None`` for
+            hand-written cases).
+        note: free-form provenance (what bug the case reproduces).
+    """
+
+    relations: dict[str, GeneralizedRelation]
+    expr: Expr
+    low: int
+    high: int
+    data_domains: dict[str, list] = field(default_factory=dict)
+    seed: int | None = None
+    note: str = ""
+
+    # -- structure -----------------------------------------------------
+
+    def schemas(self) -> dict[str, Schema]:
+        """Leaf-name-to-schema environment for :meth:`Expr.schema`."""
+        return {name: rel.schema for name, rel in self.relations.items()}
+
+    def result_schema(self) -> Schema:
+        """The expression's result schema (raises on ill-formed trees)."""
+        return self.expr.schema(self.schemas())
+
+    def validate(self) -> None:
+        """Raise unless the case is well-formed and replayable."""
+        schema = self.result_schema()
+        for name in schema.data_names:
+            if name not in self.data_domains:
+                raise ReproValueError(
+                    f"case is missing a data domain for attribute {name!r}"
+                )
+        for rel in self.relations.values():
+            for dname in rel.schema.data_names:
+                if dname not in self.data_domains:
+                    raise ReproValueError(
+                        f"case is missing a data domain for attribute {dname!r}"
+                    )
+        if not isinstance(self.low, int) or not isinstance(self.high, int):
+            raise ReproValueError("window bounds must be integers")
+
+    def total_tuples(self) -> int:
+        """Generalized tuples across every base relation (the size the
+        shrinker minimizes)."""
+        return sum(len(rel) for rel in self.relations.values())
+
+    def describe(self) -> str:
+        """A one-line human summary."""
+        rels = ", ".join(
+            f"{name}[{len(rel)}]" for name, rel in sorted(self.relations.items())
+        )
+        seed = f" seed={self.seed}" if self.seed is not None else ""
+        return (
+            f"window=[{self.low},{self.high}]{seed} relations({rels}) "
+            f"expr={self.expr}"
+        )
+
+    def with_note(self, note: str) -> Case:
+        return replace(self, note=note)
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready structural dump (inverse of :func:`case_from_dict`)."""
+        return {
+            "format": FORMAT,
+            "seed": self.seed,
+            "note": self.note,
+            "window": [self.low, self.high],
+            "data_domains": {
+                name: list(values)
+                for name, values in sorted(self.data_domains.items())
+            },
+            "relations": {
+                name: jsonio.relation_to_dict(rel)
+                for name, rel in sorted(self.relations.items())
+            },
+            "expr": self.expr.to_dict(),
+        }
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the case to ``path`` as indented JSON."""
+        path = Path(path)
+        path.write_text(self.dumps() + "\n")
+        return path
+
+
+def case_from_dict(payload: dict) -> Case:
+    """Rebuild a case from its :meth:`Case.to_dict` form."""
+    try:
+        if payload.get("format") != FORMAT:
+            raise ReproValueError(
+                f"unsupported case format {payload.get('format')!r} "
+                f"(expected {FORMAT!r})"
+            )
+        low, high = payload["window"]
+        return Case(
+            relations={
+                name: jsonio.relation_from_dict(entry)
+                for name, entry in payload["relations"].items()
+            },
+            expr=expr_from_dict(payload["expr"]),
+            low=int(low),
+            high=int(high),
+            data_domains={
+                name: list(values)
+                for name, values in payload.get("data_domains", {}).items()
+            },
+            seed=payload.get("seed"),
+            note=payload.get("note", ""),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproValueError(f"malformed case payload: {exc}") from exc
+
+
+def load_case(path: str | Path) -> Case:
+    """Read a case back from a JSON file."""
+    return case_from_dict(json.loads(Path(path).read_text()))

@@ -32,13 +32,28 @@ def export_window(
 ) -> str:
     """Materialize the window ``[low, high]`` as CSV text.
 
-    Columns follow the schema order; rows are sorted for determinism.
+    Columns follow the schema order; rows are sorted for determinism by
+    their schema-typed values — temporal components numerically, data
+    components by type name then string form.  (An earlier revision
+    sorted by ``repr``, which misorders negative and multi-digit
+    integers: ``"10" < "2"`` and ``"-1" < "1"`` lexicographically.)
+
+    An inverted horizon (``low > high``) denotes the empty window and
+    yields a header-only (or empty) document.
     """
+    temporal_flags = tuple(a.temporal for a in relation.schema.attributes)
+
+    def typed_key(point: tuple) -> tuple:
+        return tuple(
+            value if temporal else (type(value).__name__, str(value))
+            for value, temporal in zip(point, temporal_flags)
+        )
+
     buffer = io.StringIO()
     writer = csv.writer(buffer)
     if header:
         writer.writerow(relation.schema.names)
-    for point in sorted(relation.enumerate(low, high), key=repr):
+    for point in sorted(relation.enumerate(low, high), key=typed_key):
         writer.writerow(point)
     return buffer.getvalue()
 

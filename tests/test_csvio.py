@@ -110,3 +110,48 @@ class TestCompression:
         finite = csvio.import_rows(schema, [(v,) for v in values])
         compressed = csvio.compress_unary(finite)
         assert compressed.snapshot(-35, 35) == finite.snapshot(-35, 35)
+
+
+class TestTypedOrdering:
+    """export_window sorts by schema-typed value, not repr (regression).
+
+    The old ``key=repr`` ordering put ``-1`` before ``-10``'s neighbours
+    lexicographically ("-1" < "-10" is False as strings!) and ``10``
+    before ``2``; with negatives and multi-digit values the exported
+    rows came out misordered.
+    """
+
+    def spread(self) -> GeneralizedRelation:
+        r = GeneralizedRelation.empty(Schema.make(temporal=["t"]))
+        for value in (3, -10, 12, -2, 0, 101, -1):
+            r.add_tuple([value])
+        return r
+
+    def test_rows_are_numerically_sorted(self):
+        text = csvio.export_window(self.spread(), -200, 200, header=False)
+        values = [int(line) for line in text.strip().splitlines()]
+        assert values == sorted(values)
+        assert values[0] == -10 and values[-1] == 101
+
+    def test_mixed_schema_sorts_temporal_numerically(self):
+        r = GeneralizedRelation.empty(
+            Schema.make(temporal=["t"], data=["who"])
+        )
+        r.add_tuple([10], data=["ann"])
+        r.add_tuple([2], data=["bob"])
+        r.add_tuple([-3], data=["ann"])
+        text = csvio.export_window(r, -20, 20, header=False)
+        firsts = [line.split(",")[0] for line in text.strip().splitlines()]
+        assert firsts == ["-3", "2", "10"]
+
+    def test_round_trip_with_negatives(self):
+        source = GeneralizedRelation.empty(Schema.make(temporal=["t", "u"]))
+        source.add_tuple(["-7 + 5n", "-2 + 5n"], "t <= u")
+        source.add_tuple([-10, -1])
+        text = csvio.export_window(source, -15, 15)
+        back = csvio.import_csv(source.schema, text)
+        assert back.snapshot(-15, 15) == source.snapshot(-15, 15)
+
+    def test_inverted_horizon_exports_empty(self):
+        text = csvio.export_window(self.spread(), 5, -5)
+        assert text.strip() == "t"

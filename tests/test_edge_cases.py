@@ -202,3 +202,48 @@ class TestQueryEdges:
             text = f"({text} | {text}) & ({text})"
         res = db.query(text)
         assert res.contains([3]) and not res.contains([4])
+
+
+class TestInvertedHorizon:
+    """``low > high`` denotes the empty window, uniformly everywhere.
+
+    Before this was pinned down, the convention was implicit: tuple and
+    relation enumeration happened to return nothing for most shapes but
+    zero-arity tuples yielded their unit point regardless of the
+    window, and downstream consumers (materialize, export) inherited
+    whatever the core did.
+    """
+
+    def test_tuple_enumerate_empty(self):
+        t = GeneralizedTuple.make(["0 + 1n"])
+        assert list(t.enumerate(3, -3)) == []
+
+    def test_zero_arity_tuple_enumerate_empty(self):
+        t = GeneralizedTuple.make([])
+        assert list(t.enumerate(0, 0)) == [()]
+        assert list(t.enumerate(1, 0)) == []
+
+    def test_relation_enumerate_empty(self):
+        r = relation(temporal=["t"])
+        r.add_tuple([0])
+        assert list(r.enumerate(5, -5)) == []
+        assert r.snapshot(5, -5) == set()
+
+    def test_zero_arity_relation_enumerate_empty(self):
+        r = GeneralizedRelation.empty(Schema.make())
+        r.add_tuple([])
+        assert list(r.enumerate(0, 0)) == [()]
+        assert list(r.enumerate(1, -1)) == []
+
+    def test_materialize_empty(self):
+        from repro.baseline.finite import FiniteRelation
+
+        r = relation(temporal=["t"])
+        r.add_tuple(["0 + 1n"])
+        assert len(FiniteRelation.materialize(r, 7, -7)) == 0
+
+    def test_degenerate_single_point_window_still_works(self):
+        r = relation(temporal=["t"])
+        r.add_tuple(["0 + 2n"])
+        assert r.snapshot(4, 4) == {(4,)}
+        assert r.snapshot(3, 3) == set()

@@ -1,0 +1,180 @@
+"""Tests for the fuzz harness's expression trees and case serialization."""
+
+import pytest
+
+from repro.core.errors import ReproValueError, SchemaError
+from repro.core.relations import GeneralizedRelation, Schema, relation
+from repro.fuzz.case import Case, case_from_dict, load_case
+from repro.fuzz.expr import (
+    Complement,
+    Intersect,
+    Join,
+    Leaf,
+    Product,
+    Project,
+    Select,
+    Subtract,
+    Union,
+    expr_from_dict,
+)
+
+T1 = Schema.make(temporal=["T1"])
+T12 = Schema.make(temporal=["T1", "T2"])
+T12D = Schema.make(temporal=["T1", "T2"], data=["D1"])
+
+
+def env(**schemas):
+    return dict(schemas)
+
+
+class TestSchemas:
+    def test_leaf(self):
+        assert Leaf("R").schema(env(R=T1)) == T1
+        with pytest.raises(SchemaError):
+            Leaf("missing").schema(env(R=T1))
+
+    def test_set_ops_require_equal_schemas(self):
+        e = env(A=T1, B=T1, C=T12)
+        assert Union(Leaf("A"), Leaf("B")).schema(e) == T1
+        for cls in (Union, Intersect, Subtract):
+            with pytest.raises(SchemaError):
+                cls(Leaf("A"), Leaf("C")).schema(e)
+
+    def test_join_merges_shared_names(self):
+        e = env(A=T12, B=Schema.make(temporal=["T2", "T3"]))
+        joined = Join(Leaf("A"), Leaf("B")).schema(e)
+        assert joined.names == ("T1", "T2", "T3")
+
+    def test_join_rejects_kind_mismatch(self):
+        e = env(A=T12D, B=Schema.make(temporal=["D1"]))
+        with pytest.raises(SchemaError):
+            Join(Leaf("A"), Leaf("B")).schema(e)
+
+    def test_product_requires_disjoint_names(self):
+        e = env(A=T1, B=Schema.make(temporal=["T2"]), C=T1)
+        assert Product(Leaf("A"), Leaf("B")).schema(e).names == ("T1", "T2")
+        with pytest.raises(SchemaError):
+            Product(Leaf("A"), Leaf("C")).schema(e)
+
+    def test_select_checks_attribute_names(self):
+        e = env(A=T12D)
+        assert Select(Leaf("A"), "T1 <= T2 + 3").schema(e) == T12D
+        with pytest.raises(SchemaError):
+            Select(Leaf("A"), "T9 <= 0").schema(e)
+        with pytest.raises(SchemaError):
+            Select(Leaf("A"), "T1 <= D1").schema(e)
+
+    def test_project_subset_and_reorder(self):
+        e = env(A=T12D)
+        out = Project(Leaf("A"), ("D1", "T2")).schema(e)
+        assert out.names == ("D1", "T2")
+        with pytest.raises(SchemaError):
+            Project(Leaf("A"), ("T1", "T1")).schema(e)
+        with pytest.raises(SchemaError):
+            Project(Leaf("A"), ("nope",)).schema(e)
+
+    def test_complement_preserves_schema(self):
+        assert Complement(Leaf("A")).schema(env(A=T12)) == T12
+
+
+class TestStructure:
+    def test_walk_size_leaves(self):
+        tree = Union(Project(Leaf("A"), ("T1",)), Leaf("B"))
+        assert tree.size() == 4
+        assert tree.leaf_names() == {"A", "B"}
+        assert [type(n).__name__ for n in tree.walk()] == [
+            "Union", "Project", "Leaf", "Leaf",
+        ]
+
+    def test_with_children_rebuilds_same_op(self):
+        tree = Subtract(Leaf("A"), Leaf("B"))
+        rebuilt = tree.with_children([Leaf("X"), Leaf("Y")])
+        assert isinstance(rebuilt, Subtract)
+        assert rebuilt.leaf_names() == {"X", "Y"}
+
+    def test_distinct_ops_are_unequal(self):
+        assert Union(Leaf("A"), Leaf("B")) != Intersect(Leaf("A"), Leaf("B"))
+
+    def test_str_is_readable(self):
+        tree = Select(Complement(Leaf("R")), "T1 >= 0")
+        assert str(tree) == "select[T1 >= 0](complement(R))"
+
+
+class TestExprRoundTrip:
+    def test_round_trip_all_node_kinds(self):
+        tree = Union(
+            Subtract(
+                Project(Select(Leaf("A"), "T1 <= 2"), ("T1",)),
+                Complement(Leaf("B")),
+            ),
+            Intersect(
+                Leaf("B"),
+                Project(Join(Leaf("A"), Product(Leaf("C"), Leaf("D"))), ("T1",)),
+            ),
+        )
+        assert expr_from_dict(tree.to_dict()) == tree
+
+    def test_malformed_payloads(self):
+        with pytest.raises(ReproValueError):
+            expr_from_dict({"op": "frobnicate"})
+        with pytest.raises(ReproValueError):
+            expr_from_dict({"op": "union", "left": {"op": "leaf", "name": "A"}})
+
+
+class TestCase:
+    def make_case(self):
+        r = GeneralizedRelation.empty(T1)
+        r.add_tuple(["1 + 3n"], "T1 >= -2")
+        return Case(
+            relations={"R": r},
+            expr=Complement(Leaf("R")),
+            low=-4,
+            high=4,
+            seed=99,
+            note="hand-built",
+        )
+
+    def test_validate_and_describe(self):
+        case = self.make_case()
+        case.validate()
+        assert case.result_schema() == T1
+        assert case.total_tuples() == 1
+        assert "seed=99" in case.describe()
+
+    def test_validate_requires_data_domains(self):
+        r = relation(temporal=["T1"], data=["D1"])
+        r.add_tuple([2], data=["a"])
+        case = Case(relations={"R": r}, expr=Leaf("R"), low=0, high=1)
+        with pytest.raises(ReproValueError):
+            case.validate()
+        ok = Case(
+            relations={"R": r},
+            expr=Leaf("R"),
+            low=0,
+            high=1,
+            data_domains={"D1": ["a", "b"]},
+        )
+        ok.validate()
+
+    def test_json_round_trip(self, tmp_path):
+        case = self.make_case()
+        back = case_from_dict(__import__("json").loads(case.dumps()))
+        assert back.expr == case.expr
+        assert back.low == case.low and back.high == case.high
+        assert back.seed == 99 and back.note == "hand-built"
+        assert back.relations["R"].snapshot(-20, 20) == case.relations[
+            "R"
+        ].snapshot(-20, 20)
+
+    def test_save_and_load(self, tmp_path):
+        case = self.make_case()
+        path = case.save(tmp_path / "case.json")
+        loaded = load_case(path)
+        assert loaded.expr == case.expr
+        assert loaded.relations["R"] == case.relations["R"]
+
+    def test_malformed_case_payload(self):
+        with pytest.raises(ReproValueError):
+            case_from_dict({"format": "other/9"})
+        with pytest.raises(ReproValueError):
+            case_from_dict({"format": "repro-fuzz-case/1"})

@@ -1,0 +1,167 @@
+"""Tests for the delta-debugging shrinker, including the mutant drill.
+
+The centerpiece re-enacts the harness's reason to exist: inject a bug
+into the algebra (an off-by-one in ``DBM.add_upper``, the kind of
+bound-flip a refactor could introduce), let the fuzzer find a
+divergence, shrink it, and verify the shrunk case is a minimal,
+replayable repro — failing on the mutant, passing on HEAD.
+"""
+
+import json
+
+import pytest
+
+from repro.core.dbm import DBM
+from repro.core.relations import GeneralizedRelation, Schema
+from repro.fuzz.case import Case, case_from_dict
+from repro.fuzz.diff import run_case
+from repro.fuzz.expr import Complement, Leaf, Subtract, Union
+from repro.fuzz.gen import generate_case
+from repro.fuzz.shrink import same_failure, shrink_case
+
+T1 = Schema.make(temporal=["T1"])
+
+
+@pytest.fixture
+def mutant_add_upper(monkeypatch):
+    """Install ``X <= b+1`` in place of ``X <= b`` for the test body."""
+    clean = DBM.add_upper
+
+    def flipped(self, i, bound):
+        return clean(self, i, bound + 1)
+
+    def install():
+        monkeypatch.setattr(DBM, "add_upper", flipped)
+
+    def uninstall():
+        monkeypatch.setattr(DBM, "add_upper", clean)
+
+    return install, uninstall
+
+
+class TestMutantDrill:
+    def find_divergent(self, install, uninstall, max_seeds=120):
+        for seed in range(max_seeds):
+            case = generate_case(seed)  # generated with the clean algebra
+            install()
+            try:
+                result = run_case(case)
+            finally:
+                uninstall()
+            if result.status == "divergent":
+                return case, result
+        pytest.fail("mutant was not detected within the seed budget")
+
+    def test_mutant_is_found_shrunk_and_replayable(self, mutant_add_upper):
+        install, uninstall = mutant_add_upper
+        case, result = self.find_divergent(install, uninstall)
+
+        # Shrink under the mutant (the failure must keep reproducing).
+        install()
+        try:
+            shrunk = shrink_case(case, same_failure(result))
+        finally:
+            uninstall()
+        assert shrunk.case.total_tuples() <= 3
+        assert shrunk.case.expr.size() <= case.expr.size()
+
+        # The repro replays through its JSON form: divergent on the
+        # mutant, clean on HEAD.
+        replayed = case_from_dict(json.loads(shrunk.case.dumps()))
+        install()
+        try:
+            on_mutant = run_case(replayed)
+        finally:
+            uninstall()
+        assert on_mutant.status == "divergent"
+        on_head = run_case(replayed)
+        assert on_head.status == "ok"
+
+
+class TestShrinkMechanics:
+    def failing_if(self, predicate):
+        """Adapt a plain case predicate, counting evaluations."""
+        calls = []
+
+        def failing(candidate):
+            calls.append(candidate)
+            return predicate(candidate)
+
+        return failing, calls
+
+    def two_relation_case(self):
+        a = GeneralizedRelation.empty(T1)
+        a.add_tuple(["0 + 2n"], "T1 >= -4")
+        a.add_tuple(["1 + 3n"], "")
+        a.add_tuple(["5"], "")
+        b = GeneralizedRelation.empty(T1)
+        b.add_tuple(["0 + 3n"], "")
+        return Case(
+            relations={"A": a, "B": b},
+            expr=Union(Subtract(Leaf("A"), Leaf("B")), Leaf("B")),
+            low=-4,
+            high=4,
+        )
+
+    def test_shrinks_to_single_tuple_when_one_suffices(self):
+        case = self.two_relation_case()
+
+        # "Failure" = relation A still contains the point 5.
+        def tuple_5_present(candidate):
+            rel = candidate.relations.get("A")
+            return rel is not None and rel.contains([5])
+
+        failing, _ = self.failing_if(tuple_5_present)
+        shrunk = shrink_case(case, failing)
+        assert shrunk.reduced
+        assert shrunk.case.relations["A"].contains([5])
+        assert shrunk.case.total_tuples() == 1
+        assert shrunk.case.expr == Leaf("A")
+
+    def test_expression_shrinks_toward_subtree(self):
+        case = self.two_relation_case()
+
+        def union_still_there(candidate):
+            return "B" in candidate.expr.leaf_names()
+
+        failing, _ = self.failing_if(union_still_there)
+        shrunk = shrink_case(case, failing)
+        assert shrunk.case.expr == Leaf("B")
+        assert set(shrunk.case.relations) == {"B"}
+
+    def test_budget_is_respected(self):
+        case = self.two_relation_case()
+        failing, calls = self.failing_if(lambda c: True)
+        shrink_case(case, failing, max_evals=5)
+        assert len(calls) <= 5
+
+    def test_constraints_and_lrps_simplify(self):
+        a = GeneralizedRelation.empty(T1)
+        a.add_tuple(["4 + 5n"], "T1 >= -4 & T1 <= 99")
+        case = Case(
+            relations={"A": a}, expr=Complement(Leaf("A")), low=-4, high=4
+        )
+
+        def nonempty_complement(candidate):
+            rel = candidate.relations.get("A")
+            if rel is None or not len(rel):
+                return False
+            return bool(run_case(candidate).ok)
+
+        shrunk = shrink_case(case, nonempty_complement)
+        gtuple = shrunk.case.relations["A"].tuples[0]
+        assert len(list(gtuple.dbm.iter_bounds())) == 0
+        assert gtuple.lrps[0].offset == 0
+
+    def test_crashing_candidates_are_rejected(self):
+        case = self.two_relation_case()
+
+        def sometimes_crashes(candidate):
+            if candidate.total_tuples() < 4:
+                raise RuntimeError("boom")
+            return True
+
+        shrunk = shrink_case(case, sometimes_crashes)
+        # Nothing could be removed without crashing the predicate, so
+        # the case comes back intact.
+        assert shrunk.case.total_tuples() == 4
