@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke fuzz reports clean
+.PHONY: test lint docs-check bench bench-smoke fuzz reports clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -12,6 +12,11 @@ lint:
 	@$(PYTHON) -m ruff --version >/dev/null 2>&1 \
 		&& $(PYTHON) -m ruff check src tests benchmarks \
 		|| echo "ruff not installed; skipping lint (CI runs it)"
+
+# Documentation gates: markdown links must resolve and every repro.api
+# export (and its public methods) must carry a docstring.
+docs-check:
+	$(PYTHON) tools/docs_check.py
 
 # Full-size before/after benchmark of the optimization layer; writes
 # BENCH_perf.json (see docs/performance.md for the format).

@@ -23,6 +23,17 @@ Quickstart::
     trace = db.trace('EXISTS d. EXISTS a. Train(d, a, "slow")')
     print(trace.flamegraph())
 
+Durability: ``Database.open(path)`` binds the same catalog to a
+crash-safe on-disk store — mutate freely, then ``db.commit()``; a
+crash at any point recovers to exactly the last committed state::
+
+    with Database.open("trains.db") as db:
+        db.create("Train", temporal=["dep", "arr"], data=["service"])
+        db.relation("Train").add_tuple(
+            ["2 + 60n", "80 + 60n"], "dep = arr - 78", ["slow"]
+        )
+        db.commit()
+
 The surface, by area:
 
 * **data model** — :class:`Schema`, :class:`GeneralizedRelation`,
@@ -30,11 +41,20 @@ The surface, by area:
 * **queries** — :class:`Database`, :class:`Evaluator`,
   :func:`parse_query`, :func:`explain`, :func:`explain_analyze`,
   :class:`PlanNode`, :class:`QueryTrace`;
+* **durable storage** — :meth:`Database.open` / :meth:`Database.commit`
+  / :meth:`Database.compact` / :meth:`Database.close`,
+  :class:`StorageEngine` (the WAL-backed store itself), and the
+  deterministic crash harness :class:`FaultInjector` /
+  :func:`crash_at` / :class:`InjectedCrash`;
 * **observability** — :func:`tracing`, :class:`TraceRecorder`,
   :class:`Span`, :func:`render_flamegraph`, :func:`metrics`,
   :class:`MetricsRegistry`;
 * **errors** — :class:`ReproError` and its documented subclasses (see
-  :mod:`repro.core.errors`).
+  :mod:`repro.core.errors`), including :class:`StorageError` /
+  :class:`RecoveryError` for the durable layer.
+
+``docs/index.md`` maps this surface to the documentation set;
+``docs/architecture.md`` maps the whole codebase to the paper.
 """
 
 from __future__ import annotations
@@ -52,10 +72,12 @@ from repro.core.errors import (
     EvaluationError,
     NormalizationLimitError,
     ParseError,
+    RecoveryError,
     ReproError,
     ReproTypeError,
     ReproValueError,
     SchemaError,
+    StorageError,
 )
 from repro.fuzz import (
     Case,
@@ -82,6 +104,12 @@ from repro.query import (
     explain_analyze,
     parse_query,
 )
+from repro.storage import (
+    FaultInjector,
+    InjectedCrash,
+    StorageEngine,
+    crash_at,
+)
 
 __all__ = [
     # data model
@@ -98,6 +126,11 @@ __all__ = [
     "explain",
     "explain_analyze",
     "parse_query",
+    # durable storage
+    "FaultInjector",
+    "InjectedCrash",
+    "StorageEngine",
+    "crash_at",
     # differential fuzzing
     "Case",
     "CaseResult",
@@ -118,8 +151,10 @@ __all__ = [
     "EvaluationError",
     "NormalizationLimitError",
     "ParseError",
+    "RecoveryError",
     "ReproError",
     "ReproTypeError",
     "ReproValueError",
     "SchemaError",
+    "StorageError",
 ]

@@ -7,12 +7,21 @@ Usage::
     python -m repro.cli -c 'ask EXISTS t. P(t)' -c 'quit'
     python -m repro.cli trace script.itql --trace-json out.json
     python -m repro.cli fuzz --seed 0 --budget 500
+    python -m repro.cli db init mydb         # create a durable database
+    python -m repro.cli db open mydb         # shell bound to a durable db
+    python -m repro.cli db compact mydb      # fold the WAL into a snapshot
+    python -m repro.cli db info mydb         # recovery + catalog summary
 
 Commands:
 
     create NAME(attr:T, attr:D, ...)   declare an empty relation
     insert NAME [lrps] : constraints | data
                                        add one generalized tuple
+    drop NAME                          remove a relation from the catalog
+    commit                             durably persist the catalog
+                                       (db-open sessions only)
+    compact                            fold the WAL into a fresh snapshot
+                                       (db-open sessions only)
     load FILE                          load relations from a text file
     save FILE [NAME ...]               write relations to a text file
     list                               show the catalog
@@ -60,8 +69,10 @@ class Session:
     :attr:`traces` for ``--trace-json`` export.
     """
 
-    def __init__(self, trace_all: bool = False) -> None:
-        self.db = Database()
+    def __init__(
+        self, trace_all: bool = False, db: Database | None = None
+    ) -> None:
+        self.db = Database() if db is None else db
         self.done = False
         self.trace_all = trace_all
         self.traces: list[dict] = []
@@ -114,6 +125,28 @@ class Session:
         return f"inserted {added} tuple(s) into {name}" if added else (
             f"tuple already present in {name}"
         )
+
+    def _cmd_drop(self, rest: str) -> str:
+        name = rest.strip()
+        if not name:
+            return "error: usage: drop NAME"
+        self.db.drop(name)
+        return f"dropped {name}"
+
+    def _cmd_commit(self, _rest: str) -> str:
+        if not self.db.persistent:
+            return "error: not a durable session (use 'repro db open PATH')"
+        records = self.db.commit()
+        return (
+            f"committed {records} record(s)"
+            if records
+            else "nothing to commit"
+        )
+
+    def _cmd_compact(self, _rest: str) -> str:
+        if not self.db.persistent:
+            return "error: not a durable session (use 'repro db open PATH')"
+        return f"compacted into {self.db.compact()}"
 
     def _cmd_load(self, rest: str) -> str:
         with open(rest) as handle:
@@ -288,19 +321,102 @@ def repl(session: Session, stream=None, out=None) -> None:
             out.write(response + "\n")
 
 
+def _run_session(
+    session: Session, script: str | None, commands: list[str]
+) -> None:
+    """Drive a session from -c commands, a script file, or the REPL."""
+    if commands:
+        for command in commands:
+            response = session.execute(command)
+            if response:
+                print(response)
+            if session.done:
+                break
+    elif script:
+        with open(script) as handle:
+            repl(session, stream=handle)
+    else:
+        repl(session)
+
+
+def db_main(argv: list[str]) -> int:
+    """The ``repro db`` subcommand: durable databases on disk.
+
+    ``init`` creates an empty store, ``open`` runs the shell bound to
+    one (``commit``/``compact`` become live commands), ``compact``
+    folds the WAL into a fresh snapshot, and ``info`` prints the
+    post-recovery catalog and storage summary.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro.cli db",
+        description="Durable temporal databases (WAL-backed, crash-safe)",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+    for action, help_text in (
+        ("init", "create an empty durable database"),
+        ("open", "open the shell bound to a durable database"),
+        ("compact", "fold the WAL into a fresh snapshot and truncate it"),
+        ("info", "run recovery and print the catalog/storage summary"),
+    ):
+        action_parser = sub.add_parser(action, help=help_text)
+        action_parser.add_argument("path", help="database directory")
+        if action == "open":
+            action_parser.add_argument(
+                "script", nargs="?", help="command file to run (default: REPL)"
+            )
+            action_parser.add_argument(
+                "-c",
+                dest="commands",
+                action="append",
+                default=[],
+                help="run one command (repeatable)",
+            )
+    args = parser.parse_args(argv)
+    if args.action == "init":
+        with Database.open(args.path) as db:
+            print(f"initialized {args.path} ({len(db.names)} relations)")
+        return 0
+    if args.action == "compact":
+        with Database.open(args.path, create=False) as db:
+            print(f"compacted into {db.compact()}")
+        return 0
+    if args.action == "info":
+        with Database.open(args.path, create=False) as db:
+            info = db.storage.info()
+            print(f"database {info['root']} (format {info['format']})")
+            print(
+                f"snapshot: {info['snapshot'] or '(none)'} "
+                f"@ lsn {info['snapshot_lsn']}, wal {info['wal_bytes']} bytes"
+            )
+            if not info["relations"]:
+                print("(no relations)")
+            for name, size in info["relations"].items():
+                print(f"{name}: {size} generalized tuple(s)")
+        return 0
+    with Database.open(args.path) as db:
+        session = Session(db=db)
+        _run_session(session, args.script, args.commands)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point: interactive, script file, or -c commands.
 
     ``repro.cli trace ...`` is the observability subcommand: the same
     shell, but every ``ask``/``query`` runs under the trace recorder
     and prints its flamegraph; ``--trace-json out.json`` writes every
-    collected span tree to a JSON file on exit.
+    collected span tree to a JSON file on exit.  ``repro.cli fuzz ...``
+    runs the differential fuzzer (:mod:`repro.fuzz.cli`), and
+    ``repro.cli db ...`` manages durable on-disk databases
+    (:func:`db_main`).
     """
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "fuzz":
         from repro.fuzz.cli import fuzz_main
 
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "db":
+        return db_main(argv[1:])
     trace_mode = bool(argv) and argv[0] == "trace"
     if trace_mode:
         argv = argv[1:]
@@ -350,18 +466,7 @@ def main(argv: list[str] | None = None) -> int:
         configure(**changes)
     session = Session(trace_all=trace_mode)
     try:
-        if args.commands:
-            for command in args.commands:
-                response = session.execute(command)
-                if response:
-                    print(response)
-                if session.done:
-                    break
-        elif args.script:
-            with open(args.script) as handle:
-                repl(session, stream=handle)
-        else:
-            repl(session)
+        _run_session(session, args.script, args.commands)
     finally:
         if args.trace_json:
             import json

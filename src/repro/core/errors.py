@@ -11,6 +11,8 @@ caller needs.  The hierarchy::
     ├── NormalizationLimitError  Section 3.8 blow-up guard
     ├── DomainError              missing finite data universe
     ├── EvaluationError          first-order query evaluation
+    ├── StorageError             durable-storage protocol violations
+    │   └── RecoveryError        a persisted database cannot be recovered
     ├── ReproValueError          invalid argument value (also ValueError)
     └── ReproTypeError           invalid argument type (also TypeError)
 
@@ -64,6 +66,27 @@ class DomainError(ReproError):
 
 class EvaluationError(ReproError):
     """A first-order query could not be evaluated."""
+
+
+class StorageError(ReproError):
+    """The durable-storage protocol was violated.
+
+    Raised for malformed/corrupt on-disk records, operations on a
+    closed or crashed engine, and commits against a database that was
+    not opened from a path.  The deliberately injected crash used by
+    the fault harness is *not* a :class:`StorageError` — see
+    :class:`repro.storage.faults.InjectedCrash`.
+    """
+
+
+class RecoveryError(StorageError):
+    """A persisted database could not be recovered on open.
+
+    This means real corruption beyond what the commit protocol can
+    tolerate (for example, a snapshot file referenced by the manifest
+    failing its checksum) — torn WAL tails and orphan snapshot files
+    are repaired silently and do not raise.
+    """
 
 
 class ReproValueError(ReproError, ValueError):

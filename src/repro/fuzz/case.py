@@ -90,6 +90,7 @@ class Case:
         )
 
     def with_note(self, note: str) -> Case:
+        """A copy of this case with its free-text note replaced."""
         return replace(self, note=note)
 
     # -- serialization -------------------------------------------------
@@ -113,6 +114,7 @@ class Case:
         }
 
     def dumps(self) -> str:
+        """The case as replayable, indented JSON text."""
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
 
     def save(self, path: str | Path) -> Path:

@@ -146,6 +146,7 @@ class CaseResult:
 
     @property
     def ok(self) -> bool:
+        """Whether all three engines agreed (status ``"ok"``)."""
         return self.status == "ok"
 
     @property
@@ -154,6 +155,7 @@ class CaseResult:
         return self.status in ("divergent", "error")
 
     def summary(self) -> str:
+        """One human-readable line per outcome, plus any divergences."""
         text = f"{self.status}: {self.case.describe()}"
         if self.error:
             text += f" ({self.error})"

@@ -122,6 +122,7 @@ class Span:
         return out
 
     def to_json(self, indent: int | None = 2) -> str:
+        """:meth:`to_dict` serialized as JSON text."""
         return json.dumps(self.to_dict(), indent=indent, default=repr)
 
     def __repr__(self) -> str:
@@ -199,9 +200,11 @@ class TraceRecorder:
             )
 
     def to_dict(self) -> dict[str, Any]:
+        """Every collected root span tree, JSON-friendly."""
         return {"traces": [root.to_dict() for root in self.roots]}
 
     def to_json(self, indent: int | None = 2) -> str:
+        """:meth:`to_dict` serialized as JSON text."""
         return json.dumps(self.to_dict(), indent=indent, default=repr)
 
 

@@ -249,6 +249,81 @@ WORKLOADS: list[tuple[str, str, object, object]] = [
 
 
 # ----------------------------------------------------------------------
+# persistence scenario (storage engine)
+# ----------------------------------------------------------------------
+
+
+def run_persistence_scenario(smoke: bool = False) -> dict:
+    """Measure the durable storage engine on a seeded catalog.
+
+    Times the four storage-path operations — first commit (WAL append +
+    fsync), reopen (recovery: WAL replay), compaction (snapshot +
+    manifest swing + WAL truncate) and reopen-after-compaction
+    (recovery: snapshot load) — over a multi-relation seeded database,
+    and verifies the reopened catalog window-for-window against the
+    in-memory original.  Appended to ``BENCH_perf.json`` under
+    ``"persistence"``.
+    """
+    import shutil
+    import tempfile
+
+    from repro.query.database import Database
+    from repro.testing import seeded_relation
+
+    n_relations, max_tuples = (3, 12) if smoke else (6, 60)
+    window = (-30, 90)
+    rng = random.Random(4242)
+    root = tempfile.mkdtemp(prefix="repro-bench-db-")
+    path = os.path.join(root, "bench.db")
+    scenario: dict = {
+        "relations": n_relations,
+        "max_tuples_per_relation": max_tuples,
+        "window": list(window),
+    }
+    try:
+        db = Database.open(path)
+        originals = {}
+        for i in range(n_relations):
+            relation = seeded_relation(
+                rng, temporal_arity=2, max_tuples=max_tuples, max_period=8
+            )
+            name = f"R{i}"
+            db.register(name, relation)
+            originals[name] = relation.snapshot(*window)
+        start = time.perf_counter()
+        records = db.commit()
+        scenario["commit_s"] = round(time.perf_counter() - start, 6)
+        scenario["commit_records"] = records
+        scenario["wal_bytes"] = db.storage.info()["wal_bytes"]
+        db.close()
+
+        start = time.perf_counter()
+        reopened = Database.open(path)
+        scenario["reopen_replay_s"] = round(time.perf_counter() - start, 6)
+        start = time.perf_counter()
+        scenario["snapshot_name"] = reopened.compact()
+        scenario["compact_s"] = round(time.perf_counter() - start, 6)
+        reopened.close()
+
+        start = time.perf_counter()
+        recovered = Database.open(path)
+        scenario["reopen_snapshot_s"] = round(
+            time.perf_counter() - start, 6
+        )
+        scenario["roundtrip_ok"] = all(
+            recovered.relation(name).snapshot(*window) == points
+            for name, points in originals.items()
+        )
+        scenario["total_points_checked"] = sum(
+            len(points) for points in originals.values()
+        )
+        recovered.close()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return scenario
+
+
+# ----------------------------------------------------------------------
 # measurement harness
 # ----------------------------------------------------------------------
 
@@ -347,6 +422,7 @@ def run_perf_comparison(
             },
         }
         report["workloads"][name] = entry
+    report["persistence"] = run_persistence_scenario(smoke)
     over = [
         name
         for name in PAIRWISE_HEAVY
@@ -356,10 +432,12 @@ def run_perf_comparison(
         entry["optimized_matches_naive"] and entry["parallel_matches_naive"]
         for entry in report["workloads"].values()
     )
+    roundtrip_ok = bool(report["persistence"].get("roundtrip_ok"))
     report["summary"] = {
         "pairwise_heavy_over_required": over,
-        "ok": len(over) >= 2 and matches,
+        "ok": len(over) >= 2 and matches and roundtrip_ok,
         "all_outputs_match": matches,
+        "persistence_roundtrip_ok": roundtrip_ok,
     }
     return report
 
@@ -384,6 +462,17 @@ def format_report(report: dict) -> list[str]:
             f"{name:<22} {entry['naive_s']:>8.3f}s {entry['optimized_s']:>8.3f}s "
             f"{entry['parallel_s']:>8.3f}s {entry['speedup']:>7.2f}x "
             f"{entry['parallel_speedup']:>6.2f}x  {match}"
+        )
+    persistence = report.get("persistence")
+    if persistence:
+        lines.append(
+            f"persistence: commit {persistence['commit_s']:.3f}s "
+            f"({persistence['wal_bytes']} wal bytes), "
+            f"replay-reopen {persistence['reopen_replay_s']:.3f}s, "
+            f"compact {persistence['compact_s']:.3f}s, "
+            f"snapshot-reopen {persistence['reopen_snapshot_s']:.3f}s, "
+            f"roundtrip "
+            f"{'ok' if persistence['roundtrip_ok'] else 'MISMATCH'}"
         )
     summary = report["summary"]
     verdict = "OK" if summary["ok"] else "SUSPECT"

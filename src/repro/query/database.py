@@ -3,6 +3,12 @@
 This is the user-facing entry point for Section 4's query language:
 register relations, then run first-order queries (as text or as AST
 values) against them.
+
+A database is in-memory by default; :meth:`Database.open` binds it to
+a durable, crash-safe store (:mod:`repro.storage.engine`) with
+explicit :meth:`Database.commit` / :meth:`Database.compact` /
+:meth:`Database.close` — the finite representability of Definitions
+2.1–2.3 is exactly what makes the infinite extensions storable.
 """
 
 from __future__ import annotations
@@ -40,6 +46,95 @@ class Database:
         self._relations: dict[str, GeneralizedRelation] = {}
         self.max_tuples = max_tuples
         self.max_extensions = max_extensions
+        self._engine = None
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path: str,
+        *,
+        create: bool = True,
+        max_tuples: int = DEFAULT_MAX_TUPLES,
+        max_extensions: int = DEFAULT_MAX_EXTENSIONS,
+    ) -> Database:
+        """Open a durable database stored at ``path``.
+
+        Runs crash recovery (snapshot load + committed-WAL replay; see
+        :mod:`repro.storage.engine`) and returns a database whose
+        catalog is exactly the last committed state.  With ``create``
+        (the default) a missing path is initialized to an empty
+        database.  Mutations stay in memory until :meth:`commit`;
+        :meth:`close` (or the context-manager exit) releases the store
+        without committing.
+
+        Example::
+
+            with Database.open("trains.db") as db:
+                db.create("Train", temporal=["dep", "arr"])
+                db.relation("Train").add_tuple(["2 + 60n", "80 + 60n"])
+                db.commit()
+        """
+        from repro.storage.engine import StorageEngine
+
+        engine = StorageEngine.open(path, create=create)
+        db = cls(max_tuples=max_tuples, max_extensions=max_extensions)
+        db._relations = dict(engine.relations)
+        db._engine = engine
+        return db
+
+    @property
+    def persistent(self) -> bool:
+        """Whether this database is backed by a durable store."""
+        return self._engine is not None
+
+    @property
+    def storage(self):
+        """The backing :class:`~repro.storage.engine.StorageEngine`.
+
+        ``None`` for a purely in-memory database.
+        """
+        return self._engine
+
+    def _require_engine(self):
+        if self._engine is None:
+            raise SchemaError(
+                "this database is in-memory only; use Database.open(path) "
+                "for durability"
+            )
+        return self._engine
+
+    def commit(self) -> int:
+        """Durably persist the current catalog (requires :meth:`open`).
+
+        Returns the number of WAL mutation records appended (0 when the
+        catalog is unchanged since the last commit).  Atomic under
+        crashes: recovery yields either the previous or the new
+        committed state, never a mixture.
+        """
+        return self._require_engine().commit(self._relations)
+
+    def compact(self) -> str:
+        """Fold the committed WAL into a fresh snapshot; truncate the log.
+
+        Returns the new snapshot's file name.  Uncommitted in-memory
+        changes are unaffected (and remain uncommitted).
+        """
+        return self._require_engine().compact()
+
+    def close(self) -> None:
+        """Release the durable store, if any (idempotent, no commit)."""
+        if self._engine is not None:
+            self._engine.close()
+
+    def __enter__(self) -> Database:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # catalog management

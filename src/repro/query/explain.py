@@ -54,6 +54,7 @@ class PlanNode:
     attrs: dict[str, Any] = field(default_factory=dict)
 
     def render(self, indent: int = 0) -> list[str]:
+        """The annotated operator subtree as indented text lines."""
         pad = "  " * indent
         timing = ""
         if "wall_ms" in self.attrs:
@@ -172,9 +173,11 @@ class QueryTrace:
         return render_flamegraph(self.root, width=width)
 
     def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly dump: the query text plus the full span tree."""
         return {"query": str(self.query), "trace": self.root.to_dict()}
 
     def to_json(self, indent: int | None = 2) -> str:
+        """:meth:`to_dict` serialized as JSON text."""
         import json
 
         return json.dumps(self.to_dict(), indent=indent, default=repr)

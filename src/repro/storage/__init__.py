@@ -1,9 +1,29 @@
-"""Serialization: the paper's table syntax (text) and JSON."""
+"""Storage: serialization codecs plus the durable, crash-safe engine.
+
+Two kinds of persistence live here:
+
+* **codecs** — the paper's table syntax (:mod:`~repro.storage.textio`),
+  JSON (:mod:`~repro.storage.jsonio`) and window-materialized CSV
+  (:mod:`~repro.storage.csvio`) for one-shot import/export;
+* **the engine** — :mod:`~repro.storage.engine`: an on-disk catalog
+  with an append-only write-ahead log, snapshot compaction and
+  crash recovery, exercised by the deterministic fault-injection
+  harness in :mod:`~repro.storage.faults`.
+
+Most callers reach the engine through
+:meth:`repro.query.database.Database.open` rather than directly.
+"""
 
 from repro.storage import csvio, jsonio, textio
+from repro.storage.engine import StorageEngine
+from repro.storage.faults import FaultInjector, InjectedCrash, crash_at
 from repro.storage.textio import format_relation, format_tuple, parse_header
 
 __all__ = [
+    "FaultInjector",
+    "InjectedCrash",
+    "StorageEngine",
+    "crash_at",
     "csvio",
     "format_relation",
     "format_tuple",

@@ -1,0 +1,181 @@
+"""Deterministic fault injection for the durable storage engine.
+
+The crash-recovery guarantees of :mod:`repro.storage.engine` are only
+worth something if they are *tested at every point where a crash can
+land*.  This module provides the seeded harness that does so: the
+engine calls :func:`fire` at each named injection point on its
+commit/compaction paths, and a test arms the process-global
+:class:`FaultInjector` to simulate a crash at exactly one of them.
+
+A simulated crash is an :class:`InjectedCrash` — deliberately **not** a
+:class:`~repro.core.errors.ReproError`, so none of the library's normal
+``except ReproError`` handlers can swallow it, just as no handler can
+swallow a real power failure.  After a crash fires, the engine marks
+itself dead; the test then reopens the same path and checks what
+recovery produced.
+
+Injection points (:data:`POINTS`):
+
+=====================  ====================================================
+``wal.append``         before an op record is written; supports *torn*
+                       writes (only a prefix of the record reaches disk)
+``wal.commit``         before the transaction's commit marker is written
+``wal.fsync``          after all records are written, before fsync
+``snapshot.write``     before the snapshot temp file is written (torn
+                       writes supported)
+``snapshot.fsync``     before the snapshot temp file is fsynced
+``snapshot.rename``    before the temp snapshot is renamed into place
+``manifest.write``     before the manifest temp file is written (torn
+                       writes supported)
+``manifest.rename``    before the new manifest is renamed over the old
+``wal.reset``          after compaction commits, before the WAL truncates
+=====================  ====================================================
+
+Usage (the crash-recovery matrix in ``tests/test_storage_faults.py``)::
+
+    from repro.storage import faults
+
+    with faults.crash_at("wal.commit"):
+        try:
+            db.commit()
+        except faults.InjectedCrash:
+            pass
+    recovered = Database.open(path)   # pre-commit state, exactly
+
+Determinism: injection is purely counter-based (the ``hit``-th firing
+of a point crashes), so a fault plan plus a seeded workload replays
+identically on every run and machine.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+#: Every injection point the engine fires, in protocol order.
+POINTS: tuple[str, ...] = (
+    "wal.append",
+    "wal.commit",
+    "wal.fsync",
+    "snapshot.write",
+    "snapshot.fsync",
+    "snapshot.rename",
+    "manifest.write",
+    "manifest.rename",
+    "wal.reset",
+)
+
+#: Injection points where a *torn* (partial) write can be simulated.
+TORN_POINTS: tuple[str, ...] = ("wal.append", "snapshot.write", "manifest.write")
+
+
+class InjectedCrash(RuntimeError):
+    """A simulated process death at a named injection point.
+
+    Subclasses :class:`RuntimeError`, *not* ``ReproError``: fault
+    injection models the machine dying, and nothing in the library is
+    allowed to catch and survive it except the test harness itself.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"injected crash at {point!r}")
+        self.point = point
+
+
+@dataclass
+class _Arm:
+    """One armed fault: crash on the ``hit``-th firing of ``point``."""
+
+    point: str
+    hit: int = 1
+    fraction: float | None = None  # torn-write prefix fraction, if any
+
+
+class FaultInjector:
+    """Counter-based fault injection: deterministic, off by default.
+
+    The engine calls :meth:`fire` at every injection point; with
+    nothing armed this is a dictionary increment and a ``None`` return,
+    so production paths pay effectively nothing.
+    """
+
+    def __init__(self) -> None:
+        self._arms: list[_Arm] = []
+        self.hits: dict[str, int] = {}
+
+    def arm(
+        self, point: str, hit: int = 1, fraction: float | None = None
+    ) -> None:
+        """Crash on the ``hit``-th firing of ``point``.
+
+        ``fraction`` (0.0–1.0) requests a *torn write*: the engine
+        writes that fraction of the pending payload before dying, which
+        only points in :data:`TORN_POINTS` support.
+        """
+        if point not in POINTS:
+            raise ValueError(f"unknown injection point {point!r}")
+        if hit < 1:
+            raise ValueError("hit counts from 1")
+        if fraction is not None:
+            if point not in TORN_POINTS:
+                raise ValueError(f"{point!r} does not support torn writes")
+            if not 0.0 <= fraction <= 1.0:
+                raise ValueError("fraction must be within [0, 1]")
+        self._arms.append(_Arm(point, hit, fraction))
+
+    def reset(self) -> None:
+        """Disarm everything and zero the hit counters."""
+        self._arms.clear()
+        self.hits.clear()
+
+    @property
+    def armed(self) -> bool:
+        """Whether any fault is currently armed."""
+        return bool(self._arms)
+
+    def fire(self, point: str, size: int | None = None) -> int | None:
+        """Report reaching ``point``; crash if an armed fault matches.
+
+        Returns ``None`` (no fault) or, for a torn write, the number of
+        payload bytes (of ``size``) the engine must write *before*
+        raising :class:`InjectedCrash` itself.  Plain crashes raise
+        directly from here.
+        """
+        count = self.hits.get(point, 0) + 1
+        self.hits[point] = count
+        for armed in self._arms:
+            if armed.point != point or armed.hit != count:
+                continue
+            if armed.fraction is None or size is None:
+                raise InjectedCrash(point)
+            return int(size * armed.fraction)
+        return None
+
+
+#: The process-global injector the engine fires into.
+_INJECTOR = FaultInjector()
+
+
+def get_injector() -> FaultInjector:
+    """The process-global :class:`FaultInjector` (disarmed by default)."""
+    return _INJECTOR
+
+
+def fire(point: str, size: int | None = None) -> int | None:
+    """Module-level shorthand for ``get_injector().fire(...)``."""
+    return _INJECTOR.fire(point, size)
+
+
+@contextmanager
+def crash_at(point: str, hit: int = 1, fraction: float | None = None):
+    """Arm one fault for the duration of a ``with`` block.
+
+    The injector is reset on exit regardless of how the block ends, so
+    a crashed engine never leaks an armed fault into the next test.
+    """
+    _INJECTOR.reset()
+    _INJECTOR.arm(point, hit=hit, fraction=fraction)
+    try:
+        yield _INJECTOR
+    finally:
+        _INJECTOR.reset()

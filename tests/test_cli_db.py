@@ -1,0 +1,123 @@
+"""Tests for the ``repro db`` CLI subcommand and durable shell session."""
+
+import pytest
+
+from repro.cli import Session, main
+from repro.query.database import Database
+
+
+def run_cli(*argv) -> int:
+    return main(list(argv))
+
+
+class TestDbSubcommand:
+    def test_init_creates_empty_store(self, tmp_path, capsys):
+        path = str(tmp_path / "db")
+        assert run_cli("db", "init", path) == 0
+        assert "initialized" in capsys.readouterr().out
+        with Database.open(path, create=False) as db:
+            assert db.names == ()
+
+    def test_open_commit_reopen(self, tmp_path, capsys):
+        path = str(tmp_path / "db")
+        assert (
+            run_cli(
+                "db",
+                "open",
+                path,
+                "-c",
+                "create Ev(t:T)",
+                "-c",
+                "insert Ev [5n] : t >= 0",
+                "-c",
+                "commit",
+            )
+            == 0
+        )
+        assert "committed 1 record(s)" in capsys.readouterr().out
+        assert run_cli("db", "open", path, "-c", "window Ev 0 20") == 0
+        out = capsys.readouterr().out
+        assert out.splitlines() == ["0", "5", "10", "15", "20"]
+
+    def test_uncommitted_shell_work_is_lost(self, tmp_path, capsys):
+        path = str(tmp_path / "db")
+        run_cli("db", "open", path, "-c", "create Gone(t:T)")  # no commit
+        capsys.readouterr()
+        run_cli("db", "open", path, "-c", "list")
+        assert "(no relations)" in capsys.readouterr().out
+
+    def test_compact_subcommand(self, tmp_path, capsys):
+        path = str(tmp_path / "db")
+        run_cli(
+            "db", "open", path,
+            "-c", "create Ev(t:T)",
+            "-c", "insert Ev [3n]",
+            "-c", "commit",
+        )
+        capsys.readouterr()
+        assert run_cli("db", "compact", path) == 0
+        assert "compacted into snapshot-" in capsys.readouterr().out
+        with Database.open(path, create=False) as db:
+            assert db.storage.info()["wal_bytes"] == 0
+            assert sorted(db.relation("Ev").enumerate(0, 6)) == [
+                (0,), (3,), (6,)
+            ]
+
+    def test_info_subcommand(self, tmp_path, capsys):
+        path = str(tmp_path / "db")
+        run_cli(
+            "db", "open", path,
+            "-c", "create Train(dep:T, arr:T)",
+            "-c", "insert Train [2 + 60n, 80 + 60n] : dep = arr - 78",
+            "-c", "commit",
+        )
+        capsys.readouterr()
+        assert run_cli("db", "info", path) == 0
+        out = capsys.readouterr().out
+        assert "format 1" in out
+        assert "Train: 1 generalized tuple(s)" in out
+
+    def test_compact_missing_database_errors(self, tmp_path):
+        from repro.core.errors import StorageError
+
+        with pytest.raises(StorageError):
+            run_cli("db", "compact", str(tmp_path / "nope"))
+
+    def test_shell_compact_command(self, tmp_path, capsys):
+        path = str(tmp_path / "db")
+        run_cli(
+            "db", "open", path,
+            "-c", "create Ev(t:T)",
+            "-c", "insert Ev [2n]",
+            "-c", "commit",
+            "-c", "compact",
+        )
+        assert "compacted into" in capsys.readouterr().out
+
+
+class TestSessionDurabilityCommands:
+    def test_commit_without_store_is_an_error(self):
+        session = Session()
+        out = session.execute("commit")
+        assert "error" in out and "durable" in out
+
+    def test_compact_without_store_is_an_error(self):
+        session = Session()
+        assert "error" in session.execute("compact")
+
+    def test_drop_command(self):
+        session = Session()
+        session.execute("create Ev(t:T)")
+        assert session.execute("drop Ev") == "dropped Ev"
+        assert "(no relations)" in session.execute("list")
+        assert "error" in session.execute("drop Ev")
+        assert "error: usage" in session.execute("drop")
+
+    def test_nothing_to_commit(self, tmp_path):
+        with Database.open(str(tmp_path / "db")) as db:
+            session = Session(db=db)
+            assert session.execute("commit") == "nothing to commit"
+
+    def test_help_mentions_durability_commands(self):
+        text = Session().execute("help")
+        assert "commit" in text and "compact" in text and "drop" in text

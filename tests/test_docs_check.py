@@ -1,0 +1,67 @@
+"""The documentation gates themselves must pass on every checkout.
+
+``tools/docs_check.py`` is what ``make docs-check`` (and CI) runs; this
+suite keeps it honest in both directions — the repository's docs pass,
+and the checker still detects the violations it exists to catch.
+"""
+
+import importlib.util
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "docs_check", ROOT / "tools" / "docs_check.py"
+)
+docs_check = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(docs_check)
+
+
+def test_doc_set_covers_the_required_pages():
+    names = {path.name for path in docs_check.iter_doc_files()}
+    for required in (
+        "README.md",
+        "index.md",
+        "architecture.md",
+        "storage.md",
+        "tutorial.md",
+        "fuzzing.md",
+        "performance.md",
+        "observability.md",
+    ):
+        assert required in names
+
+
+def test_repository_links_are_clean():
+    assert docs_check.check_links() == []
+
+
+def test_public_api_is_fully_documented():
+    assert docs_check.check_docstrings() == []
+
+
+def test_main_reports_success():
+    assert docs_check.main() == 0
+
+
+def test_broken_links_are_detected(tmp_path, monkeypatch):
+    doc = tmp_path / "page.md"
+    doc.write_text(
+        "See [a real file](real.md), [gone](missing.md), "
+        "[external](https://example.com/x.md) and [an anchor](#frag).\n"
+    )
+    (tmp_path / "real.md").write_text("ok\n")
+    monkeypatch.setattr(docs_check, "iter_doc_files", lambda: [doc])
+    errors = docs_check.check_links()
+    assert len(errors) == 1
+    assert "missing.md" in errors[0]
+
+
+def test_anchor_suffixes_check_only_the_file_part(tmp_path, monkeypatch):
+    doc = tmp_path / "page.md"
+    doc.write_text("[ok](real.md#section) [bad](missing.md#section)\n")
+    (tmp_path / "real.md").write_text("ok\n")
+    monkeypatch.setattr(docs_check, "iter_doc_files", lambda: [doc])
+    errors = docs_check.check_links()
+    assert len(errors) == 1
+    assert "missing.md#section" in errors[0]

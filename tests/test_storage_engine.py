@@ -1,0 +1,252 @@
+"""Tests for the durable storage engine: open/commit/compact/recover."""
+
+import os
+
+import pytest
+
+from repro.core.errors import RecoveryError, SchemaError, StorageError
+from repro.obs import metrics
+from repro.query.database import Database
+from repro.storage.engine import StorageEngine
+
+WINDOW = (-40, 120)
+
+
+def catalog_points(db: Database) -> dict[str, set]:
+    """The finite-window image of every relation — recovery's oracle."""
+    return {
+        name: db.relation(name).snapshot(*WINDOW) for name in db.names
+    }
+
+
+def populate(db: Database) -> None:
+    db.create("Train", temporal=["dep", "arr"], data=["service"])
+    trains = db.relation("Train")
+    trains.add_tuple(["2 + 60n", "80 + 60n"], "dep = arr - 78", ["slow"])
+    trains.add_tuple(["46 + 60n", "110 + 60n"], "dep = arr - 64", ["express"])
+    db.create("Fires", temporal=["t"])
+    db.relation("Fires").add_tuple(["2 + 6n"], "t >= 0")
+
+
+class TestOpenAndCommit:
+    def test_open_initializes_empty(self, tmp_path):
+        with Database.open(str(tmp_path / "db")) as db:
+            assert db.names == ()
+            assert db.persistent
+            assert db.storage is not None
+
+    def test_create_false_requires_existing(self, tmp_path):
+        with pytest.raises(StorageError, match="no database"):
+            Database.open(str(tmp_path / "missing"), create=False)
+
+    def test_refuses_foreign_directory(self, tmp_path):
+        (tmp_path / "stuff.txt").write_text("not a database")
+        with pytest.raises(StorageError, match="non-empty"):
+            Database.open(str(tmp_path))
+
+    def test_commit_and_reopen(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database.open(path)
+        populate(db)
+        assert db.commit() == 2  # one put per relation
+        before = catalog_points(db)
+        db.close()
+        with Database.open(path) as again:
+            assert set(again.names) == {"Train", "Fires"}
+            assert catalog_points(again) == before
+
+    def test_commit_is_idempotent_when_unchanged(self, tmp_path):
+        path = str(tmp_path / "db")
+        with Database.open(path) as db:
+            populate(db)
+            assert db.commit() > 0
+            assert db.commit() == 0
+        # ... and straight after recovery too: the recovered encoding is
+        # the committed encoding, so nothing spuriously re-persists.
+        with Database.open(path) as again:
+            assert again.commit() == 0
+
+    def test_only_changed_relations_are_rewritten(self, tmp_path):
+        with Database.open(str(tmp_path / "db")) as db:
+            populate(db)
+            db.commit()
+            db.relation("Fires").add_tuple(["5 + 6n"], "t >= 12")
+            assert db.commit() == 1  # Train untouched -> one put
+
+    def test_drop_persists(self, tmp_path):
+        path = str(tmp_path / "db")
+        with Database.open(path) as db:
+            populate(db)
+            db.commit()
+            db.drop("Fires")
+            assert db.commit() == 1  # one drop record
+        with Database.open(path) as again:
+            assert again.names == ("Train",)
+
+    def test_uncommitted_work_is_lost(self, tmp_path):
+        path = str(tmp_path / "db")
+        with Database.open(path) as db:
+            populate(db)
+            db.commit()
+            db.relation("Fires").add_tuple(["1 + 6n"], "t >= 0")
+            db.create("Extra", temporal=["t"])
+            # no commit
+        with Database.open(path) as again:
+            assert set(again.names) == {"Train", "Fires"}
+            assert not again.relation("Fires").contains([1])
+
+    def test_many_transactions_replay_in_order(self, tmp_path):
+        path = str(tmp_path / "db")
+        with Database.open(path) as db:
+            db.create("Seq", temporal=["t"])
+            for i in range(7):
+                db.relation("Seq").add_tuple([str(i)])
+                db.commit()
+        with Database.open(path) as again:
+            assert sorted(again.relation("Seq").enumerate(0, 10)) == [
+                (i,) for i in range(7)
+            ]
+
+    def test_in_memory_database_rejects_commit(self):
+        db = Database()
+        assert not db.persistent
+        with pytest.raises(SchemaError, match="in-memory"):
+            db.commit()
+        with pytest.raises(SchemaError, match="in-memory"):
+            db.compact()
+        db.close()  # close is a harmless no-op without a store
+
+
+class TestCompaction:
+    def test_compact_truncates_wal_preserves_state(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database.open(path)
+        populate(db)
+        db.commit()
+        before = catalog_points(db)
+        wal_before = db.storage.info()["wal_bytes"]
+        assert wal_before > 0
+        snapshot = db.compact()
+        assert db.storage.info()["wal_bytes"] == 0
+        assert db.storage.info()["snapshot"] == snapshot
+        db.close()
+        with Database.open(path) as again:
+            assert catalog_points(again) == before
+
+    def test_commits_after_compaction_replay_over_snapshot(self, tmp_path):
+        path = str(tmp_path / "db")
+        with Database.open(path) as db:
+            populate(db)
+            db.commit()
+            db.compact()
+            db.relation("Fires").add_tuple(["3 + 6n"], "t >= 0")
+            db.commit()
+            expected = catalog_points(db)
+        with Database.open(path) as again:
+            assert catalog_points(again) == expected
+
+    def test_compact_ignores_uncommitted_changes(self, tmp_path):
+        path = str(tmp_path / "db")
+        with Database.open(path) as db:
+            populate(db)
+            db.commit()
+            committed = catalog_points(db)
+            db.create("Uncommitted", temporal=["t"])
+            db.compact()  # compacts the committed state only
+        with Database.open(path) as again:
+            assert "Uncommitted" not in again
+            assert catalog_points(again) == committed
+
+    def test_repeated_compaction_keeps_one_snapshot(self, tmp_path):
+        path = str(tmp_path / "db")
+        with Database.open(path) as db:
+            populate(db)
+            db.commit()
+            db.compact()
+            db.relation("Fires").add_tuple(["4 + 6n"], "t >= 0")
+            db.commit()
+            db.compact()
+            snapshots = os.listdir(
+                os.path.join(path, "snapshots")
+            )
+            assert len(snapshots) == 1
+
+
+class TestEngineLifecycle:
+    def test_closed_engine_rejects_operations(self, tmp_path):
+        engine = StorageEngine.open(str(tmp_path / "db"))
+        engine.close()
+        with pytest.raises(StorageError, match="closed"):
+            engine.commit({})
+        engine.close()  # idempotent
+
+    def test_corrupt_manifest_is_recovery_error(self, tmp_path):
+        path = str(tmp_path / "db")
+        StorageEngine.open(path).close()
+        with open(os.path.join(path, "MANIFEST"), "wb") as handle:
+            handle.write(b"garbage\n")
+        with pytest.raises(RecoveryError, match="manifest"):
+            StorageEngine.open(path)
+
+    def test_corrupt_snapshot_is_recovery_error(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database.open(path)
+        populate(db)
+        db.commit()
+        snapshot = db.compact()
+        db.close()
+        snapshot_path = os.path.join(path, "snapshots", snapshot)
+        with open(snapshot_path, "r+b") as handle:
+            handle.seek(20)
+            handle.write(b"XXXX")
+        with pytest.raises(RecoveryError, match="snapshot"):
+            Database.open(path)
+
+    def test_torn_wal_tail_is_repaired_on_open(self, tmp_path):
+        path = str(tmp_path / "db")
+        with Database.open(path) as db:
+            populate(db)
+            db.commit()
+            expected = catalog_points(db)
+        wal = os.path.join(path, "wal.log")
+        with open(wal, "ab") as handle:
+            handle.write(b"0badc0de 999 {torn")  # a torn tail
+        with Database.open(path) as again:
+            assert catalog_points(again) == expected
+        # the tail was truncated away, so a further reopen is clean too
+        with Database.open(path) as final:
+            assert catalog_points(final) == expected
+
+    def test_metrics_are_recorded(self, tmp_path):
+        with Database.open(str(tmp_path / "db")) as db:
+            populate(db)
+            db.commit()
+            db.compact()
+        snap = metrics().snapshot()
+        assert snap["counters"]["storage.wal.records_appended"] >= 3
+        assert snap["counters"]["storage.wal.bytes_appended"] > 0
+        assert snap["counters"]["storage.snapshots_written"] >= 1
+        assert snap["histograms"]["storage.recovery.seconds"]["count"] >= 1
+        assert snap["histograms"]["storage.commit.seconds"]["count"] >= 1
+        assert snap["histograms"]["storage.snapshot.seconds"]["count"] >= 1
+
+    def test_info_shape(self, tmp_path):
+        with Database.open(str(tmp_path / "db")) as db:
+            populate(db)
+            db.commit()
+            info = db.storage.info()
+        assert info["format"] == 1
+        assert info["relations"] == {"Train": 2, "Fires": 1}
+        assert info["wal_bytes"] > 0
+        assert info["snapshot"] is None
+
+    def test_data_values_round_trip(self, tmp_path):
+        path = str(tmp_path / "db")
+        with Database.open(path) as db:
+            db.create("Mixed", temporal=["t"], data=["a", "b"])
+            db.relation("Mixed").add_tuple(["3n"], "t >= 0", ["x", 7])
+            db.relation("Mixed").add_tuple(["5n"], "t >= 0", [None, -2])
+            db.commit()
+            expected = catalog_points(db)
+        with Database.open(path) as again:
+            assert catalog_points(again) == expected

@@ -1,0 +1,125 @@
+#!/usr/bin/env python
+"""Documentation gates: markdown link integrity + API docstring coverage.
+
+Run as ``make docs-check`` (CI runs it in the test job).  Two checks:
+
+1. **Link check** — every relative markdown link in ``README.md`` and
+   ``docs/*.md`` must point at a file that exists in the repository
+   (external ``http(s)``/``mailto`` targets and pure ``#anchors`` are
+   skipped; a ``file.md#anchor`` link is checked for the file part).
+2. **Docstring coverage** — every name exported by the stable
+   :mod:`repro.api` facade must carry a docstring, and so must every
+   public method of every exported class: the public surface has to be
+   self-describing.
+
+Exit status 0 when both gates pass; 1 with a per-violation report
+otherwise.
+"""
+
+from __future__ import annotations
+
+import inspect
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — good enough for this repo's plain markdown
+#: (no reference-style links, no angle-bracket targets).
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def iter_doc_files() -> list[pathlib.Path]:
+    """The markdown set the link gate covers."""
+    return [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
+
+
+def _display(path: pathlib.Path) -> str:
+    """Repo-relative where possible, absolute otherwise."""
+    try:
+        return str(path.relative_to(ROOT))
+    except ValueError:
+        return str(path)
+
+
+def check_links() -> list[str]:
+    """Every relative link target must exist.  Returns violations."""
+    errors = []
+    for path in iter_doc_files():
+        text = path.read_text()
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{_display(path)}: broken link -> {target}")
+    return errors
+
+
+def _missing_doc(obj) -> bool:
+    doc = inspect.getdoc(obj)
+    return not (doc and doc.strip())
+
+
+def check_docstrings() -> list[str]:
+    """Every ``repro.api`` export (and its public methods) has a doc."""
+    sys.path.insert(0, str(ROOT / "src"))
+    try:
+        import repro.api as api
+    finally:
+        sys.path.pop(0)
+    errors = []
+    if _missing_doc(api):
+        errors.append("repro.api: module docstring missing")
+    for name in api.__all__:
+        obj = getattr(api, name, None)
+        if obj is None:
+            errors.append(f"repro.api.{name}: exported but not defined")
+            continue
+        if _missing_doc(obj):
+            errors.append(f"repro.api.{name}: docstring missing")
+        if inspect.isclass(obj):
+            for attr_name, attr in vars(obj).items():
+                if attr_name.startswith("_"):
+                    continue
+                member = getattr(obj, attr_name)
+                if not callable(member) and not isinstance(
+                    attr, (property, classmethod, staticmethod)
+                ):
+                    continue
+                if _missing_doc(member):
+                    errors.append(
+                        f"repro.api.{name}.{attr_name}: docstring missing"
+                    )
+    return errors
+
+
+def main() -> int:
+    """Run both gates; print violations; exit nonzero on any."""
+    link_errors = check_links()
+    doc_errors = check_docstrings()
+    for error in link_errors + doc_errors:
+        print(f"docs-check: {error}")
+    checked = len(iter_doc_files())
+    if link_errors or doc_errors:
+        print(
+            f"docs-check: FAILED ({len(link_errors)} broken link(s), "
+            f"{len(doc_errors)} docstring gap(s))"
+        )
+        return 1
+    print(
+        f"docs-check: OK — {checked} markdown file(s) link-clean, "
+        "public API fully documented"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
