@@ -48,7 +48,8 @@ The surface, by area:
   :func:`crash_at` / :class:`InjectedCrash`;
 * **observability** — :func:`tracing`, :class:`TraceRecorder`,
   :class:`Span`, :func:`render_flamegraph`, :func:`metrics`,
-  :class:`MetricsRegistry`;
+  :class:`MetricsRegistry`, :func:`kernel_backend` (which DBM closure
+  backend — ``numpy`` or ``python`` — is active);
 * **errors** — :class:`ReproError` and its documented subclasses (see
   :mod:`repro.core.errors`), including :class:`StorageError` /
   :class:`RecoveryError` for the durable layer.
@@ -95,6 +96,7 @@ from repro.obs import (
     render_flamegraph,
     tracing,
 )
+from repro.perf.kernel import kernel_backend
 from repro.query import (
     Database,
     Evaluator,
@@ -142,6 +144,7 @@ __all__ = [
     "MetricsRegistry",
     "Span",
     "TraceRecorder",
+    "kernel_backend",
     "metrics",
     "render_flamegraph",
     "tracing",

@@ -236,10 +236,13 @@ class Session:
 
     def _cmd_trace(self, rest: str) -> str:
         """EXPLAIN ANALYZE one query; print result size + flamegraph."""
+        from repro.perf.kernel import kernel_backend
+
         trace = self._record_trace(rest)
         result = trace.result
         return (
-            f"result{result.schema}: {len(result)} generalized tuple(s)\n"
+            f"result{result.schema}: {len(result)} generalized tuple(s) "
+            f"[kernel={kernel_backend()}]\n"
             + trace.flamegraph()
         )
 
@@ -262,6 +265,7 @@ class Session:
         """Show optimization-layer counters and cache statistics."""
         from repro.analysis.counters import perf_cache_stats, perf_counters
         from repro.perf.config import get_config
+        from repro.perf.kernel import kernel_backend
 
         cfg = get_config()
         lines = [
@@ -269,7 +273,8 @@ class Session:
             f"(size {cfg.cache_size}), "
             f"prefilter={'on' if cfg.prefilter_enabled else 'off'}, "
             f"incremental={'on' if cfg.incremental_enabled else 'off'}, "
-            f"workers={cfg.workers}"
+            f"workers={cfg.workers}, "
+            f"kernel={kernel_backend()}"
         ]
         counts = perf_counters()
         if counts:
@@ -381,9 +386,12 @@ def db_main(argv: list[str]) -> int:
             print(f"compacted into {db.compact()}")
         return 0
     if args.action == "info":
+        from repro.perf.kernel import kernel_backend
+
         with Database.open(args.path, create=False) as db:
             info = db.storage.info()
             print(f"database {info['root']} (format {info['format']})")
+            print(f"kernel backend: {kernel_backend()}")
             print(
                 f"snapshot: {info['snapshot'] or '(none)'} "
                 f"@ lsn {info['snapshot_lsn']}, wal {info['wal_bytes']} bytes"

@@ -20,6 +20,7 @@ paper's algorithms:
 from __future__ import annotations
 
 import functools
+import itertools
 from collections.abc import Hashable, Sequence
 
 from repro.arith import lcm
@@ -40,7 +41,7 @@ from repro.core.normalize import DEFAULT_MAX_TUPLES
 from repro.core.relations import Attribute, GeneralizedRelation, Schema
 from repro.core.tuples import GeneralizedTuple
 from repro.obs import trace as obs
-from repro.perf import prefilter
+from repro.perf import kernel, prefilter
 from repro.perf.config import PERF_COUNTERS, get_config
 
 
@@ -133,15 +134,25 @@ def _require_same_schema(r1: GeneralizedRelation, r2: GeneralizedRelation) -> No
 # ----------------------------------------------------------------------
 
 
-def _fan_out(worker, payloads: list, extra) -> list:
+def _fan_out(worker, payloads: list, extra, item_cost: int = 1) -> list:
     """Run a chunk worker over ``payloads``, parallel when configured.
 
     ``worker(chunk, extra)`` must map a payload list to a result list of
     the same length and order; fan-out concatenates contiguous chunks in
     submission order, so the output is identical for any worker count.
+
+    ``item_cost`` estimates one payload item's closure cost (in
+    Floyd–Warshall cell updates).  Fan-out engages only when the whole
+    operation clears ``parallel_min_cost`` on that estimate, so small
+    workloads — where chunk pickling and pool scheduling dominate the
+    work itself — stay serial no matter how many items they have.
     """
     cfg = get_config()
-    if cfg.workers > 1 and len(payloads) >= cfg.parallel_threshold:
+    if (
+        cfg.workers > 1
+        and len(payloads) >= cfg.parallel_threshold
+        and len(payloads) * max(1, item_cost) >= cfg.parallel_min_cost
+    ):
         from repro.perf import parallel
 
         return parallel.run_chunked(worker, payloads, extra, cfg.workers)
@@ -199,7 +210,8 @@ def intersect(
     _require_same_schema(r1, r2)
     out = GeneralizedRelation.empty(r1.schema)
     pairs = [(t1, t2) for t1 in r1 for t2 in r2]
-    for meets in _fan_out(_intersect_chunk, pairs, None):
+    item_cost = (r1.schema.temporal_arity + 1) ** 3
+    for meets in _fan_out(_intersect_chunk, pairs, None, item_cost=item_cost):
         for meet in meets:
             out.add(meet)
     return out
@@ -209,31 +221,62 @@ def _intersect_chunk(
     pairs: list[tuple[GeneralizedTuple, GeneralizedTuple]], _extra
 ) -> list[list[GeneralizedTuple]]:
     probe = _ProbeMemo()
-    return [_intersect_pair(t1, t2, probe) for t1, t2 in pairs]
+    candidates = [_intersect_candidate(t1, t2, probe) for t1, t2 in pairs]
+    survivors = _close_candidates(candidates)
+    return [[] if meet is None else [meet] for meet in survivors]
 
 
-def _intersect_pair(
+def _intersect_candidate(
     t1: GeneralizedTuple, t2: GeneralizedTuple, probe: _ProbeMemo
-) -> list[GeneralizedTuple]:
+) -> GeneralizedTuple | None:
+    """The candidate meet of a pair, before its satisfiability check."""
     if get_config().prefilter_enabled:
         if t1.data != t2.data:
-            return []
+            return None
         if not prefilter.lrps_compatible(t1.lrps, t2.lrps):
             PERF_COUNTERS["prefilter_lrp_skip"] += 1
-            return []
+            return None
         closed1, sat1 = probe(t1)
         if not sat1:
-            return []
+            return None
         closed2, sat2 = probe(t2)
         if not sat2:
-            return []
+            return None
         if not prefilter.intervals_compatible(closed1, closed2):
             PERF_COUNTERS["prefilter_interval_skip"] += 1
-            return []
-    meet = t1.intersect(t2)
-    if meet is None or not meet.dbm.copy().close():
-        return []
-    return [meet]
+            return None
+    return t1.intersect(t2)
+
+
+def _close_candidates(
+    candidates: list[GeneralizedTuple | None],
+) -> list[GeneralizedTuple | None]:
+    """Collect-then-close the candidates' satisfiability probes.
+
+    One batched closure replaces a scalar copy-and-close per candidate;
+    unsatisfiable candidates are nulled out.  Each survivor's canonical
+    key is prefilled from its closed probe, so the downstream
+    deduplicating ``relation.add`` pays no further closure.
+    """
+    pending = [
+        (idx, candidate.dbm.copy())
+        for idx, candidate in enumerate(candidates)
+        if candidate is not None
+    ]
+    verdicts = kernel.close_batch([probe for _, probe in pending])
+    out: list[GeneralizedTuple | None] = [None] * len(candidates)
+    for (idx, probe), sat in zip(pending, verdicts):
+        if not sat:
+            continue
+        candidate = candidates[idx]
+        if candidate._key is None:
+            candidate._key = (
+                candidate.lrps,
+                tuple(tuple(row) for row in probe._b),
+                candidate.data,
+            )
+        out[idx] = candidate
+    return out
 
 
 # ----------------------------------------------------------------------
@@ -285,7 +328,8 @@ def subtract_tuples(
     """
     if t1.temporal_arity != t2.temporal_arity:
         raise SchemaError("temporal arities differ")
-    if not t1.dbm.copy().close():
+    closed1, sat1 = prefilter.closed_probe(t1.dbm)
+    if not sat1:
         return []  # t1 is empty; so is the difference
     if not t2.dbm.copy().close():
         return [t1]  # subtracting the empty set
@@ -297,7 +341,6 @@ def subtract_tuples(
             # would return, minus the CRT work.
             PERF_COUNTERS["prefilter_lrp_skip"] += 1
             return [t1]
-        closed1, _ = prefilter.closed_probe(t1.dbm)
         closed2, _ = prefilter.closed_probe(t2.dbm)
         if not prefilter.intervals_compatible(closed1, closed2):
             # t1 ∩ t2 is empty, so the difference *is* t1 — skipping the
@@ -313,6 +356,10 @@ def subtract_tuples(
             return [t1]
         meets.append(meet)
     out: list[GeneralizedTuple] = []
+    # Every piece below is t1's system plus at most two bounds; the
+    # delta records them so the fast filter can decide satisfiability
+    # against t1's closure instead of re-closing each piece.
+    deltas: list[tuple] = []
     # Part 1: t1 restricted to free extensions missing the intersection.
     for i in range(arity):
         for piece, upper, lower in lrp_subtract_pieces(t1.lrps[i], meets[i]):
@@ -326,17 +373,60 @@ def subtract_tuples(
             if lower is not None:
                 dbm.add_lower(i, lower)
             out.append(GeneralizedTuple(tuple(lrps), dbm, t1.data))
+            deltas.append(("unary", i, upper, lower))
     # Part 2: points on the shared free extension violating t2's constraints.
     for i, j, bound in t2.dbm.iter_bounds():
         dbm = t1.dbm.copy()
         if i >= 0 and j >= 0:
             dbm.add_difference(j, i, -bound - 1)
+            deltas.append(("edge", j, i, -bound - 1))
         elif j < 0:
             dbm.add_lower(i, bound + 1)
+            deltas.append(("edge", -1, i, -bound - 1))
         else:
             dbm.add_upper(j, -bound - 1)
+            deltas.append(("edge", j, -1, -bound - 1))
         out.append(GeneralizedTuple(tuple(meets), dbm, t1.data))
+    if get_config().incremental_enabled:
+        # Closure-delta fast path: one or two edges added to t1's closed
+        # satisfiable system.  A new negative cycle must traverse a new
+        # edge, and the cheapest return path is a closure entry, so each
+        # piece's satisfiability is an O(1) lookup (see
+        # :func:`repro.perf.prefilter.added_bound_satisfiable`).
+        PERF_COUNTERS["closure_delta"] += len(out)
+        return [
+            t
+            for t, delta in zip(out, deltas)
+            if _delta_satisfiable(closed1, delta)
+        ]
     return [t for t in out if t.dbm.copy().close()]
+
+
+def _delta_satisfiable(closed1: DBM, delta: tuple) -> bool:
+    """Whether t1's closed system stays satisfiable under a piece's delta.
+
+    ``("edge", u, v, w)`` is one added bound ``X_u - X_v <= w``;
+    ``("unary", i, upper, lower)`` is up to two bounds on one attribute.
+    For the latter, a negative cycle can use the upper edge, the lower
+    edge, or both back to back (``upper < lower``); each case is an O(1)
+    closure lookup, together exhaustive over simple cycles.
+    """
+    kind = delta[0]
+    if kind == "edge":
+        _, u, v, w = delta
+        return prefilter.added_bound_satisfiable(closed1, u, v, w)
+    _, i, upper, lower = delta
+    if upper is not None and lower is not None and upper < lower:
+        return False
+    if upper is not None and not prefilter.added_bound_satisfiable(
+        closed1, i, -1, upper
+    ):
+        return False
+    if lower is not None and not prefilter.added_bound_satisfiable(
+        closed1, -1, i, -lower
+    ):
+        return False
+    return True
 
 
 @_traced("subtract", pairwise=True)
@@ -352,7 +442,16 @@ def subtract(
     out = GeneralizedRelation.empty(r1.schema)
     minuends = list(r1)
     subtrahends = list(r2)
-    for survivors in _fan_out(_subtract_chunk, minuends, subtrahends):
+    # One minuend folds over every subtrahend, producing ~4 pieces to
+    # close per subtraction step (Figure 1's staircase + negated atoms).
+    item_cost = (
+        4
+        * max(1, len(subtrahends))
+        * (r1.schema.temporal_arity + 1) ** 3
+    )
+    for survivors in _fan_out(
+        _subtract_chunk, minuends, subtrahends, item_cost=item_cost
+    ):
         for t in survivors:
             out.add(t)
     return out
@@ -438,10 +537,17 @@ def project(
         if i not in set(keep_t)
     ]
     out = GeneralizedRelation.empty(new_schema)
-    for gtuple in relation:
-        data = tuple(gtuple.data[i] for i in keep_d)
-        if not dropped_t:
-            projected_dbm = gtuple.dbm.copy().project(keep_t)
+    tuples = list(relation)
+    use_kernel = kernel.kernel_active()
+    if not dropped_t:
+        probes = [gtuple.dbm.copy() for gtuple in tuples]
+        if use_kernel:
+            # Collect-then-close: one batched sweep over every tuple's
+            # probe instead of a scalar closure inside each project().
+            kernel.close_batch(probes)
+        for gtuple, probe in zip(tuples, probes):
+            data = tuple(gtuple.data[i] for i in keep_d)
+            projected_dbm = probe.project(keep_t)
             # Unsatisfiable tuples denote the empty set; dropping them is
             # semantics-preserving and keeps stored DBMs marker-free.
             if not projected_dbm.is_satisfiable():
@@ -453,7 +559,17 @@ def project(
                     data=data,
                 )
             )
-            continue
+        return out
+    if use_kernel:
+        finals = list(
+            _project_batched(tuples, keep_t, dropped_t, keep_d, max_tuples)
+        )
+        _prefill_keys(finals)
+        for final in finals:
+            out.add(final)
+        return out
+    for gtuple in tuples:
+        data = tuple(gtuple.data[i] for i in keep_d)
         for projected in project_tuple_temporal(
             gtuple, keep_t, dropped_t, max_tuples=max_tuples
         ):
@@ -463,6 +579,259 @@ def project(
                 )
             )
     return out
+
+
+def _prefill_keys(finals: list[GeneralizedTuple]) -> None:
+    """Batch the canonical-key closures of freshly built tuples.
+
+    ``relations.add`` dedups on :meth:`GeneralizedTuple.canonical_key`,
+    which closes a probe copy per tuple; prefilling the cached ``_key``
+    with one batched sweep turns that into a set lookup.  The key format
+    mirrors :meth:`DBM.canonical_key` exactly (closed bound rows for
+    satisfiable systems, the ``("UNSAT", size)`` marker otherwise).
+    """
+    pending = [t for t in finals if t._key is None]
+    if not pending:
+        return
+    dbm_keys = kernel.canonical_keys_batch([t.dbm for t in pending])
+    for t, dbm_key in zip(pending, dbm_keys):
+        t._key = (t.lrps, dbm_key, t.data)
+
+
+class _ProjectPlan:
+    """Per-tuple combinatorics for temporal elimination.
+
+    Shared by the scalar and batched projection paths so both enumerate
+    exactly the same combos with the same bookkeeping.
+    """
+
+    __slots__ = (
+        "cluster",
+        "cluster_order",
+        "cluster_pos",
+        "k",
+        "choices",
+        "split_sizes",
+        "outside_ops",
+        "kept_cluster",
+        "kept_cluster_attrs",
+        "kept_rows",
+        "template_entries",
+        "new_index",
+        "out_rows",
+        "mat_template",
+    )
+
+
+def _project_plan(
+    gtuple: GeneralizedTuple,
+    keep: Sequence[int],
+    dropped: Sequence[int],
+    max_tuples: int,
+) -> _ProjectPlan:
+    """Compute one tuple's cluster, period, splits and bound partition.
+
+    Plans depend only on the tuple (immutable after construction) and
+    the projection arguments, so they are memoized on the tuple itself
+    — like the canonical/semantic key memos — and repeated projections
+    over a stored relation skip the replan.  The memo is consulted only
+    while caching is enabled, keeping the naive baseline honest.
+    """
+    use_memo = get_config().cache_enabled
+    memo_key = None
+    if use_memo:
+        memo_key = (tuple(keep), tuple(dropped), max_tuples)
+        memo = gtuple._plans
+        if memo is not None:
+            plan = memo.get(memo_key)
+            if plan is not None:
+                # The blow-up still happens downstream on every run.
+                PERF_COUNTERS["normalize_expansion"] += plan.split_sizes
+                PERF_COUNTERS["plan_memo_hits"] += 1
+                return plan
+    plan = _ProjectPlan()
+    cluster = _constraint_cluster(gtuple, dropped)
+    cluster_order = sorted(cluster)
+    cluster_pos = {attr: idx for idx, attr in enumerate(cluster_order)}
+    plan.cluster = cluster
+    plan.cluster_order = cluster_order
+    plan.cluster_pos = cluster_pos
+    # Period of the cluster only.
+    lrps = gtuple.lrps
+    k = 1
+    for i in cluster_order:
+        period = lrps[i].period
+        if period:
+            k = lcm(k, period)
+    plan.k = k
+    # Split cluster lrps; explosion bounded by max_tuples.  An lrp whose
+    # period already equals k splits into itself, so it skips the split
+    # (and its factor of 1 in the blow-up product).
+    split_sizes = 1
+    choices = []
+    for i in cluster_order:
+        lrp = lrps[i]
+        period = lrp.period
+        if period == 0 or (period == k and 0 <= lrp.offset < k):
+            choices.append([lrp])
+        else:
+            split_sizes *= k // period
+            choices.append(lrp.split(k))
+    if split_sizes > max_tuples:
+        from repro.core.errors import NormalizationLimitError
+
+        raise NormalizationLimitError(
+            f"projection would normalize into {split_sizes} tuples "
+            f"(limit {max_tuples})"
+        )
+    # Partial normalization's blow-up parameter (Section 3.4/3.8).
+    PERF_COUNTERS["normalize_expansion"] += split_sizes
+    plan.choices = choices
+    plan.split_sizes = split_sizes
+    # Partition the bound matrix directly (same row-major order as
+    # iter_bounds): cluster bounds are transcribed to template row
+    # indices (0 is the zero variable, cluster positions are 1-based),
+    # outside bounds straight to output DBM *matrix cells* — every
+    # non-cluster attribute survives projection (dropped ones are
+    # cluster seeds by definition), and ``X_i - X_j <= b``, ``X_i <= b``
+    # and ``X_i >= -b`` all store ``b`` at one ``_set`` cell.
+    new_index = {attr: idx for idx, attr in enumerate(keep)}
+    template_entries = []
+    outside_ops = []
+    b = gtuple.dbm._b
+    n = gtuple.dbm._n
+    for row_i in range(n):
+        row = b[row_i]
+        ai = row_i - 1
+        in_i = ai in cluster
+        for row_j in range(n):
+            bound = row[row_j]
+            if bound is None or row_i == row_j:
+                continue
+            aj = row_j - 1
+            if in_i or aj in cluster:
+                template_entries.append(
+                    (
+                        cluster_pos[ai] + 1 if ai >= 0 else 0,
+                        cluster_pos[aj] + 1 if aj >= 0 else 0,
+                        bound,
+                    )
+                )
+            else:
+                outside_ops.append(
+                    (
+                        new_index[ai] + 1 if ai >= 0 else 0,
+                        new_index[aj] + 1 if aj >= 0 else 0,
+                        bound,
+                    )
+                )
+    plan.template_entries = template_entries
+    plan.outside_ops = outside_ops
+    plan.new_index = new_index
+    dropped_set = set(dropped)
+    kept_cluster = []
+    kept_cluster_attrs = []
+    for pos, i in enumerate(cluster_order):
+        if i not in dropped_set:
+            kept_cluster.append(pos)
+            kept_cluster_attrs.append(i)
+    plan.kept_cluster = kept_cluster
+    plan.kept_cluster_attrs = kept_cluster_attrs
+    plan.kept_rows = tuple([0] + [pos + 1 for pos in kept_cluster])
+    plan.out_rows = [0] + [new_index[attr] + 1 for attr in kept_cluster_attrs]
+    n_out = len(keep) + 1
+    plan.mat_template = [
+        [0 if i == j else None for j in range(n_out)] for i in range(n_out)
+    ]
+    if use_memo:
+        if gtuple._plans is None:
+            gtuple._plans = {}
+        gtuple._plans[memo_key] = plan
+    return plan
+
+
+def _project_combo(
+    gtuple: GeneralizedTuple,
+    plan: _ProjectPlan,
+    combo: tuple[LRP, ...],
+    keep: Sequence[int],
+) -> GeneralizedTuple | None:
+    """Scalar elimination of one split combo (``None`` when empty)."""
+    cluster_order = plan.cluster_order
+    cluster_pos = plan.cluster_pos
+    k = plan.k
+    offsets = {
+        attr: lrp.offset for attr, lrp in zip(cluster_order, combo)
+    }
+    singles = {
+        attr: lrp.period == 0 for attr, lrp in zip(cluster_order, combo)
+    }
+    n_dbm = DBM(len(cluster_order))
+    for pos, lrp in enumerate(combo):
+        if lrp.period == 0:
+            n_dbm.add_value(pos, 0)
+    # template_entries is the cluster-bound list in template row space
+    # (row 0 = zero variable, cluster position + 1 otherwise), shared
+    # with the batched kernel path.
+    offs = [0] + [lrp.offset for lrp in combo]
+    for ti, tj, bound in plan.template_entries:
+        n_bound = (bound - offs[ti] + offs[tj]) // k
+        ni = ti - 1
+        nj = tj - 1
+        if ni >= 0 and nj >= 0:
+            n_dbm.add_difference(ni, nj, n_bound)
+        elif nj < 0:
+            n_dbm.add_upper(ni, n_bound)
+        else:
+            n_dbm.add_lower(nj, -n_bound)
+    if not n_dbm.close():
+        return None
+    projected_n = n_dbm.project(plan.kept_cluster)
+    if not projected_n.close():
+        return None
+    kept_cluster_attrs = plan.kept_cluster_attrs
+    # Assemble the output tuple in `keep` order.
+    lrps: list[LRP] = []
+    for attr in keep:
+        if attr in plan.cluster:
+            lrps.append(combo[cluster_pos[attr]])
+        else:
+            lrps.append(gtuple.lrps[attr])
+    new_index = plan.new_index
+    out_dbm = DBM(len(keep))
+    # Cluster constraints, mapped back to X-space.
+    for i, j, bound in projected_n.iter_bounds():
+        ai = kept_cluster_attrs[i] if i >= 0 else -1
+        aj = kept_cluster_attrs[j] if j >= 0 else -1
+        if ai >= 0 and singles[ai] and aj < 0:
+            continue
+        if aj >= 0 and singles[aj] and ai < 0:
+            continue
+        ci = offsets[ai] if ai >= 0 else 0
+        cj = offsets[aj] if aj >= 0 else 0
+        x_bound = k * bound + ci - cj
+        ni = new_index[ai] if ai >= 0 else -1
+        nj = new_index[aj] if aj >= 0 else -1
+        if ni >= 0 and nj >= 0:
+            out_dbm.add_difference(ni, nj, x_bound)
+        elif nj < 0:
+            out_dbm.add_upper(ni, x_bound)
+        else:
+            out_dbm.add_lower(nj, -x_bound)
+    # Projecting a closed n-space system yields a closed system, and the
+    # affine X-space transcription preserves the triangle inequality
+    # entry for entry, so when no entry was skipped (no kept singleton
+    # pins) the output is born closed — downstream canonicalization pays
+    # no re-closure (any outside bounds added below re-open it with a
+    # tracked edit list, keeping the incremental path eligible).
+    if not any(singles[attr] for attr in kept_cluster_attrs):
+        out_dbm._closed = True
+        out_dbm._dirty = []
+    # Outside constraints survive verbatim (they touch no cluster attr);
+    # outside_ops already carries them as output-matrix cells.
+    for ri, rj, bound in plan.outside_ops:
+        out_dbm._set(ri, rj, bound)
+    return GeneralizedTuple(tuple(lrps), out_dbm, gtuple.data)
 
 
 def project_tuple_temporal(
@@ -479,143 +848,150 @@ def project_tuple_temporal(
     """
     if not gtuple.dbm.copy().close():
         return []  # empty tuple: empty projection
-    cluster = _constraint_cluster(gtuple, dropped)
-    cluster_order = sorted(cluster)
-    cluster_pos = {attr: idx for idx, attr in enumerate(cluster_order)}
-    outside = [i for i in range(gtuple.temporal_arity) if i not in cluster]
-    outside_pos = {attr: idx for idx, attr in enumerate(outside)}
-    # Period of the cluster only.
-    k = 1
-    for i in cluster_order:
-        if gtuple.lrps[i].period != 0:
-            k = lcm(k, gtuple.lrps[i].period)
-    # Split cluster lrps; explosion bounded by max_tuples.
-    split_sizes = 1
-    for i in cluster_order:
-        if gtuple.lrps[i].period != 0:
-            split_sizes *= k // gtuple.lrps[i].period
-    if split_sizes > max_tuples:
-        from repro.core.errors import NormalizationLimitError
-
-        raise NormalizationLimitError(
-            f"projection would normalize into {split_sizes} tuples "
-            f"(limit {max_tuples})"
-        )
-    # Partial normalization's blow-up parameter (Section 3.4/3.8).
-    PERF_COUNTERS["normalize_expansion"] += split_sizes
-    import itertools
-
-    choices = [
-        gtuple.lrps[i].split(k) if gtuple.lrps[i].period != 0 else [gtuple.lrps[i]]
-        for i in cluster_order
-    ]
-    cluster_bounds = []
-    outside_bounds = []
-    for i, j, bound in gtuple.dbm.iter_bounds():
-        members = {x for x in (i, j) if x >= 0}
-        if members & cluster:
-            cluster_bounds.append((i, j, bound))
-        else:
-            outside_bounds.append((i, j, bound))
-    kept_cluster = [cluster_pos[i] for i in cluster_order if i not in set(dropped)]
+    plan = _project_plan(gtuple, keep, dropped, max_tuples)
     results: list[GeneralizedTuple] = []
-    for combo in itertools.product(*choices):
-        offsets = {
-            attr: lrp.offset for attr, lrp in zip(cluster_order, combo)
-        }
-        singles = {
-            attr: lrp.period == 0 for attr, lrp in zip(cluster_order, combo)
-        }
-        n_dbm = DBM(len(cluster_order))
-        for attr in cluster_order:
-            if singles[attr]:
-                n_dbm.add_value(cluster_pos[attr], 0)
-        ok = True
-        for i, j, bound in cluster_bounds:
-            ci = offsets[i] if i >= 0 else 0
-            cj = offsets[j] if j >= 0 else 0
-            n_bound = (bound - ci + cj) // k
-            ni = cluster_pos[i] if i >= 0 else -1
-            nj = cluster_pos[j] if j >= 0 else -1
-            if ni >= 0 and nj >= 0:
-                n_dbm.add_difference(ni, nj, n_bound)
-            elif nj < 0:
-                n_dbm.add_upper(ni, n_bound)
-            else:
-                n_dbm.add_lower(nj, -n_bound)
-        if not n_dbm.close():
-            continue
-        projected_n = n_dbm.project(kept_cluster)
-        if not projected_n.close():
-            continue
-        kept_cluster_attrs = [i for i in cluster_order if i not in set(dropped)]
-        # Assemble the output tuple in `keep` order.
-        lrps: list[LRP] = []
-        for attr in keep:
-            if attr in cluster:
-                lrp = combo[cluster_order.index(attr)]
-                lrps.append(lrp)
-            else:
-                lrps.append(gtuple.lrps[attr])
-        new_index = {attr: idx for idx, attr in enumerate(keep)}
-        out_dbm = DBM(len(keep))
-        # Cluster constraints, mapped back to X-space.
-        kept_cluster_index = {
-            attr: idx for idx, attr in enumerate(kept_cluster_attrs)
-        }
-        for i, j, bound in projected_n.iter_bounds():
-            ai = kept_cluster_attrs[i] if i >= 0 else -1
-            aj = kept_cluster_attrs[j] if j >= 0 else -1
-            if ai >= 0 and singles[ai] and aj < 0:
-                continue
-            if aj >= 0 and singles[aj] and ai < 0:
-                continue
-            ci = offsets[ai] if ai >= 0 else 0
-            cj = offsets[aj] if aj >= 0 else 0
-            x_bound = k * bound + ci - cj
-            ni = new_index[ai] if ai >= 0 else -1
-            nj = new_index[aj] if aj >= 0 else -1
-            if ni >= 0 and nj >= 0:
-                out_dbm.add_difference(ni, nj, x_bound)
-            elif nj < 0:
-                out_dbm.add_upper(ni, x_bound)
-            else:
-                out_dbm.add_lower(nj, -x_bound)
-        # Outside constraints survive verbatim (they touch no cluster attr).
-        for i, j, bound in outside_bounds:
-            ni = new_index[i] if i >= 0 else -1
-            nj = new_index[j] if j >= 0 else -1
-            if ni >= 0 and nj >= 0:
-                out_dbm.add_difference(ni, nj, bound)
-            elif i >= 0 and nj < 0:
-                out_dbm.add_upper(ni, bound)
-            else:
-                out_dbm.add_lower(nj, -bound)
-        results.append(
-            GeneralizedTuple(tuple(lrps), out_dbm, gtuple.data)
-        )
+    for combo in itertools.product(*plan.choices):
+        projected = _project_combo(gtuple, plan, combo, keep)
+        if projected is not None:
+            results.append(projected)
     return results
+
+
+def _project_batched(
+    tuples: list[GeneralizedTuple],
+    keep: Sequence[int],
+    dropped: Sequence[int],
+    keep_d: Sequence[int],
+    max_tuples: int,
+):
+    """Batched temporal elimination across a whole relation.
+
+    Yields finished output tuples (data already projected via
+    ``keep_d``) in exactly the scalar path's order: plans and combos are
+    enumerated identically; only the per-combo n-space closure,
+    projection and X-space transcription run as grouped vectorized
+    sweeps in :func:`repro.perf.kernel.project_batch`.  Combos with
+    singleton splits take the scalar combo path (their n-space pins are
+    not template-expressible), as do whole groups the kernel rejects
+    for exactness.
+    """
+    sats = kernel.sat_batch([gtuple.dbm for gtuple in tuples])
+    plans: list[_ProjectPlan | None] = []
+    jobs: list[tuple] = []
+    combo_refs: list[list[tuple] | None] = []
+    for gtuple, sat in zip(tuples, sats):
+        if not sat:
+            plans.append(None)
+            combo_refs.append(None)
+            continue
+        plan = _project_plan(gtuple, keep, dropped, max_tuples)
+        plans.append(plan)
+        template = None
+        template_usable = True
+        refs: list[tuple] = []
+        for combo in itertools.product(*plan.choices):
+            if any(lrp.period == 0 for lrp in combo):
+                refs.append((combo, None))
+                continue
+            if template is None and template_usable:
+                template = kernel.bounds_template(
+                    plan.template_entries, len(plan.cluster_order) + 1
+                )
+                template_usable = template is not None
+            if template is None:
+                refs.append((combo, None))
+                continue
+            offsets = (0,) + tuple(lrp.offset for lrp in combo)
+            jobs.append(
+                (template[0], template[1], offsets, plan.k, plan.kept_rows)
+            )
+            refs.append((combo, len(jobs) - 1))
+        combo_refs.append(refs)
+    job_results = kernel.project_batch(jobs) if jobs else []
+    for gtuple, plan, refs in zip(tuples, plans, combo_refs):
+        if plan is None:
+            continue
+        data = tuple(gtuple.data[i] for i in keep_d)
+        for combo, job_idx in refs:
+            if job_idx is None or job_results[job_idx] is kernel.SCALAR:
+                projected = _project_combo(gtuple, plan, combo, keep)
+                if projected is not None:
+                    yield GeneralizedTuple(
+                        lrps=projected.lrps, dbm=projected.dbm, data=data
+                    )
+                continue
+            result = job_results[job_idx]
+            if result is not None:
+                yield _assemble_projected(
+                    gtuple, plan, combo, keep, result, data
+                )
+
+
+def _assemble_projected(
+    gtuple: GeneralizedTuple,
+    plan: _ProjectPlan,
+    combo: tuple[LRP, ...],
+    keep: Sequence[int],
+    x_bounds: list[list[int | None]],
+    data: tuple,
+) -> GeneralizedTuple:
+    """Build one output tuple from a kernel-transcribed X-space matrix.
+
+    ``x_bounds`` is the closed bound matrix over ``plan.kept_rows``; it
+    is installed directly as a closed DBM (the transcription preserves
+    closure), then any outside bounds re-open it with tracked edits.
+    """
+    cluster_pos = plan.cluster_pos
+    cluster = plan.cluster
+    lrps = tuple(
+        combo[cluster_pos[attr]] if attr in cluster else gtuple.lrps[attr]
+        for attr in keep
+    )
+    mat: list[list[int | None]] = [row[:] for row in plan.mat_template]
+    out_rows = plan.out_rows
+    for a, ra in enumerate(out_rows):
+        x_row = x_bounds[a]
+        row = mat[ra]
+        for b, rb in enumerate(out_rows):
+            if a != b and x_row[b] is not None:
+                row[rb] = x_row[b]
+    out_dbm = DBM.__new__(DBM)
+    out_dbm._n = len(mat)
+    out_dbm._b = mat
+    out_dbm._closed = True
+    out_dbm._dirty = []
+    for ri, rj, bound in plan.outside_ops:
+        out_dbm._set(ri, rj, bound)
+    # Bypass the dataclass __init__: lrps/data are already tuples and
+    # the arity invariant holds by construction.
+    out = GeneralizedTuple.__new__(GeneralizedTuple)
+    out.lrps = lrps
+    out.dbm = out_dbm
+    out.data = data
+    out._key = None
+    out._skey = None
+    out._plans = None
+    return out
 
 
 def _constraint_cluster(
     gtuple: GeneralizedTuple, seeds: Sequence[int]
 ) -> set[int]:
     """Attributes transitively constraint-connected to the ``seeds``."""
-    adjacency: dict[int, set[int]] = {
-        i: set() for i in range(gtuple.temporal_arity)
-    }
-    for i, j, _bound in gtuple.dbm.iter_bounds():
-        if i >= 0 and j >= 0:
-            adjacency[i].add(j)
-            adjacency[j].add(i)
+    b = gtuple.dbm._b
+    arity = gtuple.temporal_arity
     cluster = set(seeds)
     frontier = list(seeds)
     while frontier:
         node = frontier.pop()
-        for neighbor in adjacency[node]:
-            if neighbor not in cluster:
-                cluster.add(neighbor)
-                frontier.append(neighbor)
+        row = b[node + 1]
+        for other in range(arity):
+            if other not in cluster and (
+                row[other + 1] is not None
+                or b[other + 1][node + 1] is not None
+            ):
+                cluster.add(other)
+                frontier.append(other)
     return cluster
 
 
@@ -788,7 +1164,8 @@ def join(
     )
     out = GeneralizedRelation.empty(new_schema)
     pairs = [(t1, t2) for t1 in r1 for t2 in r2]
-    for joined in _fan_out(_join_chunk, pairs, context):
+    item_cost = (len(result_t_names) + 1) ** 3
+    for joined in _fan_out(_join_chunk, pairs, context, item_cost=item_cost):
         if joined is not None:
             out.add(joined)
     return out
@@ -798,15 +1175,17 @@ def _join_chunk(
     pairs: list[tuple[GeneralizedTuple, GeneralizedTuple]], context: tuple
 ) -> list[GeneralizedTuple | None]:
     probe = _ProbeMemo()
-    return [_join_pair(t1, t2, context, probe) for t1, t2 in pairs]
+    candidates = [_join_candidate(t1, t2, context, probe) for t1, t2 in pairs]
+    return _close_candidates(candidates)
 
 
-def _join_pair(
+def _join_candidate(
     t1: GeneralizedTuple,
     t2: GeneralizedTuple,
     context: tuple,
     probe: _ProbeMemo,
 ) -> GeneralizedTuple | None:
+    """The candidate joined tuple, before its satisfiability check."""
     (a1, map1, map2, shared_t, shared_d, t2_only, d2_only_idx, arity) = context
     pre = get_config().prefilter_enabled
     if any(t1.data[i] != t2.data[j] for i, j in shared_d):
@@ -843,8 +1222,6 @@ def _join_pair(
     dbm = DBM(arity)
     _dbm_merge_into(dbm, t1.dbm, map1)
     _dbm_merge_into(dbm, t2.dbm, map2)
-    if not dbm.copy().close():
-        return None
     data = t1.data + tuple(t2.data[i] for i in d2_only_idx)
     return GeneralizedTuple(tuple(lrps), dbm, data)
 

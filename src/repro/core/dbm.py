@@ -54,6 +54,20 @@ def add_bound(a: Bound, b: Bound) -> Bound:
     return a + b
 
 
+def close_batch(dbms: Sequence["DBM"]) -> list[bool]:
+    """Close many DBMs at once; return their satisfiability verdicts.
+
+    Semantically equal to ``[dbm.close() for dbm in dbms]`` but routed
+    through :mod:`repro.perf.kernel`, which packs same-dimension systems
+    into one array and closes them with a single vectorized
+    Floyd–Warshall sweep when the numpy backend is active.  With the
+    pure-Python backend this *is* the scalar loop.
+    """
+    from repro.perf import kernel
+
+    return kernel.close_batch(list(dbms))
+
+
 class DBM:
     """A conjunction of difference constraints over ``size`` variables.
 
@@ -491,6 +505,56 @@ class DBM:
         result = [probe._b[i][0] for i in range(1, probe._n)]
         assert self.satisfied_by(result)
         return result
+
+    def to_buffer(self) -> list[float]:
+        """Flat float64 encoding of the bound matrix, row-major.
+
+        Absent bounds (``None``) become ``+inf``.  Used to place many
+        matrices in one contiguous buffer (batched closure, shared
+        memory).  Raises when a bound is too large for float64 to hold
+        exactly; callers fall back to object serialization then.
+        """
+        out: list[float] = []
+        for row in self._b:
+            for bound in row:
+                if bound is None:
+                    out.append(float("inf"))
+                elif -(1 << 53) <= bound <= (1 << 53):
+                    out.append(float(bound))
+                else:
+                    raise ReproValueError(
+                        f"bound {bound} exceeds exact float64 range"
+                    )
+        return out
+
+    @classmethod
+    def from_buffer(
+        cls, size: int, buffer: Sequence[float], closed: bool = False
+    ) -> DBM:
+        """Rebuild a DBM from a :meth:`to_buffer` encoding.
+
+        ``closed`` restores the closure flag recorded at export time, so
+        a matrix that was closed before packing answers :meth:`close` in
+        O(n) after the round-trip.
+        """
+        n = size + 1
+        if len(buffer) != n * n:
+            raise ReproValueError(
+                f"buffer holds {len(buffer)} entries, expected {n * n}"
+            )
+        inf = float("inf")
+        out = cls.__new__(cls)
+        out._n = n
+        out._b = [
+            [
+                None if value == inf else int(value)
+                for value in buffer[i * n : (i + 1) * n]
+            ]
+            for i in range(n)
+        ]
+        out._closed = closed
+        out._dirty = [] if closed else None
+        return out
 
     def iter_bounds(self) -> Iterator[tuple[int, int, int]]:
         """Yield ``(i, j, bound)`` for every finite stored bound.

@@ -39,6 +39,7 @@ from repro.core.dbm import DBM
 from repro.core.errors import NormalizationLimitError, ReproValueError
 from repro.core.lrp import LRP
 from repro.core.tuples import GeneralizedTuple
+from repro.perf import kernel
 from repro.perf.cache import normalize_cache
 from repro.perf.config import PERF_COUNTERS
 
@@ -333,40 +334,50 @@ def iter_normalize_tuple(
         lrp.split(period) if lrp.period != 0 else [lrp]
         for lrp in gtuple.lrps
     ]
-    # Step 2: cross product of the splits.
+    # Step 2: cross product of the splits (steps 3-5 fused per combo in
+    # :func:`_build_normalized`).
+    if kernel.kernel_active() and size > 1 and not keep_empty:
+        # Collect-then-close: build every combo's counter system first,
+        # then resolve all emptiness checks (step 4) with one batched
+        # closure sweep instead of a scalar closure per combo.  Trades
+        # the generator's laziness for vectorization; yielded values and
+        # the memoized expansion are identical to the scalar path's.
+        builds = [
+            _build_normalized(combo, period, arity, x_bounds, gtuple.data)
+            for combo in _product(choices)
+        ]
+        verdicts = kernel.sat_batch(
+            [normalized.n_dbm for normalized in builds]
+        )
+        for normalized, sat in zip(builds, verdicts):
+            if not sat:
+                continue
+            if key is not None:
+                produced.append(
+                    NormalizedTuple(
+                        period=period,
+                        offsets=normalized.offsets,
+                        singleton=normalized.singleton,
+                        n_dbm=normalized.n_dbm.copy(),
+                        data=gtuple.data,
+                    )
+                )
+            yield normalized
+        if key is not None:
+            cache.put(key, produced)
+        return
     for combo in _product(choices):
-        offsets = tuple(lrp.offset for lrp in combo)
-        singleton = tuple(lrp.period == 0 for lrp in combo)
-        # Steps 3-5 fused: map every X-space bound onto the counters.
-        n_dbm = DBM(arity)
-        for idx, is_single in enumerate(singleton):
-            if is_single:
-                n_dbm.add_value(idx, 0)
-        for i, j, bound in x_bounds:
-            ci = offsets[i] if i >= 0 else 0
-            cj = offsets[j] if j >= 0 else 0
-            n_bound = _floor_div_exactish(bound - ci + cj, period)
-            if i >= 0 and j >= 0:
-                n_dbm.add_difference(i, j, n_bound)
-            elif j < 0:
-                n_dbm.add_upper(i, n_bound)
-            else:
-                n_dbm.add_lower(j, -n_bound)
-        normalized = NormalizedTuple(
-            period=period,
-            offsets=offsets,
-            singleton=singleton,
-            n_dbm=n_dbm,
-            data=gtuple.data,
+        normalized = _build_normalized(
+            combo, period, arity, x_bounds, gtuple.data
         )
         if keep_empty or not normalized.is_empty():
             if key is not None:
                 produced.append(
                     NormalizedTuple(
                         period=period,
-                        offsets=offsets,
-                        singleton=singleton,
-                        n_dbm=n_dbm.copy(),
+                        offsets=normalized.offsets,
+                        singleton=normalized.singleton,
+                        n_dbm=normalized.n_dbm.copy(),
                         data=gtuple.data,
                     )
                 )
@@ -389,6 +400,39 @@ def normalize_tuple(
         iter_normalize_tuple(
             gtuple, period=period, max_tuples=max_tuples, keep_empty=keep_empty
         )
+    )
+
+
+def _build_normalized(
+    combo: tuple[LRP, ...],
+    period: int,
+    arity: int,
+    x_bounds: list[tuple[int, int, int]],
+    data: tuple[Hashable, ...],
+) -> NormalizedTuple:
+    """Steps 3-5 fused: map every X-space bound onto the counters."""
+    offsets = tuple(lrp.offset for lrp in combo)
+    singleton = tuple(lrp.period == 0 for lrp in combo)
+    n_dbm = DBM(arity)
+    for idx, is_single in enumerate(singleton):
+        if is_single:
+            n_dbm.add_value(idx, 0)
+    for i, j, bound in x_bounds:
+        ci = offsets[i] if i >= 0 else 0
+        cj = offsets[j] if j >= 0 else 0
+        n_bound = _floor_div_exactish(bound - ci + cj, period)
+        if i >= 0 and j >= 0:
+            n_dbm.add_difference(i, j, n_bound)
+        elif j < 0:
+            n_dbm.add_upper(i, n_bound)
+        else:
+            n_dbm.add_lower(j, -n_bound)
+    return NormalizedTuple(
+        period=period,
+        offsets=offsets,
+        singleton=singleton,
+        n_dbm=n_dbm,
+        data=data,
     )
 
 

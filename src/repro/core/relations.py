@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Iterator, Sequence
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.core.constraints import Atom, atoms_to_dbm, parse_atoms
 from repro.core.errors import SchemaError
@@ -50,27 +51,32 @@ class Schema:
         attrs += [Attribute(name, temporal=False) for name in data]
         return cls(attributes=tuple(attrs))
 
-    @property
+    # Schemas are immutable, so the derived name/arity views are cached
+    # on first use (``cached_property`` writes straight into ``__dict__``,
+    # which the frozen dataclass permits); ``add`` consults the arities
+    # on every insertion.
+
+    @cached_property
     def names(self) -> tuple[str, ...]:
         """All attribute names, in order."""
         return tuple(a.name for a in self.attributes)
 
-    @property
+    @cached_property
     def temporal_names(self) -> tuple[str, ...]:
         """Names of the temporal attributes, in order."""
         return tuple(a.name for a in self.attributes if a.temporal)
 
-    @property
+    @cached_property
     def data_names(self) -> tuple[str, ...]:
         """Names of the data attributes, in order."""
         return tuple(a.name for a in self.attributes if not a.temporal)
 
-    @property
+    @cached_property
     def temporal_arity(self) -> int:
         """Number of temporal attributes."""
         return len(self.temporal_names)
 
-    @property
+    @cached_property
     def data_arity(self) -> int:
         """Number of data attributes."""
         return len(self.data_names)

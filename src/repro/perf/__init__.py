@@ -12,9 +12,14 @@ Four independently switchable optimizations (see ``docs/performance.md``):
    skip provably-empty tuple pairs before the CRT + DBM work in
    ``intersect``/``join``/``subtract`` (:mod:`repro.perf.prefilter`).
 4. **Process-parallel fan-out** — the pairwise product is chunked across
-   a worker pool with deterministic, index-ordered reassembly
-   (:mod:`repro.perf.parallel`); off by default, enabled via
-   ``REPRO_WORKERS`` / ``Evaluator(workers=N)`` / ``itql --workers``.
+   a worker pool with deterministic, index-ordered reassembly and a
+   shared-memory tuple transport (:mod:`repro.perf.parallel`); off by
+   default, enabled via ``REPRO_WORKERS`` / ``Evaluator(workers=N)`` /
+   ``itql --workers``.
+5. **Vectorized batched closure kernel** — many same-dimension DBMs are
+   packed into one numpy array and closed with a single vectorized
+   Floyd–Warshall sweep (:mod:`repro.perf.kernel`); backend selected via
+   ``REPRO_KERNEL`` with a graceful pure-Python fallback.
 
 This package's ``__init__`` must stay import-light: :mod:`repro.core.dbm`
 imports it at the bottom of the dependency graph, so only the
@@ -43,7 +48,7 @@ from repro.perf.config import (
     reset_counters,
 )
 
-_LAZY_SUBMODULES = ("prefilter", "parallel", "bench")
+_LAZY_SUBMODULES = ("kernel", "prefilter", "parallel", "bench")
 
 __all__ = [
     "LRUCache",

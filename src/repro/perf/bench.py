@@ -41,12 +41,15 @@ from repro.core.tuples import GeneralizedTuple
 from repro.perf.cache import cache_stats, reset_caches
 from repro.perf.config import counters_snapshot, overrides, reset_counters
 
-#: Feature switches for the three measured variants.
+#: Feature switches for the three measured variants.  The naive variant
+#: pins the scalar Python kernel (the seed implementation's behavior);
+#: optimized/parallel inherit the session backend (env/auto).
 NAIVE = dict(
     cache_enabled=False,
     prefilter_enabled=False,
     incremental_enabled=False,
     workers=0,
+    kernel="python",
 )
 OPTIMIZED = dict(
     cache_enabled=True,
@@ -377,12 +380,15 @@ def run_perf_comparison(
     """Run every workload naive/optimized/parallel; return the report."""
     if workers is None:
         workers = min(4, os.cpu_count() or 1)
+    from repro.perf import kernel
+
     report: dict = {
         "meta": {
             "python": platform.python_version(),
             "platform": platform.platform(),
             "smoke": smoke,
             "workers": workers,
+            "kernel_backend": kernel.kernel_backend(),
             "required_speedup": REQUIRED_SPEEDUP,
             "pairwise_heavy": list(PAIRWISE_HEAVY),
         },

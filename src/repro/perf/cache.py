@@ -12,6 +12,9 @@ Two global LRU caches back the optimization layer:
 Both caches key on *written* constraint forms, never canonical ones, so
 a hit reproduces the exact result of the naive computation (the negation
 algorithms rely on stored bounds staying exactly as written).
+
+(A third memo — the per-tuple projection plan — lives on the tuples
+themselves rather than here: see ``GeneralizedTuple._plans``.)
 """
 
 from __future__ import annotations

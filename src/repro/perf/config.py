@@ -17,6 +17,13 @@ with :func:`configure` or scope changes with :func:`overrides`):
     Set to any non-empty value to disable incremental DBM closure.
 ``REPRO_WORKERS``
     Number of worker processes for pairwise fan-out (default 0 = serial).
+``REPRO_KERNEL``
+    Closure kernel backend: ``numpy`` (batched, vectorized), ``python``
+    (scalar), or ``auto`` (default: numpy when importable).
+``REPRO_PARALLEL_MIN_COST``
+    Minimum estimated closure cost (in Floyd–Warshall cell updates)
+    before pairwise fan-out engages; below it chunk overhead dominates
+    and operations run serially regardless of item count.
 """
 
 from __future__ import annotations
@@ -33,6 +40,13 @@ PERF_COUNTERS: Counter = Counter()
 DEFAULT_CACHE_SIZE = 8192
 #: Minimum number of tuple pairs before an operation fans out to workers.
 DEFAULT_PARALLEL_THRESHOLD = 64
+#: Minimum estimated closure cost (Floyd–Warshall cell updates) before
+#: fan-out engages.  Roughly: a pool submission costs ~1ms of pickling
+#: and scheduling per chunk while a cell update costs tens of
+#: nanoseconds, so below ~2M units the serial path wins outright.
+DEFAULT_PARALLEL_MIN_COST = 2_000_000
+#: Recognized closure kernel backends.
+KERNEL_BACKENDS = ("auto", "numpy", "python")
 
 
 def _env_flag(name: str) -> bool:
@@ -62,6 +76,13 @@ class PerfConfig:
     incremental_enabled: bool = True
     workers: int = 0
     parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD
+    parallel_min_cost: int = DEFAULT_PARALLEL_MIN_COST
+    kernel: str = "auto"
+
+
+def _env_kernel() -> str:
+    raw = os.environ.get("REPRO_KERNEL", "").strip().lower()
+    return raw if raw in KERNEL_BACKENDS else "auto"
 
 
 def _from_env() -> PerfConfig:
@@ -71,6 +92,10 @@ def _from_env() -> PerfConfig:
         prefilter_enabled=not _env_flag("REPRO_NO_PREFILTER"),
         incremental_enabled=not _env_flag("REPRO_NO_INCREMENTAL"),
         workers=max(0, _env_int("REPRO_WORKERS", 0)),
+        parallel_min_cost=max(
+            0, _env_int("REPRO_PARALLEL_MIN_COST", DEFAULT_PARALLEL_MIN_COST)
+        ),
+        kernel=_env_kernel(),
     )
 
 

@@ -2,7 +2,8 @@
 
 Off by default.  When :class:`repro.perf.config.PerfConfig` carries
 ``workers > 1`` and an operation has at least ``parallel_threshold``
-independent work items, the items are split into contiguous chunks and
+independent work items whose estimated closure cost clears
+``parallel_min_cost``, the items are split into contiguous chunks and
 mapped across a cached ``ProcessPoolExecutor``.
 
 Determinism: chunks are contiguous slices of the serial work list, chunk
@@ -10,23 +11,41 @@ results are concatenated in submission order, and every chunk worker is
 a pure function of its payload — so the assembled output is equal to the
 serial output, item for item, for any worker count.
 
-Any pool failure (fork refused by the sandbox, a worker dying, pickling
-trouble) falls back to running the worker serially in-process, which by
-the same purity argument returns identical results.
+Shared-memory transport: payloads made of generalized tuples are packed
+once into a ``multiprocessing.shared_memory`` block — DBM bound matrices
+as a contiguous float64 region, lrps/data/flags as one small pickled
+header — and chunks carry only integer indices into it.  Workers attach
+to the block and materialize the tuples (memoized per block name), so a
+relation crosses the process boundary once per operation instead of
+being re-pickled into every chunk.
+
+Any pool or shared-memory failure (fork refused by the sandbox, no
+``/dev/shm``, a worker dying, pickling trouble) falls back first to the
+plain pickling transport and then to running the worker serially
+in-process, which by the same purity argument returns identical results.
 """
 
 from __future__ import annotations
 
 import atexit
+import pickle
+import struct
+from array import array
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any
 
+from repro.core.dbm import DBM
+from repro.core.tuples import GeneralizedTuple
 from repro.perf.config import PERF_COUNTERS
 
 #: Chunks per worker: small enough to amortize submission overhead,
 #: large enough to smooth out uneven per-pair costs.
 CHUNKS_PER_WORKER = 4
+
+#: Worker-side cap on memoized materialized blocks (block names are
+#: unique per operation, so old entries are dead weight).
+MATERIALIZE_CACHE = 8
 
 _pools: dict[int, ProcessPoolExecutor] = {}
 
@@ -57,6 +76,151 @@ def shutdown_pools() -> None:
 atexit.register(shutdown_pools)
 
 
+# ----------------------------------------------------------------------
+# shared-memory tuple transport
+# ----------------------------------------------------------------------
+
+
+class _SharedExtra:
+    """Marks an ``extra`` that is a sequence of packed tuple indices."""
+
+    __slots__ = ("indices",)
+
+    def __init__(self, indices: list[int]) -> None:
+        self.indices = indices
+
+    def __getstate__(self) -> list[int]:
+        return self.indices
+
+    def __setstate__(self, state: list[int]) -> None:
+        self.indices = state
+
+
+def _encode_item(item: Any, index: dict[int, int], pool: list) -> Any:
+    """One payload item with its tuples replaced by pack indices."""
+
+    def ref(t: GeneralizedTuple) -> int:
+        idx = index.get(id(t))
+        if idx is None:
+            idx = len(pool)
+            index[id(t)] = idx
+            pool.append(t)
+        return idx
+
+    if isinstance(item, GeneralizedTuple):
+        return ref(item)
+    if isinstance(item, tuple) and item and all(
+        isinstance(part, GeneralizedTuple) for part in item
+    ):
+        return tuple(ref(part) for part in item)
+    raise TypeError("payload item is not made of generalized tuples")
+
+
+def _encode_shared(payloads: list, extra: Any):
+    """Pack a tuple-shaped workload into one shared-memory block.
+
+    Returns ``(shm, encoded_payloads, encoded_extra)``, or ``None`` when
+    the payload shape is not tuple-based.  Raises on shared-memory or
+    buffer-export trouble; the caller falls back to pickling transport.
+    """
+    index: dict[int, int] = {}
+    pool: list[GeneralizedTuple] = []
+    try:
+        encoded_payloads = [
+            _encode_item(item, index, pool) for item in payloads
+        ]
+    except TypeError:
+        return None
+    if isinstance(extra, (list, tuple)) and extra and all(
+        isinstance(part, GeneralizedTuple) for part in extra
+    ):
+        encoded_extra: Any = _SharedExtra(
+            [_encode_item(part, index, pool) for part in extra]
+        )
+    else:
+        encoded_extra = extra
+    metas = []
+    flat = array("d")
+    for t in pool:
+        flat.extend(t.dbm.to_buffer())
+        metas.append((t.lrps, t.data, t.dbm.size, t.dbm._closed))
+    header = pickle.dumps(metas, protocol=pickle.HIGHEST_PROTOCOL)
+    floats = flat.tobytes()
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(
+        create=True, size=max(1, 16 + len(header) + len(floats))
+    )
+    shm.buf[:16] = struct.pack(">QQ", len(header), len(floats))
+    shm.buf[16 : 16 + len(header)] = header
+    shm.buf[16 + len(header) : 16 + len(header) + len(floats)] = floats
+    return shm, encoded_payloads, encoded_extra
+
+
+_materialized: dict[str, list[GeneralizedTuple]] = {}
+
+
+def _materialize(name: str) -> list[GeneralizedTuple]:
+    """Attach to a packed block and rebuild its tuples (memoized)."""
+    cached = _materialized.get(name)
+    if cached is not None:
+        return cached
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        # The parent owns the block's lifetime (it unlinks after the
+        # operation); unregister the attach so this process's resource
+        # tracker does not try to clean it up a second time.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        header_len, floats_len = struct.unpack(">QQ", bytes(shm.buf[:16]))
+        metas = pickle.loads(bytes(shm.buf[16 : 16 + header_len]))
+        flat = array("d")
+        flat.frombytes(
+            bytes(shm.buf[16 + header_len : 16 + header_len + floats_len])
+        )
+    finally:
+        shm.close()
+    tuples: list[GeneralizedTuple] = []
+    pos = 0
+    for lrps, data, size, closed in metas:
+        cells = (size + 1) * (size + 1)
+        dbm = DBM.from_buffer(size, flat[pos : pos + cells], closed=closed)
+        pos += cells
+        tuples.append(GeneralizedTuple(lrps, dbm, data))
+    if len(_materialized) >= MATERIALIZE_CACHE:
+        _materialized.clear()
+    _materialized[name] = tuples
+    return tuples
+
+
+def _decode_item(item: Any, tuples: list[GeneralizedTuple]) -> Any:
+    if isinstance(item, int):
+        return tuples[item]
+    return tuple(tuples[idx] for idx in item)
+
+
+def _shm_chunk_worker(
+    worker: Callable[[list, Any], list], name: str, chunk: list, extra: Any
+) -> list:
+    """Materialize a chunk's tuples from shared memory and run it."""
+    tuples = _materialize(name)
+    decoded = [_decode_item(item, tuples) for item in chunk]
+    if isinstance(extra, _SharedExtra):
+        extra = [_decode_item(idx, tuples) for idx in extra.indices]
+    return worker(decoded, extra)
+
+
+# ----------------------------------------------------------------------
+# fan-out driver
+# ----------------------------------------------------------------------
+
+
 def run_chunked(
     worker: Callable[[list, Any], list],
     payloads: Sequence,
@@ -76,20 +240,47 @@ def run_chunked(
     chunk_size = max(
         1, -(-len(payloads) // (workers * CHUNKS_PER_WORKER))
     )
-    chunks = [
-        payloads[start : start + chunk_size]
-        for start in range(0, len(payloads), chunk_size)
-    ]
-    if len(chunks) <= 1:
+    starts = range(0, len(payloads), chunk_size)
+    if len(starts) <= 1:
         return worker(payloads, extra)
+    shm = None
     try:
         pool = _get_pool(workers)
-        futures = [pool.submit(worker, chunk, extra) for chunk in chunks]
+        shared = None
+        try:
+            shared = _encode_shared(payloads, extra)
+        except Exception:
+            shared = None
+        if shared is not None:
+            shm, encoded_payloads, encoded_extra = shared
+            futures = [
+                pool.submit(
+                    _shm_chunk_worker,
+                    worker,
+                    shm.name,
+                    encoded_payloads[start : start + chunk_size],
+                    encoded_extra,
+                )
+                for start in starts
+            ]
+            PERF_COUNTERS["parallel_shm"] += 1
+        else:
+            futures = [
+                pool.submit(worker, payloads[start : start + chunk_size], extra)
+                for start in starts
+            ]
         out: list = []
         for future in futures:
             out.extend(future.result())
     except Exception:
         PERF_COUNTERS["parallel_fallback"] += 1
         return worker(payloads, extra)
+    finally:
+        if shm is not None:
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:
+                pass
     PERF_COUNTERS["parallel_fanout"] += 1
     return out

@@ -66,6 +66,46 @@ def _keylist(relation: GeneralizedRelation) -> list:
     return [t.canonical_key() for t in relation]
 
 
+class TestSharedMemoryTransport:
+    def test_round_trips_tuples_through_shared_memory(self):
+        rng = random.Random(77)
+        tuples = list(random_relation(rng, SCHEMA2, 4))
+        payloads = [(t1, t2) for t1 in tuples for t2 in tuples[:2]]
+        extra = tuples[:3]
+        shared = parallel._encode_shared(payloads, extra)
+        assert shared is not None
+        shm, encoded_payloads, encoded_extra = shared
+        try:
+            assert len(encoded_payloads) == len(payloads)
+            assert isinstance(encoded_extra, parallel._SharedExtra)
+            rebuilt = parallel._materialize(shm.name)
+            for original, (i1, i2) in zip(payloads, encoded_payloads):
+                for t, idx in zip(original, (i1, i2)):
+                    copy = rebuilt[idx]
+                    assert copy.canonical_key() == t.canonical_key()
+                    assert copy.dbm._closed == t.dbm._closed
+        finally:
+            parallel._materialized.clear()
+            shm.close()
+            shm.unlink()
+
+    def test_non_tuple_payloads_are_not_shared(self):
+        assert parallel._encode_shared([1, 2, 3], None) is None
+
+    def test_cost_gate_keeps_small_workloads_serial(self):
+        """Below ``parallel_min_cost`` the fan-out must not engage."""
+        from repro.perf.config import PERF_COUNTERS, reset_counters
+
+        rng = random.Random(5)
+        r1 = random_relation(rng, SCHEMA2, 3)
+        r2 = random_relation(rng, SCHEMA2, 3)
+        with overrides(workers=4, parallel_threshold=1):
+            reset_counters()
+            algebra.intersect(r1, r2)
+            assert PERF_COUNTERS["parallel_fanout"] == 0
+            assert PERF_COUNTERS["parallel_fallback"] == 0
+
+
 class TestParallelAlgebraDeterminism:
     @pytest.mark.parametrize("seed", range(6))
     @pytest.mark.parametrize("workers", [2, 4])
@@ -80,7 +120,12 @@ class TestParallelAlgebraDeterminism:
                 algebra.join(r1, r2),
                 algebra.subtract(r1, r2),
             )
-        with overrides(workers=workers, parallel_threshold=1):
+        # parallel_min_cost=0 forces fan-out (and its shared-memory tuple
+        # transport) even though these tiny workloads would normally stay
+        # serial under the cost-aware gate.
+        with overrides(
+            workers=workers, parallel_threshold=1, parallel_min_cost=0
+        ):
             fanned = (
                 algebra.intersect(r1, r2),
                 algebra.join(r1, r2),

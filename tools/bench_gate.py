@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Gate a ``BENCH_perf.json`` report on speedups and output parity.
+
+Usage::
+
+    python tools/bench_gate.py [BENCH_perf.json]
+
+Fails (exit 1) when any workload reports ``speedup < 1.0`` or
+``parallel_speedup < 1.0`` — the optimization layer must never be slower
+than the naive path it replaces — or when any variant's output diverged
+from the naive reference (``all_outputs_match`` false).  The
+``fig2_projection`` workload additionally carries the batched-kernel
+target of ``>= 2.0x`` recorded in the report's ``required_speedup``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+#: Per-workload floors beyond the global >= 1.0 requirement.
+TARGETS = {"fig2_projection": 2.0}
+
+
+def gate(report: dict) -> list[str]:
+    """Return a list of failure messages (empty = gate passes)."""
+    failures: list[str] = []
+    workloads = report.get("workloads", {})
+    if not workloads:
+        return ["report has no workloads"]
+    for name, entry in sorted(workloads.items()):
+        for field in ("speedup", "parallel_speedup"):
+            value = entry.get(field)
+            if value is None:
+                failures.append(f"{name}: {field} missing")
+            elif value < 1.0:
+                failures.append(
+                    f"{name}: {field} {value} regressed below 1.0x"
+                )
+        target = TARGETS.get(name)
+        speedup = entry.get("speedup")
+        if target is not None and speedup is not None and speedup < target:
+            failures.append(
+                f"{name}: speedup {speedup} below the {target}x target"
+            )
+        for field in ("optimized_matches_naive", "parallel_matches_naive"):
+            if not entry.get(field):
+                failures.append(f"{name}: {field} is false")
+    summary = report.get("summary", {})
+    if not summary.get("all_outputs_match"):
+        failures.append("summary: all_outputs_match is false")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    path = args[0] if args else "BENCH_perf.json"
+    with open(path) as handle:
+        report = json.load(handle)
+    failures = gate(report)
+    for line in failures:
+        print(f"FAIL: {line}")
+    if failures:
+        return 1
+    names = ", ".join(sorted(report["workloads"]))
+    print(f"bench gate ok ({names})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
