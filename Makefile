@@ -1,10 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint docs-check bench bench-smoke fuzz reports clean
+.PHONY: test test-optimized lint docs-check bench bench-smoke fuzz reports clean
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The optimizer-on leg: the whole suite with the logical planner's
+# rewrite passes enabled (see docs/planner.md).  CI runs it as its own
+# job; any divergence from the naive pipeline is a planner bug.
+test-optimized:
+	REPRO_OPTIMIZE=1 $(PYTHON) -m pytest -x -q
 
 # Static checks; skips gracefully where ruff is not installed (the
 # library itself has no dependencies).  CI always runs it.

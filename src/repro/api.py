@@ -39,8 +39,13 @@ The surface, by area:
 * **data model** — :class:`Schema`, :class:`GeneralizedRelation`,
   :class:`GeneralizedTuple`, :class:`LRP`, :func:`relation`;
 * **queries** — :class:`Database`, :class:`Evaluator`,
-  :func:`parse_query`, :func:`explain`, :func:`explain_analyze`,
-  :class:`PlanNode`, :class:`QueryTrace`;
+  :func:`parse_query`, :func:`explain_analyze`, :class:`QueryTrace`;
+* **planning** — :func:`plan` / :func:`explain` (frozen
+  :class:`PlanReport` summaries), :class:`PlanNode` (the
+  relation-expression IR), :class:`PassReport`, and the pluggable
+  engine registry :class:`Engine` / :class:`ExecutionContext` /
+  :class:`NativeEngine` / :func:`register_engine` / :func:`get_engine`
+  / :func:`engines` (see ``docs/planner.md``);
 * **durable storage** — :meth:`Database.open` / :meth:`Database.commit`
   / :meth:`Database.compact` / :meth:`Database.close`,
   :class:`StorageEngine` (the WAL-backed store itself), and the
@@ -97,21 +102,55 @@ from repro.obs import (
     tracing,
 )
 from repro.perf.kernel import kernel_backend
+from repro.plan import (
+    Engine,
+    ExecutionContext,
+    NativeEngine,
+    PassReport,
+    PlanNode,
+    PlanReport,
+    engines,
+    get_engine,
+    register_engine,
+)
 from repro.query import (
     Database,
     Evaluator,
-    PlanNode,
     QueryTrace,
-    explain,
     explain_analyze,
     parse_query,
 )
+from repro.query.explain import plan_report as _plan_report
 from repro.storage import (
     FaultInjector,
     InjectedCrash,
     StorageEngine,
     crash_at,
 )
+
+
+def plan(db: Database, query, *, engine=None, optimize=None) -> PlanReport:
+    """Statically plan a query: lowering, rewrites, no execution.
+
+    Returns a frozen :class:`PlanReport` — the lowered (naive) plan,
+    the plan that would run, and the per-pass rewrite deltas when
+    optimization resolves on (``optimize=True`` or ``REPRO_OPTIMIZE``).
+    """
+    return _plan_report(db, query, engine=engine, optimize=optimize)
+
+
+def explain(db: Database, query, *, engine=None, optimize=None) -> PlanReport:
+    """Plan *and run* a query, annotating every plan node with its size.
+
+    Like :func:`plan` but the plan is executed, so the returned
+    :class:`PlanReport` carries observed output tuple counts per node.
+    (The legacy span-projected tree is still available from
+    :meth:`Database.explain` with optimization off.)
+    """
+    return _plan_report(
+        db, query, engine=engine, optimize=optimize, execute=True
+    )
+
 
 __all__ = [
     # data model
@@ -123,11 +162,21 @@ __all__ = [
     # queries
     "Database",
     "Evaluator",
-    "PlanNode",
     "QueryTrace",
-    "explain",
     "explain_analyze",
     "parse_query",
+    # planning
+    "Engine",
+    "ExecutionContext",
+    "NativeEngine",
+    "PassReport",
+    "PlanNode",
+    "PlanReport",
+    "engines",
+    "explain",
+    "get_engine",
+    "plan",
+    "register_engine",
     # durable storage
     "FaultInjector",
     "InjectedCrash",

@@ -32,6 +32,9 @@ Commands:
                                        (EXPLAIN / EXPLAIN ANALYZE prefixes
                                        work here too)
     explain QUERY                      show the algebraic evaluation plan
+    plan QUERY                         show the logical plan without
+                                       running it (rewrites included when
+                                       the optimizer is on)
     trace QUERY                        EXPLAIN ANALYZE: run under the trace
                                        recorder, print a text flamegraph
     rules FILE                         run a Datalog program file; derived
@@ -204,13 +207,14 @@ class Session:
         return "true" if self.db.ask(rest) else "false"
 
     def _cmd_query(self, rest: str) -> str:
+        from repro.plan.report import PlanReport
         from repro.query.explain import PlanNode, QueryTrace
 
         if self.trace_all:
             trace = self._record_trace(rest)
             return self._format_result(trace.result) + "\n" + trace.flamegraph()
         result = self.db.query(rest)
-        if isinstance(result, PlanNode):  # EXPLAIN prefix
+        if isinstance(result, (PlanNode, PlanReport)):  # EXPLAIN prefix
             return str(result)
         if isinstance(result, QueryTrace):  # EXPLAIN ANALYZE prefix
             self.traces.append(result.to_dict())
@@ -233,6 +237,10 @@ class Session:
 
     def _cmd_explain(self, rest: str) -> str:
         return str(self.db.explain(rest))
+
+    def _cmd_plan(self, rest: str) -> str:
+        """Show the logical plan (and rewrite deltas) without running it."""
+        return str(self.db.plan(rest))
 
     def _cmd_trace(self, rest: str) -> str:
         """EXPLAIN ANALYZE one query; print result size + flamegraph."""
@@ -274,7 +282,9 @@ class Session:
             f"prefilter={'on' if cfg.prefilter_enabled else 'off'}, "
             f"incremental={'on' if cfg.incremental_enabled else 'off'}, "
             f"workers={cfg.workers}, "
-            f"kernel={kernel_backend()}"
+            f"kernel={kernel_backend()}, "
+            f"optimize={'on' if cfg.optimize else 'off'}, "
+            f"engine={cfg.engine}"
         ]
         counts = perf_counters()
         if counts:
@@ -455,6 +465,27 @@ def main(argv: list[str] | None = None) -> int:
         help="disable the interning caches of the optimization layer",
     )
     parser.add_argument(
+        "--engine",
+        default=None,
+        metavar="NAME",
+        help="execution engine queries run on (default: native, or "
+        "REPRO_ENGINE)",
+    )
+    parser.add_argument(
+        "--optimize",
+        dest="optimize",
+        action="store_true",
+        default=None,
+        help="run the logical-plan rewrite passes before executing "
+        "queries (default: REPRO_OPTIMIZE)",
+    )
+    parser.add_argument(
+        "--no-optimize",
+        dest="optimize",
+        action="store_false",
+        help="force the naive plan even if REPRO_OPTIMIZE is set",
+    )
+    parser.add_argument(
         "--trace-json",
         metavar="PATH",
         default=None,
@@ -463,7 +494,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     trace_mode = trace_mode or args.trace_json is not None
-    if args.workers is not None or args.no_cache:
+    if (
+        args.workers is not None
+        or args.no_cache
+        or args.engine is not None
+        or args.optimize is not None
+    ):
         from repro.perf.config import configure
 
         changes: dict = {}
@@ -471,6 +507,13 @@ def main(argv: list[str] | None = None) -> int:
             changes["workers"] = max(0, args.workers)
         if args.no_cache:
             changes["cache_enabled"] = False
+        if args.engine is not None:
+            from repro.plan.engine import get_engine
+
+            get_engine(args.engine)  # fail fast on unknown names
+            changes["engine"] = args.engine
+        if args.optimize is not None:
+            changes["optimize"] = args.optimize
         configure(**changes)
     session = Session(trace_all=trace_mode)
     try:

@@ -45,6 +45,33 @@ from repro.perf import kernel, prefilter
 from repro.perf.config import PERF_COUNTERS, get_config
 
 
+#: Per-operation cost hints for the logical planner's cost model
+#: (:mod:`repro.plan.cost`): the *selectivity / expansion factor* each
+#: operation applies to its input cardinality estimate.  Unary factors
+#: multiply the child estimate; pairwise factors multiply ``|A| * |B|``.
+#: These are coarse structural priors — the cost model refines the
+#: pairwise ones with the live prefilter counters — but they encode the
+#: real asymmetries: selection only narrows constraints (never grows
+#: tuple counts), projection may split tuples during partial
+#: normalization, and complement is exponential in schema width
+#: (Appendix A.6), so reordering must keep it late and narrow.
+COST_HINTS: dict[str, float] = {
+    "scan": 1.0,
+    "select": 0.6,
+    "select_data": 0.5,
+    "select_data_equal": 0.5,
+    "project": 1.25,
+    "rename": 1.0,
+    "shift_column": 1.0,
+    "union": 1.0,
+    "intersect": 0.3,
+    "subtract": 1.0,
+    "join": 0.3,
+    "product": 1.0,
+    "complement": 4.0,
+}
+
+
 def _traced(op_name: str, pairwise: bool = False):
     """Wrap an algebra operation in an ``algebra.<op>`` span.
 

@@ -10,6 +10,12 @@ Each :class:`~repro.fuzz.case.Case` is evaluated
    windows (the *oracle* run) — the paper's own "materialize up to a
    horizon" strawman, reused as an executable specification.
 
+A fourth leg — lowering the expression to a relation-expression plan,
+applying the :mod:`repro.plan.rewrite` passes and executing the
+rewritten plan — runs when :attr:`DiffConfig.plan_check` resolves on
+(by default it follows the global ``REPRO_OPTIMIZE`` switch), gating
+the logical planner against the same corpus.
+
 Window commutation
 ------------------
 
@@ -95,6 +101,15 @@ class DiffConfig:
     #: the same point set), so key sets differing is expected, not a
     #: bug.  Semantics — the snapshot comparison — is the contract.
     syntactic_check: bool = False
+    #: Also run the expression through the logical planner: lower it to
+    #: a relation-expression plan, apply the rewrite passes
+    #: (:func:`repro.plan.rewrite.optimize_plan`) and execute the
+    #: rewritten plan, comparing its snapshot against the naive run.
+    #: ``None`` (the default) follows the global optimizer switch
+    #: (:attr:`repro.perf.config.PerfConfig.optimize`, environment
+    #: variable ``REPRO_OPTIMIZE``), so an optimizer-on test leg
+    #: exercises the plan path over the whole corpus automatically.
+    plan_check: bool | None = None
 
 
 DEFAULT_CONFIG = DiffConfig()
@@ -115,6 +130,8 @@ class Divergence:
         ``"perf-syntactic"``: optimized and naive agree semantically but
             produce different canonical tuple sets — an optimization
             changed the representation.
+        ``"plan"``: the rewritten logical plan and the naive run denote
+            different point sets — a planner rewrite changed semantics.
     """
 
     kind: str
@@ -225,6 +242,99 @@ def eval_generalized(
         return out
 
     return ev(case.expr)
+
+
+# ----------------------------------------------------------------------
+# the logical-plan leg
+# ----------------------------------------------------------------------
+
+
+def plan_from_expr(case: Case):
+    """Lower a fuzz expression to a relation-expression plan.
+
+    The fuzz AST (:mod:`repro.fuzz.expr`) maps 1:1 onto the plan IR
+    (:mod:`repro.plan.nodes`), so the bridge is a direct structural
+    translation; running the un-rewritten plan through the native
+    engine performs exactly the algebra calls
+    :func:`eval_generalized` performs.
+    """
+    from repro.plan import nodes as ir
+
+    def lower(node: Expr):
+        if isinstance(node, Leaf):
+            return ir.Scan(node.name, case.relations[node.name].schema)
+        if isinstance(node, Select):
+            return ir.Select(lower(node.child), node.condition)
+        if isinstance(node, Project):
+            return ir.Project(lower(node.child), tuple(node.names))
+        if isinstance(node, Complement):
+            return ir.Complement(lower(node.child))
+        if isinstance(node, Union):
+            return ir.Union(lower(node.left), lower(node.right))
+        if isinstance(node, Intersect):
+            return ir.Intersect(lower(node.left), lower(node.right))
+        if isinstance(node, Subtract):
+            return ir.Subtract(lower(node.left), lower(node.right))
+        if isinstance(node, Join):
+            return ir.Join(lower(node.left), lower(node.right))
+        if isinstance(node, Product):
+            return ir.Product(lower(node.left), lower(node.right))
+        raise ReproError(  # pragma: no cover - exhaustive over expr.py
+            f"unknown expression node {type(node).__name__}"
+        )
+
+    return lower(case.expr)
+
+
+def eval_planned(
+    case: Case, config: DiffConfig = DEFAULT_CONFIG
+) -> GeneralizedRelation:
+    """Evaluate the case through the optimized logical plan.
+
+    Lowers the expression with :func:`plan_from_expr`, applies the
+    rewrite passes, and executes the rewritten plan on the native
+    engine with the same deterministic caps :func:`eval_generalized`
+    enforces (via the execution context's observation hooks).
+    """
+    from repro.plan import nodes as ir
+    from repro.plan.engine import ExecutionContext, get_engine
+    from repro.plan.rewrite import optimize_plan
+
+    plan = plan_from_expr(case)
+    domain_size = max(
+        (len(values) for values in case.data_domains.values()), default=0
+    )
+    plan, _ = optimize_plan(
+        plan, relations=case.relations, domain_size=domain_size
+    )
+
+    def on_result(node, result) -> None:
+        if isinstance(node, ir.Scan):
+            return  # leaves are inputs, not intermediates
+        if len(result) > config.tuple_cap:
+            raise OversizeError(
+                f"generalized intermediate has {len(result)} tuples "
+                f"(cap {config.tuple_cap})"
+            )
+
+    def on_pair(node, left: int, right: int) -> None:
+        if isinstance(node, ir.Union):
+            return  # union concatenates; only true pairwise ops are capped
+        pairs = left * right
+        if pairs > config.tuple_pair_cap:
+            raise OversizeError(
+                f"pairwise generalized op over {pairs} tuple pairs "
+                f"(cap {config.tuple_pair_cap})"
+            )
+
+    ctx = ExecutionContext(
+        relations=case.relations,
+        data_domains=case.data_domains,
+        memo={},
+        on_result=on_result,
+        on_pair=on_pair,
+    )
+    return get_engine("native").run(plan, ctx)
 
 
 # ----------------------------------------------------------------------
@@ -528,6 +638,35 @@ def run_case(case: Case, config: DiffConfig = DEFAULT_CONFIG) -> CaseResult:
                             f"but differ syntactically ({len(opt_keys)} vs "
                             f"{len(naive_keys)} canonical tuples)"
                         ),
+                    )
+                )
+
+        plan_check = config.plan_check
+        if plan_check is None:
+            plan_check = perf_config.get_config().optimize
+        if plan_check:
+            try:
+                with obs.span("fuzz.eval.plan"):
+                    planned = eval_planned(case, config)
+            except OversizeError as exc:
+                return done(CaseResult(case, "oversize", error=str(exc)))
+            except NormalizationLimitError as exc:
+                return done(CaseResult(case, "limit", error=str(exc)))
+            except Exception as exc:  # noqa: BLE001 - fuzzing catches all
+                return done(
+                    CaseResult(
+                        case, "error", error=f"plan: {_describe_error(exc)}"
+                    )
+                )
+            plan_snap = planned.snapshot(case.low, case.high)
+            if plan_snap != naive_snap:
+                divergences.append(
+                    _snapshot_divergence(
+                        "plan",
+                        naive_snap,
+                        plan_snap,
+                        config,
+                        "optimized plan vs naive",
                     )
                 )
 

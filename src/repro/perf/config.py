@@ -24,6 +24,13 @@ with :func:`configure` or scope changes with :func:`overrides`):
     Minimum estimated closure cost (in Floyd–Warshall cell updates)
     before pairwise fan-out engages; below it chunk overhead dominates
     and operations run serially regardless of item count.
+``REPRO_OPTIMIZE``
+    Set to ``1``/``true``/``yes``/``on`` to run the logical-plan
+    rewrite passes (pushdown, join reordering, CSE) before executing
+    queries; ``0``/``false``/``no``/``off``/unset keeps the naive plan.
+``REPRO_ENGINE``
+    Name of the registered execution engine queries run on (default
+    ``native``, the in-process algebra interpreter).
 """
 
 from __future__ import annotations
@@ -53,6 +60,12 @@ def _env_flag(name: str) -> bool:
     return bool(os.environ.get(name, ""))
 
 
+def _env_bool(name: str) -> bool:
+    """An opt-in flag: empty/``0``/``false``/``no``/``off`` mean False."""
+    raw = os.environ.get(name, "").strip().lower()
+    return raw not in ("", "0", "false", "no", "off")
+
+
 def _env_int(name: str, default: int) -> int:
     raw = os.environ.get(name, "")
     try:
@@ -78,6 +91,8 @@ class PerfConfig:
     parallel_threshold: int = DEFAULT_PARALLEL_THRESHOLD
     parallel_min_cost: int = DEFAULT_PARALLEL_MIN_COST
     kernel: str = "auto"
+    optimize: bool = False
+    engine: str = "native"
 
 
 def _env_kernel() -> str:
@@ -96,6 +111,8 @@ def _from_env() -> PerfConfig:
             0, _env_int("REPRO_PARALLEL_MIN_COST", DEFAULT_PARALLEL_MIN_COST)
         ),
         kernel=_env_kernel(),
+        optimize=_env_bool("REPRO_OPTIMIZE"),
+        engine=os.environ.get("REPRO_ENGINE", "").strip().lower() or "native",
     )
 
 

@@ -1,0 +1,83 @@
+"""repro.plan — the logical query planner's relation-expression IR.
+
+The read path is split in three (``docs/planner.md``):
+
+* **IR** (:mod:`repro.plan.nodes`) — frozen plan nodes mirroring the
+  generalized algebra, with structural schema inference;
+* **rewrites** (:mod:`repro.plan.rewrite`) — semantics-preserving
+  passes (pushdown, reordering, CSE, normal-form deferral) with
+  per-pass :class:`PassReport` deltas, costed by
+  :mod:`repro.plan.cost`;
+* **engines** (:mod:`repro.plan.engine`) — the pluggable execution
+  contract; :class:`NativeEngine` runs plans on
+  :mod:`repro.core.algebra` in-process.
+
+The planner that lowers query ASTs into this IR lives with the query
+language (:mod:`repro.query.planner`); :class:`PlanReport` is the
+stable JSON-facing summary :func:`repro.api.plan` returns.
+"""
+
+from repro.plan.cost import CostModel
+from repro.plan.engine import (
+    Engine,
+    ExecutionContext,
+    NativeEngine,
+    engines,
+    get_engine,
+    register_engine,
+    resolve_engine,
+)
+from repro.plan.nodes import (
+    Complement,
+    DataDiag,
+    DataDomain,
+    Guard,
+    Intersect,
+    Join,
+    Literal,
+    PlanNode,
+    Product,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    SelectData,
+    SelectDataEqual,
+    Shift,
+    Subtract,
+    Union,
+)
+from repro.plan.report import PlanReport
+from repro.plan.rewrite import PassReport, optimize_plan
+
+__all__ = [
+    "Complement",
+    "CostModel",
+    "DataDiag",
+    "DataDomain",
+    "Engine",
+    "ExecutionContext",
+    "Guard",
+    "Intersect",
+    "Join",
+    "Literal",
+    "NativeEngine",
+    "PassReport",
+    "PlanNode",
+    "PlanReport",
+    "Product",
+    "Project",
+    "Rename",
+    "Scan",
+    "Select",
+    "SelectData",
+    "SelectDataEqual",
+    "Shift",
+    "Subtract",
+    "Union",
+    "engines",
+    "get_engine",
+    "optimize_plan",
+    "register_engine",
+    "resolve_engine",
+]

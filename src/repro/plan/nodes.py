@@ -1,0 +1,552 @@
+"""The relation-expression IR: immutable plan nodes over the algebra.
+
+A plan is a tree of frozen dataclasses — one leaf kind per way a
+relation can enter a query (a stored relation, a constant relation, the
+active data domain) and one operation node per generalized-algebra
+operator (select, project, join, union, intersect, subtract,
+complement, product, rename, shift).  The planner
+(:mod:`repro.query.planner`) builds plans from the query AST, the
+rewrite passes (:mod:`repro.plan.rewrite`) transform them, and an
+engine (:mod:`repro.plan.engine`) executes them.
+
+Design invariants:
+
+* **Immutability** — nodes are frozen and hashable; rewrites build new
+  trees and never mutate, so plans can be shared, interned and cached.
+* **Schema inference** — ``node.schema`` is computed (and cached)
+  structurally, mirroring :mod:`repro.core.algebra`'s schema rules
+  exactly; the planner and the rewrite passes never need to execute
+  anything to know a subtree's schema.
+* **Provenance labels** — ``node.labels`` carries the ``query.*``
+  span names of the calculus nodes a plan node implements, so an
+  engine can reproduce the evaluator's legacy trace shape and EXPLAIN
+  ANALYZE can attribute runtime counters back to query syntax.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator
+from dataclasses import dataclass, field, fields, replace
+from functools import cached_property
+from typing import Any, ClassVar
+
+from repro.core.constraints import parse_atoms
+from repro.core.errors import SchemaError
+from repro.core.relations import GeneralizedRelation, Schema
+
+#: ``(operator, detail)`` provenance pairs; outermost first.
+Labels = tuple[tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """Base class for relation-expression plan nodes.
+
+    Every node is a frozen dataclass: structural equality and hashing
+    come from the fields, ``schema`` is inferred (and cached) from the
+    children, and ``labels`` records which query-AST nodes this plan
+    node implements (empty for nodes introduced by lowering or by a
+    rewrite pass).
+    """
+
+    #: Operator name, e.g. ``"join"``; set per subclass.
+    op: ClassVar[str] = "?"
+
+    labels: Labels = field(default=(), kw_only=True)
+
+    # -- structure -----------------------------------------------------
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        """Child plan nodes, left to right."""
+        return tuple(
+            getattr(self, f.name)
+            for f in fields(self)
+            if f.metadata.get("child")
+        )
+
+    def replace_children(self, children: tuple[PlanNode, ...]) -> PlanNode:
+        """Rebuild this node with replacement children (same arity)."""
+        names = [f.name for f in fields(self) if f.metadata.get("child")]
+        if len(names) != len(children):
+            raise SchemaError(
+                f"{type(self).__name__} takes {len(names)} children, "
+                f"got {len(children)}"
+            )
+        return replace(self, **dict(zip(names, children)))
+
+    def walk(self) -> Iterator[PlanNode]:
+        """Yield this node and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def size(self) -> int:
+        """Total node count of the subtree."""
+        return sum(1 for _ in self.walk())
+
+    # -- provenance labels ---------------------------------------------
+
+    def with_labels(self, labels: Labels) -> PlanNode:
+        """This node with ``labels`` replacing the current labels."""
+        if labels == self.labels:
+            return self
+        return replace(self, labels=labels)
+
+    def add_label(self, operator: str, detail: str = "") -> PlanNode:
+        """Prepend one provenance label (it becomes the outermost span)."""
+        return self.with_labels(((operator, detail),) + self.labels)
+
+    # -- schema inference ----------------------------------------------
+
+    @cached_property
+    def schema(self) -> Schema:
+        """The result schema, inferred structurally (cached)."""
+        return self._infer_schema()
+
+    def _infer_schema(self) -> Schema:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    # -- identity ------------------------------------------------------
+
+    def key(self) -> tuple:
+        """Structural identity ignoring labels (for interning/CSE).
+
+        Two nodes with the same key compute the same relation; their
+        provenance labels may differ.
+        """
+        parts: list[Any] = [self.op]
+        for f in fields(self):
+            if f.name == "labels" or not f.compare:
+                continue
+            value = getattr(self, f.name)
+            if f.metadata.get("child"):
+                parts.append(value.key())
+            else:
+                parts.append(value)
+        return tuple(parts)
+
+    # -- rendering -----------------------------------------------------
+
+    def detail(self) -> str:
+        """One-line parameter text for rendering (may be empty)."""
+        return ""
+
+    def describe(self) -> str:
+        """``op[detail]`` — one node as text."""
+        detail = self.detail()
+        return f"{self.op}[{detail}]" if detail else self.op
+
+    def render(self, indent: int = 0) -> list[str]:
+        """The subtree as indented text lines."""
+        pad = "  " * indent
+        origin = ""
+        if self.labels:
+            origin = "  ← " + ", ".join(
+                op if not detail else f"{op}: {detail}"
+                for op, detail in self.labels
+            )
+        lines = [f"{pad}{self.describe()}  :: {self.schema}{origin}"]
+        for child in self.children:
+            lines.extend(child.render(indent + 1))
+        return lines
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready structural dump of the subtree."""
+        out: dict[str, Any] = {"op": self.op}
+        detail = self.detail()
+        if detail:
+            out["detail"] = detail
+        out["schema"] = str(self.schema)
+        if self.labels:
+            out["labels"] = [list(pair) for pair in self.labels]
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def __str__(self) -> str:
+        return "\n".join(self.render())
+
+
+def _child(**extra) -> Any:
+    """A dataclass field marking a child plan node."""
+    return field(metadata={"child": True}, **extra)
+
+
+# ----------------------------------------------------------------------
+# leaves
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scan(PlanNode):
+    """A stored relation, looked up by name at execution time."""
+
+    op: ClassVar[str] = "scan"
+
+    name: str
+    scan_schema: Schema
+
+    def _infer_schema(self) -> Schema:
+        return self.scan_schema
+
+    def detail(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal(PlanNode):
+    """A constant relation, materialized at plan time.
+
+    ``token`` is the value's structural identity (the relation itself
+    is excluded from equality/hashing): ``("truth", bool)`` for the
+    0-ary truth values, ``("universe", names...)`` / ``("empty",
+    names...)`` for per-variable universes and contradictions, and
+    ``("singleton", name, value)`` for one-value data relations.
+    """
+
+    op: ClassVar[str] = "literal"
+
+    token: tuple[Hashable, ...]
+    relation: GeneralizedRelation = field(compare=False, repr=False)
+
+    def _infer_schema(self) -> Schema:
+        return self.relation.schema
+
+    def detail(self) -> str:
+        kind = self.token[0]
+        rest = self.token[1:]
+        if kind == "truth":
+            return "⊤" if rest[0] else "⊥"
+        return f"{kind}({', '.join(repr(p) for p in rest)})"
+
+
+@dataclass(frozen=True)
+class DataDomain(PlanNode):
+    """The active data domain as a unary data relation (built at run time)."""
+
+    op: ClassVar[str] = "data-domain"
+
+    name: str
+
+    def _infer_schema(self) -> Schema:
+        return Schema.make(data=[self.name])
+
+    def detail(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class DataDiag(PlanNode):
+    """The diagonal ``{(v, v)}`` over the active data domain."""
+
+    op: ClassVar[str] = "data-diag"
+
+    left: str
+    right: str
+
+    def _infer_schema(self) -> Schema:
+        return Schema.make(data=sorted([self.left, self.right]))
+
+    def detail(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+# ----------------------------------------------------------------------
+# unary operations
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Guard(PlanNode):
+    """Pass the child through iff the active data domain is nonempty.
+
+    Implements the vacuous data-sort quantifier: ``EXISTS d. φ`` with
+    ``d`` not free in ``φ`` is ``φ`` when the domain has a witness and
+    empty otherwise — a runtime fact, so it stays a plan node rather
+    than folding away.
+    """
+
+    op: ClassVar[str] = "guard"
+
+    child: PlanNode = _child()
+
+    def _infer_schema(self) -> Schema:
+        return self.child.schema
+
+    def detail(self) -> str:
+        return "data domain nonempty"
+
+
+@dataclass(frozen=True)
+class Select(PlanNode):
+    """Selection by a restricted-constraint condition string."""
+
+    op: ClassVar[str] = "select"
+
+    child: PlanNode = _child()
+    condition: str = ""
+
+    def _infer_schema(self) -> Schema:
+        schema = self.child.schema
+        temporal = set(schema.temporal_names)
+        for atom in parse_atoms(self.condition):
+            names = [atom.left]
+            right = getattr(atom, "right", None)
+            if right is not None:
+                names.append(right)
+            for name in names:
+                if name not in temporal:
+                    raise SchemaError(
+                        f"selection references non-temporal or unknown "
+                        f"attribute {name!r}"
+                    )
+        return schema
+
+    def detail(self) -> str:
+        return self.condition
+
+
+@dataclass(frozen=True)
+class SelectData(PlanNode):
+    """Selection of one data attribute equal to a constant."""
+
+    op: ClassVar[str] = "select-data"
+
+    child: PlanNode = _child()
+    name: str = ""
+    value: Hashable = None
+
+    def _infer_schema(self) -> Schema:
+        schema = self.child.schema
+        if self.name not in schema.data_names:
+            raise SchemaError(
+                f"select-data references non-data attribute {self.name!r}"
+            )
+        return schema
+
+    def detail(self) -> str:
+        return f"{self.name} = {self.value!r}"
+
+
+@dataclass(frozen=True)
+class SelectDataEqual(PlanNode):
+    """Selection of two data attributes being equal."""
+
+    op: ClassVar[str] = "select-data-eq"
+
+    child: PlanNode = _child()
+    left: str = ""
+    right: str = ""
+
+    def _infer_schema(self) -> Schema:
+        schema = self.child.schema
+        for name in (self.left, self.right):
+            if name not in schema.data_names:
+                raise SchemaError(
+                    f"select-data-eq references non-data attribute {name!r}"
+                )
+        return schema
+
+    def detail(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class Project(PlanNode):
+    """Projection onto named attributes, in the given order.
+
+    The consumer-facing normalization point: :func:`algebra.project`
+    normalizes tuples, so the rewrite passes merge projection chains
+    (normal-form deferral) and push projections toward leaves.
+    """
+
+    op: ClassVar[str] = "project"
+
+    child: PlanNode = _child()
+    names: tuple[str, ...] = ()
+
+    def _infer_schema(self) -> Schema:
+        schema = self.child.schema
+        return Schema(tuple(schema.attribute(name) for name in self.names))
+
+    def detail(self) -> str:
+        return ", ".join(self.names)
+
+
+@dataclass(frozen=True)
+class Rename(PlanNode):
+    """Attribute renaming; ``mapping`` is ``((old, new), ...)``."""
+
+    op: ClassVar[str] = "rename"
+
+    child: PlanNode = _child()
+    mapping: tuple[tuple[str, str], ...] = ()
+
+    def _infer_schema(self) -> Schema:
+        table = dict(self.mapping)
+        schema = self.child.schema
+        return Schema(
+            tuple(
+                replace(attr, name=table.get(attr.name, attr.name))
+                for attr in schema.attributes
+            )
+        )
+
+    def detail(self) -> str:
+        return ", ".join(f"{old}→{new}" for old, new in self.mapping)
+
+
+@dataclass(frozen=True)
+class Shift(PlanNode):
+    """Shift one temporal column by a constant offset."""
+
+    op: ClassVar[str] = "shift"
+
+    child: PlanNode = _child()
+    name: str = ""
+    delta: int = 0
+
+    def _infer_schema(self) -> Schema:
+        return self.child.schema
+
+    def detail(self) -> str:
+        sign = "+" if self.delta >= 0 else "-"
+        return f"{self.name} {sign} {abs(self.delta)}"
+
+
+@dataclass(frozen=True)
+class Complement(PlanNode):
+    """Complement w.r.t. ``Z^k`` (finite domains on data attributes).
+
+    A rewrite barrier: selections and projections never push through a
+    complement (``σ(¬A) ≠ ¬σ(A)``).
+    """
+
+    op: ClassVar[str] = "complement"
+
+    child: PlanNode = _child()
+
+    def _infer_schema(self) -> Schema:
+        return self.child.schema
+
+
+# ----------------------------------------------------------------------
+# binary operations
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Binary(PlanNode):
+    """Base for binary operation nodes."""
+
+    left: PlanNode = _child()
+    right: PlanNode = _child()
+
+
+class _SetOp(_Binary):
+    """union / intersect / subtract: both sides share one schema."""
+
+    def _infer_schema(self) -> Schema:
+        s1, s2 = self.left.schema, self.right.schema
+        if s1 != s2:
+            raise SchemaError(
+                f"{self.op} operands have different schemas: {s1} vs {s2}"
+            )
+        return s1
+
+
+@dataclass(frozen=True)
+class Union(_SetOp):
+    """Set union of two same-schema relations."""
+
+    op: ClassVar[str] = "union"
+
+
+@dataclass(frozen=True)
+class Intersect(_SetOp):
+    """Set intersection of two same-schema relations."""
+
+    op: ClassVar[str] = "intersect"
+
+
+@dataclass(frozen=True)
+class Subtract(_SetOp):
+    """Set difference of two same-schema relations."""
+
+    op: ClassVar[str] = "subtract"
+
+
+@dataclass(frozen=True)
+class Join(_Binary):
+    """Natural join: left schema plus right-only attributes."""
+
+    op: ClassVar[str] = "join"
+
+    def _infer_schema(self) -> Schema:
+        s1, s2 = self.left.schema, self.right.schema
+        for attr in s1.attributes:
+            if s2.has(attr.name) and s2.attribute(attr.name).temporal != attr.temporal:
+                raise SchemaError(
+                    f"join attribute {attr.name!r} is temporal on one side "
+                    "and data on the other"
+                )
+        extra = tuple(a for a in s2.attributes if not s1.has(a.name))
+        return Schema(s1.attributes + extra)
+
+
+@dataclass(frozen=True)
+class Product(_Binary):
+    """Cross product: attribute names must be disjoint."""
+
+    op: ClassVar[str] = "product"
+
+    def _infer_schema(self) -> Schema:
+        s1, s2 = self.left.schema, self.right.schema
+        overlap = set(s1.names) & set(s2.names)
+        if overlap:
+            raise SchemaError(
+                f"product operands share attribute names: {sorted(overlap)}"
+            )
+        return Schema(s1.attributes + s2.attributes)
+
+
+# ----------------------------------------------------------------------
+# literal constructors
+# ----------------------------------------------------------------------
+
+
+def truth_literal(value: bool) -> Literal:
+    """The 0-ary truth (one empty tuple) or falsity (no tuples) literal."""
+    rel = GeneralizedRelation.empty(Schema(()))
+    if value:
+        from repro.core.tuples import GeneralizedTuple
+
+        rel.add(GeneralizedTuple.make([]))
+    return Literal(token=("truth", value), relation=rel)
+
+
+def universe_literal(names: list[str]) -> Literal:
+    """The universe ``Z^k`` over the given temporal attribute names."""
+    schema = Schema.make(temporal=names)
+    return Literal(
+        token=("universe",) + tuple(names),
+        relation=GeneralizedRelation.universe(schema),
+    )
+
+
+def empty_literal(schema: Schema) -> Literal:
+    """The empty relation over an arbitrary schema."""
+    return Literal(
+        token=("empty",) + tuple(schema.names),
+        relation=GeneralizedRelation.empty(schema),
+    )
+
+
+def singleton_literal(name: str, value: Hashable) -> Literal:
+    """A one-tuple unary data relation ``{(value)}``."""
+    from repro.core.tuples import GeneralizedTuple
+
+    rel = GeneralizedRelation.empty(Schema.make(data=[name]))
+    rel.add(GeneralizedTuple.make([], data=(value,)))
+    return Literal(token=("singleton", name, value), relation=rel)

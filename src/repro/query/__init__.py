@@ -26,8 +26,12 @@ from repro.query.explain import (
     QueryTrace,
     explain,
     explain_analyze,
+    explain_plan,
+    plan_report,
 )
+from repro.query.ops import node_detail, node_label, node_operator
 from repro.query.parser import Directive, parse_query, split_directive
+from repro.query.planner import Planner
 
 __all__ = [
     "And",
@@ -45,6 +49,7 @@ __all__ = [
     "Not",
     "Or",
     "PlanNode",
+    "Planner",
     "Pred",
     "Query",
     "QueryTrace",
@@ -53,7 +58,12 @@ __all__ = [
     "TempVar",
     "explain",
     "explain_analyze",
+    "explain_plan",
     "free_variables",
+    "node_detail",
+    "node_label",
+    "node_operator",
     "parse_query",
+    "plan_report",
     "split_directive",
 ]

@@ -220,51 +220,79 @@ class Database:
         """Parse a query against the catalog's schemas."""
         return parse_query(text, self.schemas())
 
-    def query(self, query: str | Query):
+    def _evaluator(self, *, engine=None, optimize=None) -> Evaluator:
+        return Evaluator(
+            dict(self._relations),
+            max_tuples=self.max_tuples,
+            max_extensions=self.max_extensions,
+            engine=engine,
+            optimize=optimize,
+        )
+
+    def query(self, query: str | Query, *, engine=None, optimize=None):
         """Evaluate a query; the result schema is the free variables.
 
         A query string may carry a leading directive: ``EXPLAIN <q>``
-        returns the :class:`~repro.query.explain.PlanNode` operator
-        tree and ``EXPLAIN ANALYZE <q>`` the instrumented
-        :class:`~repro.query.explain.QueryTrace` (span tree, timings,
-        result).  Plain queries return the result relation.
+        returns the plan (see :meth:`explain`) and ``EXPLAIN ANALYZE
+        <q>`` the instrumented :class:`~repro.query.explain.QueryTrace`
+        (span tree, timings, result).  Plain queries return the result
+        relation.
+
+        ``engine`` selects a registered execution engine by name,
+        ``optimize`` toggles the plan rewrite passes; both default to
+        the global configuration (``REPRO_ENGINE`` /
+        ``REPRO_OPTIMIZE``).  Optimization never changes results, only
+        how they are computed.
         """
         if isinstance(query, str):
             directive, text = split_directive(query)
             if directive is Directive.EXPLAIN:
-                return self.explain(text)
+                return self.explain(text, engine=engine, optimize=optimize)
             if directive is Directive.EXPLAIN_ANALYZE:
-                return self.trace(text)
+                return self.trace(text, engine=engine, optimize=optimize)
             query = self.parse(text)
-        evaluator = Evaluator(
-            dict(self._relations),
-            max_tuples=self.max_tuples,
-            max_extensions=self.max_extensions,
-        )
-        return evaluator.evaluate(query)
+        return self._evaluator(engine=engine, optimize=optimize).evaluate(query)
 
-    def ask(self, query: str | Query) -> bool:
+    def ask(self, query: str | Query, *, engine=None, optimize=None) -> bool:
         """Evaluate a closed (yes/no) query — Theorem 4.1's setting."""
         if isinstance(query, str):
             query = self.parse(query)
-        evaluator = Evaluator(
-            dict(self._relations),
-            max_tuples=self.max_tuples,
-            max_extensions=self.max_extensions,
-        )
-        return evaluator.ask(query)
+        return self._evaluator(engine=engine, optimize=optimize).ask(query)
 
-    def explain(self, query: str | Query):
+    def plan(self, query: str | Query, *, engine=None, optimize=None):
+        """Statically plan ``query`` without executing it.
+
+        Returns a frozen :class:`~repro.plan.report.PlanReport`: the
+        lowered plan, the optimized plan (when optimization resolves
+        on) and the per-pass rewrite deltas.
+        """
+        from repro.query.explain import plan_report
+
+        return plan_report(self, query, engine=engine, optimize=optimize)
+
+    def explain(self, query: str | Query, *, engine=None, optimize=None):
         """Record the algebraic plan of ``query`` (it really runs).
 
-        Returns a :class:`repro.query.explain.PlanNode`; ``str()``
-        renders the annotated operator tree.
+        With optimization off (the default), returns the legacy
+        span-projected :class:`repro.query.explain.PlanNode`; with it
+        on, a :class:`~repro.plan.report.PlanReport` whose nodes are
+        annotated with observed output sizes and whose ``passes`` show
+        what each rewrite changed.  ``str()`` renders either.
         """
-        from repro.query.explain import explain as _explain
+        from repro.query.explain import explain_plan, plan_report
 
-        return _explain(self, query)
+        resolved = optimize
+        if resolved is None:
+            from repro.perf.config import get_config
 
-    def trace(self, query: str | Query):
+            resolved = get_config().optimize
+        if resolved:
+            return plan_report(
+                self, query, engine=engine, optimize=True, execute=True
+            )
+        return explain_plan(self, query, engine=engine, optimize=False)
+
+    def trace(self, query: str | Query, *, engine=None, optimize=None):
         """EXPLAIN ANALYZE: evaluate ``query`` under the trace recorder.
 
         Returns a :class:`repro.query.explain.QueryTrace` holding the
@@ -275,7 +303,7 @@ class Database:
         """
         from repro.query.explain import explain_analyze
 
-        return explain_analyze(self, query)
+        return explain_analyze(self, query, engine=engine, optimize=optimize)
 
     def __contains__(self, name: str) -> bool:
         return name in self._relations

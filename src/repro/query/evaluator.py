@@ -20,25 +20,34 @@ Translation table:
 ``EXISTS``             projection
 ``FORALL``             ``~ EXISTS ~``
 =====================  ====================================================
+
+Since the planner split (``docs/planner.md``), the evaluator is a thin
+pipeline: :class:`repro.query.planner.Planner` lowers the AST into a
+relation-expression plan, the optional rewrite passes
+(:mod:`repro.plan.rewrite`) transform it, and a pluggable engine
+(:mod:`repro.plan.engine`) executes it.  With optimization off (the
+default) the lowered plan performs exactly the algebra calls the
+pre-planner evaluator performed, in the same order — results and trace
+shapes are byte-compatible.
 """
 
 from __future__ import annotations
 
 from collections.abc import Hashable
 
-from repro.core import algebra
-from repro.core.errors import EvaluationError, ReproTypeError
+from repro.core.errors import EvaluationError
 from repro.obs import trace as obs
+from repro.obs.metrics import get_registry
 from repro.core.negation import DEFAULT_MAX_EXTENSIONS
 from repro.core.normalize import DEFAULT_MAX_TUPLES
-from repro.core.relations import GeneralizedRelation, Schema
-from repro.core.tuples import GeneralizedTuple
+from repro.core.relations import GeneralizedRelation
+from repro.plan.engine import Engine, ExecutionContext, resolve_engine
+from repro.plan.nodes import PlanNode
+from repro.plan.rewrite import PassReport, optimize_plan
 from repro.query.ast import (
     And,
-    Cmp,
     DataConst,
     DataEq,
-    DataVar,
     Exists,
     Forall,
     Implies,
@@ -46,84 +55,10 @@ from repro.query.ast import (
     Or,
     Pred,
     Query,
-    Sort,
-    TempConst,
-    TempVar,
     free_variables,
 )
-
-
-#: Query-node class -> plan/trace operator name (the algebra operation
-#: the evaluator translates it into).
-_NODE_OPERATORS = {
-    Pred: "scan",
-    Cmp: "compare",
-    DataEq: "data-eq",
-    And: "join",
-    Or: "union",
-    Not: "complement",
-    Implies: "implies",
-    Exists: "project",
-    Forall: "forall",
-}
-
-
-def node_operator(node: Query) -> str:
-    """The plan-operator name of a query node (``scan``, ``join``, ...)."""
-    return _NODE_OPERATORS[type(node)]
-
-
-def node_detail(node: Query) -> str:
-    """A one-line human description of how a query node evaluates."""
-    if isinstance(node, (Pred, Cmp, DataEq)):
-        return str(node)
-    if isinstance(node, And):
-        return f"{len(node.parts)}-way natural join"
-    if isinstance(node, Or):
-        return f"{len(node.parts)}-way aligned union"
-    if isinstance(node, Not):
-        return "negation pushed inward, then Z-complement at atoms"
-    if isinstance(node, Implies):
-        return "rewritten to ~antecedent | consequent"
-    if isinstance(node, Exists):
-        sort = "Z" if node.sort is Sort.TEMPORAL else "active domain"
-        return f"∃{node.var} over {sort}"
-    if isinstance(node, Forall):
-        return f"∀{node.var} as ~∃~"
-    return ""  # pragma: no cover - every node type is covered above
-
-
-def _with_offset(column: str, delta: int) -> str:
-    """Render ``column + delta`` in the constraint parser's syntax."""
-    if delta == 0:
-        return column
-    if delta > 0:
-        return f"{column} + {delta}"
-    return f"{column} - {-delta}"
-
-
-def _true_relation() -> GeneralizedRelation:
-    out = GeneralizedRelation.empty(Schema(()))
-    out.add(GeneralizedTuple.make([]))
-    return out
-
-
-def _false_relation() -> GeneralizedRelation:
-    return GeneralizedRelation.empty(Schema(()))
-
-
-def _truth(value: bool) -> GeneralizedRelation:
-    return _true_relation() if value else _false_relation()
-
-
-def _canonical_order(relation: GeneralizedRelation) -> GeneralizedRelation:
-    """Reorder columns to (sorted temporal, sorted data)."""
-    names = sorted(relation.schema.temporal_names) + sorted(
-        relation.schema.data_names
-    )
-    if names == list(relation.schema.names):
-        return relation
-    return algebra.project(relation, names)
+from repro.query.ops import node_detail, node_operator  # noqa: F401 - re-export
+from repro.query.planner import Planner
 
 
 class Evaluator:
@@ -136,6 +71,14 @@ class Evaluator:
     algebra operations through the :mod:`repro.perf` process pool for
     this evaluator's queries (``None`` keeps the global configuration);
     results are identical for every worker count.
+
+    ``engine`` and ``optimize`` are keyword-only: ``engine`` selects a
+    registered execution engine by name (or passes an
+    :class:`~repro.plan.engine.Engine` instance), ``optimize`` turns
+    the plan rewrite passes on or off.  Both default to the global
+    configuration (environment variables ``REPRO_ENGINE`` and
+    ``REPRO_OPTIMIZE``); optimized plans are semantically equivalent
+    but may differ in intermediate representation and trace shape.
     """
 
     def __init__(
@@ -145,11 +88,16 @@ class Evaluator:
         max_tuples: int = DEFAULT_MAX_TUPLES,
         max_extensions: int = DEFAULT_MAX_EXTENSIONS,
         workers: int | None = None,
+        *,
+        engine: str | Engine | None = None,
+        optimize: bool | None = None,
     ) -> None:
         self.relations = relations
         self.max_tuples = max_tuples
         self.max_extensions = max_extensions
         self.workers = workers
+        self.engine = engine
+        self.optimize = optimize
         domain: set[Hashable] = set()
         for rel in relations.values():
             domain |= rel.active_data_domain()
@@ -175,14 +123,26 @@ class Evaluator:
         constants = _data_constants(query)
         if not constants <= self.data_domain:
             self.data_domain = self.data_domain | constants
+        optimize = self._resolved_optimize()
+        engine = resolve_engine(self.engine)
         with obs.span("query.evaluate", workers=self.workers or 0) as sp:
+            plan = Planner(self.relations).plan_query(query)
+            get_registry().counter("planner.plans").inc()
+            if optimize:
+                sp.set(engine=engine.name, optimized=True)
+                plan, _ = optimize_plan(
+                    plan,
+                    relations=self.relations,
+                    domain_size=len(self.data_domain),
+                )
+            ctx = self._context(optimize)
             if self.workers is None:
-                result = _canonical_order(self._walk(query))
+                result = engine.run(plan, ctx)
             else:
                 from repro.perf.config import overrides
 
                 with overrides(workers=self.workers):
-                    result = _canonical_order(self._walk(query))
+                    result = engine.run(plan, ctx)
             sp.set(out_tuples=len(result), out_schema=str(result.schema))
             return result
 
@@ -194,283 +154,55 @@ class Evaluator:
             )
         return not self.evaluate(query).is_empty()
 
-    # ------------------------------------------------------------------
-    # translation
-    # ------------------------------------------------------------------
+    def plan(
+        self, query: Query, *, optimize: bool | None = None
+    ) -> tuple[PlanNode, PlanNode, tuple[PassReport, ...]]:
+        """Plan a query without executing it.
 
-    def _walk(self, node: Query) -> GeneralizedRelation:
-        """Translate one query node, wrapped in a ``query.*`` span.
-
-        With a trace recorder installed (:func:`repro.obs.tracing`)
-        every node contributes a span named ``query.<operator>`` whose
-        children are the sub-query spans plus the ``algebra.*`` spans
-        of the operations that implemented it; rewritten forms
-        (implications expanded, ∀ as ¬∃¬, negations pushed inward)
-        appear as child nodes of the original, which is exactly what
-        runs.  Tracing off: straight dispatch, no span objects.
+        Returns ``(naive, plan, passes)``: the lowered plan, the plan
+        that would run (rewritten when optimization is on, the same
+        object otherwise) and the per-pass rewrite deltas.
         """
-        recorder = obs.active_recorder()
-        if recorder is None:
-            return self._dispatch(node)
-        with recorder.span(
-            f"query.{node_operator(node)}", detail=node_detail(node)
-        ) as sp:
-            result = self._dispatch(node)
-            sp.set(
-                out_tuples=len(result), out_schema=str(result.schema)
-            )
-            return result
-
-    def _dispatch(self, node: Query) -> GeneralizedRelation:
-        if isinstance(node, Pred):
-            return self._pred(node)
-        if isinstance(node, Cmp):
-            return self._cmp(node)
-        if isinstance(node, DataEq):
-            return self._data_eq(node)
-        if isinstance(node, And):
-            out = _true_relation()
-            for part in node.parts:
-                out = algebra.join(out, self._walk(part))
-            return out
-        if isinstance(node, Or):
-            parts = [self._walk(part) for part in node.parts]
-            return self._aligned_union(parts)
-        if isinstance(node, Implies):
-            return self._walk(
-                Or((Not(node.antecedent), node.consequent))
-            )
-        if isinstance(node, Not):
-            return self._negation(node.body)
-        if isinstance(node, Exists):
-            return self._exists(node)
-        if isinstance(node, Forall):
-            rewritten = Not(Exists(node.var, node.sort, Not(node.body)))
-            return self._walk(rewritten)
-        raise ReproTypeError(f"unexpected query node: {node!r}")  # pragma: no cover
-
-    def _pred(self, node: Pred) -> GeneralizedRelation:
-        stored = self.relations.get(node.name)
-        if stored is None:
-            raise EvaluationError(f"unknown predicate {node.name!r}")
-        if len(node.args) != len(stored.schema):
-            raise EvaluationError(
-                f"{node.name} expects {len(stored.schema)} arguments, "
-                f"got {len(node.args)}"
-            )
-        # Rename every column to a unique positional name first.
-        positional = {
-            attr.name: f"_p{i}"
-            for i, attr in enumerate(stored.schema.attributes)
-        }
-        rel = algebra.rename(stored, positional)
-        temporal_groups: dict[str, list[tuple[str, int]]] = {}
-        data_groups: dict[str, list[str]] = {}
-        drop: list[str] = []
-        for i, (arg, attr) in enumerate(
-            zip(node.args, stored.schema.attributes)
-        ):
-            col = f"_p{i}"
-            if attr.temporal:
-                if isinstance(arg, TempConst):
-                    rel = algebra.select(rel, f"{col} = {arg.value}")
-                    drop.append(col)
-                elif isinstance(arg, TempVar):
-                    temporal_groups.setdefault(arg.name, []).append(
-                        (col, arg.offset)
-                    )
-                else:
-                    raise EvaluationError(
-                        f"data term {arg} in temporal position of {node.name}"
-                    )
-            else:
-                if isinstance(arg, DataConst):
-                    rel = algebra.select_data(rel, col, arg.value)
-                    drop.append(col)
-                elif isinstance(arg, DataVar):
-                    data_groups.setdefault(arg.name, []).append(col)
-                else:
-                    raise EvaluationError(
-                        f"temporal term {arg} in data position of {node.name}"
-                    )
-        rename_map: dict[str, str] = {}
-        for var, occurrences in temporal_groups.items():
-            first_col, first_offset = occurrences[0]
-            for col, offset in occurrences[1:]:
-                rel = algebra.select(
-                    rel,
-                    f"{col} = {_with_offset(first_col, offset - first_offset)}",
-                )
-                drop.append(col)
-            if first_offset != 0:
-                rel = algebra.shift_column(rel, first_col, -first_offset)
-            rename_map[first_col] = var
-        for var, columns in data_groups.items():
-            first_col = columns[0]
-            for col in columns[1:]:
-                rel = algebra.select_data_equal(rel, first_col, col)
-                drop.append(col)
-            rename_map[first_col] = var
-        keep = [name for name in rel.schema.names if name not in drop]
-        rel = algebra.project(rel, keep)
-        return algebra.rename(rel, rename_map)
-
-    def _cmp(self, node: Cmp) -> GeneralizedRelation:
-        left, right = node.left, node.right
-        if isinstance(left, TempConst) and isinstance(right, TempConst):
-            return _truth(node.op.holds(left.value, right.value))
-        if isinstance(left, TempVar) and isinstance(right, TempVar):
-            if left.name == right.name:
-                # The variable stays free: a tautology/contradiction on
-                # one variable is the unary universe or the unary empty
-                # relation, never a 0-ary truth value.
-                schema = Schema.make(temporal=[left.name])
-                if node.op.holds(left.offset, right.offset):
-                    return GeneralizedRelation.universe(schema)
-                return GeneralizedRelation.empty(schema)
-            universe = GeneralizedRelation.universe(
-                Schema.make(temporal=[left.name, right.name])
-            )
-            shift = right.offset - left.offset
-            return algebra.select(
-                universe,
-                f"{left.name} {node.op.value} "
-                f"{_with_offset(right.name, shift)}",
-            )
-        if isinstance(left, TempVar):
-            bound = right.value - left.offset
-            universe = GeneralizedRelation.universe(
-                Schema.make(temporal=[left.name])
-            )
-            return algebra.select(
-                universe, f"{left.name} {node.op.value} {bound}"
-            )
-        # constant op variable: flip.
-        flipped = {"<=": ">=", ">=": "<=", "<": ">", ">": "<", "=": "="}
-        bound = left.value - right.offset
-        universe = GeneralizedRelation.universe(
-            Schema.make(temporal=[right.name])
+        constants = _data_constants(query)
+        if not constants <= self.data_domain:
+            self.data_domain = self.data_domain | constants
+        if optimize is None:
+            optimize = self._resolved_optimize()
+        naive = Planner(self.relations).plan_query(query)
+        get_registry().counter("planner.plans").inc()
+        if not optimize:
+            return naive, naive, ()
+        plan, passes = optimize_plan(
+            naive,
+            relations=self.relations,
+            domain_size=len(self.data_domain),
         )
-        return algebra.select(
-            universe, f"{right.name} {flipped[node.op.value]} {bound}"
-        )
+        return naive, plan, passes
 
-    def _data_eq(self, node: DataEq) -> GeneralizedRelation:
-        left, right = node.left, node.right
-        if isinstance(left, DataConst) and isinstance(right, DataConst):
-            return _truth(left.value == right.value)
-        if isinstance(left, DataVar) and isinstance(right, DataVar):
-            if left.name == right.name:
-                # Trivial self-equality still binds the variable to the
-                # active domain (its free-variable schema must survive).
-                schema = Schema.make(data=[left.name])
-                out = GeneralizedRelation.empty(schema)
-                for value in self.data_domain:
-                    out.add(GeneralizedTuple.make([], data=(value,)))
-                return out
-            schema = Schema.make(data=sorted([left.name, right.name]))
-            out = GeneralizedRelation.empty(schema)
-            for value in self.data_domain:
-                out.add(GeneralizedTuple.make([], data=(value, value)))
-            return out
-        var = left if isinstance(left, DataVar) else right
-        const = right if isinstance(right, DataConst) else left
-        schema = Schema.make(data=[var.name])
-        out = GeneralizedRelation.empty(schema)
-        out.add(GeneralizedTuple.make([], data=(const.value,)))
-        return out
+    def execution_context(self) -> ExecutionContext:
+        """A fresh execution context for running this evaluator's plans."""
+        return self._context(self._resolved_optimize())
 
-    def _negation(self, body: Query) -> GeneralizedRelation:
-        """Evaluate ``~body``, pushing the negation inward first.
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
 
-        Complement cost is exponential in the schema width (the number
-        of free-extension combinations, Appendix A.6), so complementing
-        a wide conjunction directly is catastrophic.  De Morgan and the
-        implication/double-negation rules move negations down to small
-        subformulas, where complements stay narrow; only atoms and
-        quantifiers are complemented as relations.
-        """
-        if isinstance(body, Not):
-            return self._walk(body.body)
-        if isinstance(body, And):
-            return self._walk(Or(tuple(Not(p) for p in body.parts)))
-        if isinstance(body, Or):
-            return self._walk(And(tuple(Not(p) for p in body.parts)))
-        if isinstance(body, Implies):
-            return self._walk(
-                And((body.antecedent, Not(body.consequent)))
-            )
-        if isinstance(body, Forall):
-            return self._walk(Exists(body.var, body.sort, Not(body.body)))
-        # Atoms and existential quantifiers: complement the relation.
-        return self._complement(self._walk(body))
+    def _resolved_optimize(self) -> bool:
+        if self.optimize is not None:
+            return bool(self.optimize)
+        from repro.perf.config import get_config
 
-    def _complement(self, rel: GeneralizedRelation) -> GeneralizedRelation:
-        data_domains = {
-            name: sorted(self.data_domain, key=repr)
-            for name in rel.schema.data_names
-        }
-        return algebra.complement(
-            rel,
-            data_domains=data_domains or None,
+        return get_config().optimize
+
+    def _context(self, optimize: bool) -> ExecutionContext:
+        return ExecutionContext(
+            relations=self.relations,
+            data_domain=self.data_domain,
             max_tuples=self.max_tuples,
             max_extensions=self.max_extensions,
+            plan_spans=optimize,
+            memo={} if optimize else None,
         )
-
-    def _exists(self, node: Exists) -> GeneralizedRelation:
-        body = self._walk(node.body)
-        if not body.schema.has(node.var):
-            # Vacuous quantification: over Z always harmless; over the
-            # data sort it needs a nonempty active domain.
-            if node.sort is Sort.DATA and not self.data_domain:
-                return GeneralizedRelation.empty(body.schema)
-            return body
-        keep = [name for name in body.schema.names if name != node.var]
-        return algebra.project(body, keep)
-
-    def _aligned_union(
-        self, parts: list[GeneralizedRelation]
-    ) -> GeneralizedRelation:
-        """Union of relations over possibly different free variables.
-
-        Each part is padded with universal columns for the variables it
-        lacks: temporal variables range over Z, data variables over the
-        active domain.
-        """
-        temporal: dict[str, None] = {}
-        data: dict[str, None] = {}
-        for part in parts:
-            for name in part.schema.temporal_names:
-                temporal[name] = None
-            for name in part.schema.data_names:
-                data[name] = None
-        order = sorted(temporal) + sorted(data)
-        aligned: list[GeneralizedRelation] = []
-        for part in parts:
-            rel = part
-            for name in temporal:
-                if not rel.schema.has(name):
-                    rel = algebra.product(
-                        rel,
-                        GeneralizedRelation.universe(
-                            Schema.make(temporal=[name])
-                        ),
-                    )
-            for name in data:
-                if not rel.schema.has(name):
-                    domain_rel = GeneralizedRelation.empty(
-                        Schema.make(data=[name])
-                    )
-                    for value in self.data_domain:
-                        domain_rel.add(
-                            GeneralizedTuple.make([], data=(value,))
-                        )
-                    rel = algebra.product(rel, domain_rel)
-            aligned.append(algebra.project(rel, order))
-        out = aligned[0]
-        for rel in aligned[1:]:
-            out = algebra.union(out, rel)
-        return out
 
 
 def _data_constants(query: Query) -> set[Hashable]:

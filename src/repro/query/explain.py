@@ -16,25 +16,46 @@ expansions — plus the query result itself.  It renders as a text
 flamegraph and exports to JSON (see ``docs/observability.md`` for the
 schema).
 
-Both are trace-driven: the evaluator emits ``query.*`` spans as it
-walks (see :meth:`repro.query.evaluator.Evaluator._walk`), and the
-plan tree here is a projection of that span tree.  The plan therefore
-reflects the *rewritten* query (implications expanded, negations
-pushed inward, ∀ as ¬∃¬), which is exactly what runs.
+Both are trace-driven: the engine emits one ``query.*`` span per plan
+node with query provenance, plus ``plan.*`` spans for nodes the
+optimizer introduced (see :mod:`repro.plan.engine`), and the plan tree
+here is a projection of that span tree.  The plan therefore reflects
+the *rewritten* query (implications expanded, negations pushed inward,
+∀ as ¬∃¬), which is exactly what runs.
+
+This module is the legacy EXPLAIN surface; the stable plan API —
+:func:`repro.api.plan` / :func:`repro.api.explain` returning frozen
+:class:`~repro.plan.report.PlanReport` objects — supersedes it (see
+``docs/planner.md``), and the module-level :func:`explain` shim warns
+once on first use.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.relations import GeneralizedRelation
 from repro.obs.trace import Span, TraceRecorder, render_flamegraph, tracing
+from repro.plan.engine import Engine, ExecutionContext, resolve_engine
+from repro.plan.report import PlanReport
 from repro.query.ast import Query
 from repro.query.database import Database
 from repro.query.evaluator import Evaluator
 
 _QUERY_PREFIX = "query."
+#: Span-name prefixes that denote plan nodes: ``query.*`` spans carry
+#: query provenance, ``plan.*`` spans are optimizer-introduced nodes.
+_PLAN_PREFIXES = ("query.", "plan.")
+
+
+def _plan_operator(span: Span) -> str | None:
+    """The plan-node operator a span denotes, or ``None`` for algebra spans."""
+    for prefix in _PLAN_PREFIXES:
+        if span.name.startswith(prefix):
+            return span.name[len(prefix):]
+    return None
 
 
 @dataclass
@@ -88,7 +109,7 @@ def _algebra_summaries(span: Span) -> list[dict[str, Any]]:
 
     def visit(node: Span) -> None:
         for child in node.children:
-            if child.name.startswith(_QUERY_PREFIX):
+            if child.name.startswith(_PLAN_PREFIXES):
                 continue
             if child.name.startswith("algebra."):
                 summary: dict[str, Any] = {
@@ -113,11 +134,11 @@ def _algebra_summaries(span: Span) -> list[dict[str, Any]]:
 
 
 def plan_from_span(span: Span, analyze: bool = False) -> PlanNode:
-    """Project a ``query.*`` span (sub)tree onto a :class:`PlanNode` tree."""
+    """Project a ``query.*``/``plan.*`` span (sub)tree onto a plan tree."""
     children = [
         plan_from_span(child, analyze)
         for child in span.children
-        if child.name.startswith(_QUERY_PREFIX)
+        if child.name.startswith(_PLAN_PREFIXES)
     ]
     attrs: dict[str, Any] = {}
     if analyze:
@@ -128,7 +149,7 @@ def plan_from_span(span: Span, analyze: bool = False) -> PlanNode:
         if span.perf:
             attrs["perf"] = dict(span.perf)
     return PlanNode(
-        operator=span.name[len(_QUERY_PREFIX):],
+        operator=_plan_operator(span) or span.name,
         detail=span.attrs.get("detail", ""),
         out_tuples=span.attrs.get("out_tuples", 0),
         out_schema=span.attrs.get("out_schema", ""),
@@ -162,7 +183,7 @@ class QueryTrace:
 
     def _project(self, analyze: bool) -> PlanNode:
         for child in self.root.children:
-            if child.name.startswith(_QUERY_PREFIX):
+            if child.name.startswith(_PLAN_PREFIXES):
                 return plan_from_span(child, analyze=analyze)
         # A query with no recorded nodes (never happens in practice,
         # but keep the projection total).
@@ -187,7 +208,11 @@ class QueryTrace:
 
 
 def _traced_evaluation(
-    db: Database, query: str | Query
+    db: Database,
+    query: str | Query,
+    *,
+    engine: str | Engine | None = None,
+    optimize: bool | None = None,
 ) -> tuple[Query, GeneralizedRelation, Span]:
     if isinstance(query, str):
         query = db.parse(query)
@@ -195,6 +220,8 @@ def _traced_evaluation(
         {name: db.relation(name) for name in db.names},
         max_tuples=db.max_tuples,
         max_extensions=db.max_extensions,
+        engine=engine,
+        optimize=optimize,
     )
     recorder = TraceRecorder()
     with tracing(recorder):
@@ -205,21 +232,118 @@ def _traced_evaluation(
     return query, result, root
 
 
-def explain(db: Database, query: str | Query) -> PlanNode:
-    """Evaluate a query while recording its algebraic plan.
+def explain_plan(
+    db: Database,
+    query: str | Query,
+    *,
+    engine: str | Engine | None = None,
+    optimize: bool | None = None,
+) -> PlanNode:
+    """The legacy EXPLAIN: run the query, project the span tree.
 
     Returns the root :class:`PlanNode`; ``str()`` renders the tree.
     Note the plan reflects the *rewritten* query (implications expanded,
     negations pushed inward, ∀ as ¬∃¬), which is exactly what runs.
     """
-    return explain_analyze(db, query).plan_only()
+    return explain_analyze(
+        db, query, engine=engine, optimize=optimize
+    ).plan_only()
 
 
-def explain_analyze(db: Database, query: str | Query) -> QueryTrace:
+_EXPLAIN_WARNED = False
+
+
+def explain(db: Database, query: str | Query) -> PlanNode:
+    """Deprecated spelling of :func:`explain_plan` (same output shape).
+
+    Warns (once per process) in favor of the stable plan surface:
+    :func:`repro.api.explain` returns a frozen
+    :class:`~repro.plan.report.PlanReport`, :meth:`Database.explain`
+    keeps this span-projected shape for un-optimized queries.
+    """
+    global _EXPLAIN_WARNED
+    if not _EXPLAIN_WARNED:
+        _EXPLAIN_WARNED = True
+        warnings.warn(
+            "repro.query.explain.explain() is deprecated; use "
+            "repro.api.explain() (PlanReport) or Database.explain()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    # The shim reproduces the pre-planner behavior exactly, so it pins
+    # the naive pipeline even when REPRO_OPTIMIZE is set.
+    return explain_plan(db, query, optimize=False)
+
+
+def explain_analyze(
+    db: Database,
+    query: str | Query,
+    *,
+    engine: str | Engine | None = None,
+    optimize: bool | None = None,
+) -> QueryTrace:
     """EXPLAIN ANALYZE: run the query under tracing, keep everything.
 
     The returned :class:`QueryTrace` holds the result relation, the
     full span tree and the annotated plan.
     """
-    parsed, result, root = _traced_evaluation(db, query)
+    parsed, result, root = _traced_evaluation(
+        db, query, engine=engine, optimize=optimize
+    )
     return QueryTrace(query=parsed, result=result, root=root)
+
+
+def plan_report(
+    db: Database,
+    query: str | Query,
+    *,
+    engine: str | Engine | None = None,
+    optimize: bool | None = None,
+    execute: bool = False,
+) -> PlanReport:
+    """Build the stable :class:`~repro.plan.report.PlanReport` surface.
+
+    Statically plans the query (lowering plus, when optimization
+    resolves on, the rewrite passes); with ``execute=True`` the plan is
+    also run and every node is annotated with its observed output size
+    (:func:`repro.api.explain`'s behavior).
+    """
+    if isinstance(query, str):
+        query = db.parse(query)
+    evaluator = Evaluator(
+        {name: db.relation(name) for name in db.names},
+        max_tuples=db.max_tuples,
+        max_extensions=db.max_extensions,
+        engine=engine,
+        optimize=optimize,
+    )
+    resolved = resolve_engine(engine)
+    optimized = evaluator._resolved_optimize()
+    naive, plan, passes = evaluator.plan(query, optimize=optimized)
+    annotations: dict[int, int] | None = None
+    if execute:
+        annotations = {}
+        sizes = annotations
+
+        def observe(node, result) -> None:
+            sizes[id(node)] = len(result)
+
+        ctx = ExecutionContext(
+            relations=evaluator.relations,
+            data_domain=evaluator.data_domain,
+            max_tuples=evaluator.max_tuples,
+            max_extensions=evaluator.max_extensions,
+            plan_spans=bool(optimized),
+            memo={} if optimized else None,
+            on_result=observe,
+        )
+        resolved.run(plan, ctx)
+    return PlanReport(
+        query=str(query),
+        engine=resolved.name,
+        optimized=bool(optimized),
+        naive=naive,
+        plan=plan,
+        passes=passes,
+        annotations=annotations,
+    )

@@ -1,0 +1,70 @@
+"""The single registry mapping query-AST nodes to plan operators.
+
+Historically the operator names and one-line details lived in
+``query/evaluator.py`` while ``explain.py`` rendered span names that
+had to match them by convention — two places that could drift.  This
+module is now the one source of truth: the planner uses it to label
+plan nodes, the evaluator's spans and EXPLAIN's rendering are both
+derived from those labels, so a name can no longer change in one place
+without the other.
+"""
+
+from __future__ import annotations
+
+from repro.query.ast import (
+    And,
+    Cmp,
+    DataEq,
+    Exists,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    Pred,
+    Query,
+    Sort,
+)
+
+#: Query-node class -> plan/trace operator name (the algebra operation
+#: the planner translates it into).
+OPERATORS: dict[type, str] = {
+    Pred: "scan",
+    Cmp: "compare",
+    DataEq: "data-eq",
+    And: "join",
+    Or: "union",
+    Not: "complement",
+    Implies: "implies",
+    Exists: "project",
+    Forall: "forall",
+}
+
+
+def node_operator(node: Query) -> str:
+    """The plan-operator name of a query node (``scan``, ``join``, ...)."""
+    return OPERATORS[type(node)]
+
+
+def node_detail(node: Query) -> str:
+    """A one-line human description of how a query node evaluates."""
+    if isinstance(node, (Pred, Cmp, DataEq)):
+        return str(node)
+    if isinstance(node, And):
+        return f"{len(node.parts)}-way natural join"
+    if isinstance(node, Or):
+        return f"{len(node.parts)}-way aligned union"
+    if isinstance(node, Not):
+        return "negation pushed inward, then Z-complement at atoms"
+    if isinstance(node, Implies):
+        return "rewritten to ~antecedent | consequent"
+    if isinstance(node, Exists):
+        sort = "Z" if node.sort is Sort.TEMPORAL else "active domain"
+        return f"∃{node.var} over {sort}"
+    if isinstance(node, Forall):
+        return f"∀{node.var} as ~∃~"
+    return ""  # pragma: no cover - every node type is covered above
+
+
+def node_label(node: Query) -> tuple[str, str]:
+    """The ``(operator, detail)`` provenance label of a query node."""
+    return (node_operator(node), node_detail(node))

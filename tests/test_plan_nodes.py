@@ -1,0 +1,222 @@
+"""Unit tests for the relation-expression IR and the engine registry."""
+
+import pytest
+
+from repro.core.errors import ReproTypeError, ReproValueError, SchemaError
+from repro.core.relations import GeneralizedRelation, Schema
+from repro.plan import nodes as ir
+from repro.plan.engine import (
+    Engine,
+    ExecutionContext,
+    NativeEngine,
+    engines,
+    get_engine,
+    register_engine,
+    resolve_engine,
+)
+from repro.plan.nodes import (
+    empty_literal,
+    singleton_literal,
+    truth_literal,
+    universe_literal,
+)
+
+TT = Schema.make(temporal=["t1", "t2"])
+TD = Schema.make(temporal=["t"], data=["d"])
+
+
+def scan(name: str = "R", schema: Schema = TT) -> ir.Scan:
+    return ir.Scan(name, schema)
+
+
+class TestSchemaInference:
+    def test_scan_and_select(self):
+        node = ir.Select(scan(), "t1 <= t2 + 3")
+        assert node.schema == TT
+
+    def test_select_rejects_unknown_attribute(self):
+        node = ir.Select(scan(), "t1 <= bogus")
+        with pytest.raises(SchemaError):
+            node.schema
+
+    def test_select_rejects_data_attribute(self):
+        node = ir.Select(scan("S", TD), "d >= 0")
+        with pytest.raises(SchemaError):
+            node.schema
+
+    def test_project_reorders(self):
+        node = ir.Project(scan(), ("t2", "t1"))
+        assert node.schema.names == ("t2", "t1")
+
+    def test_rename(self):
+        node = ir.Rename(scan(), (("t1", "a"), ("t2", "b")))
+        assert node.schema.names == ("a", "b")
+        assert all(a.temporal for a in node.schema.attributes)
+
+    def test_join_merges(self):
+        left = scan("A", Schema.make(temporal=["x", "y"]))
+        right = scan("B", Schema.make(temporal=["y", "z"]))
+        assert ir.Join(left, right).schema.names == ("x", "y", "z")
+
+    def test_join_rejects_sort_conflict(self):
+        left = scan("A", Schema.make(temporal=["x"]))
+        right = scan("B", Schema.make(data=["x"]))
+        with pytest.raises(SchemaError):
+            ir.Join(left, right).schema
+
+    def test_product_rejects_overlap(self):
+        with pytest.raises(SchemaError):
+            ir.Product(scan("A"), scan("B")).schema
+
+    def test_setop_rejects_mismatch(self):
+        with pytest.raises(SchemaError):
+            ir.Union(scan("A"), scan("B", TD)).schema
+
+    def test_data_nodes(self):
+        assert ir.DataDomain("d").schema.data_names == ("d",)
+        assert ir.DataDiag("y", "x").schema.names == ("x", "y")
+
+    def test_unary_passthrough(self):
+        base = scan()
+        for node in (
+            ir.Complement(base),
+            ir.Guard(base),
+            ir.Shift(base, "t1", 3),
+        ):
+            assert node.schema == TT
+
+
+class TestStructure:
+    def test_nodes_are_frozen(self):
+        node = scan()
+        with pytest.raises(AttributeError):
+            node.name = "other"
+
+    def test_children_and_walk(self):
+        tree = ir.Join(ir.Select(scan("A"), "t1 >= 0"), scan("B", TD))
+        assert [n.op for n in tree.walk()] == [
+            "join", "select", "scan", "scan",
+        ]
+        assert tree.size() == 4
+
+    def test_replace_children_arity_checked(self):
+        tree = ir.Complement(scan())
+        with pytest.raises(SchemaError):
+            tree.replace_children((scan(), scan()))
+
+    def test_key_ignores_labels(self):
+        plain = ir.Select(scan(), "t1 >= 0")
+        labeled = plain.add_label("compare", "t1 >= 0")
+        assert plain.key() == labeled.key()
+        assert plain != labeled
+
+    def test_add_label_prepends(self):
+        node = scan().add_label("inner").add_label("outer")
+        assert [op for op, _ in node.labels] == ["outer", "inner"]
+
+    def test_literal_identity_by_token(self):
+        assert truth_literal(True) == truth_literal(True)
+        assert truth_literal(True) != truth_literal(False)
+        assert universe_literal(["t"]) == universe_literal(["t"])
+
+    def test_to_dict_and_render(self):
+        tree = ir.Project(
+            ir.Select(scan(), "t1 >= 0").add_label("compare", "t1 >= 0"),
+            ("t1",),
+        )
+        payload = tree.to_dict()
+        assert payload["op"] == "project"
+        assert payload["children"][0]["labels"] == [["compare", "t1 >= 0"]]
+        text = str(tree)
+        assert "project[t1]" in text and "select[t1 >= 0]" in text
+
+    def test_literal_constructors(self):
+        assert len(truth_literal(True).relation) == 1
+        assert len(truth_literal(False).relation) == 0
+        assert empty_literal(TT).relation.is_empty()
+        single = singleton_literal("d", "v")
+        assert len(single.relation) == 1
+        assert single.relation.schema.data_names == ("d",)
+
+
+class TestEngineRegistry:
+    def test_native_is_registered(self):
+        assert "native" in engines()
+        assert isinstance(get_engine("native"), NativeEngine)
+
+    def test_unknown_engine(self):
+        with pytest.raises(ReproValueError, match="unknown engine"):
+            get_engine("warp-drive")
+
+    def test_register_type_checked(self):
+        with pytest.raises(ReproTypeError):
+            register_engine("not an engine")
+
+    def test_resolve(self):
+        native = get_engine("native")
+        assert resolve_engine(None) is native
+        assert resolve_engine("native") is native
+        assert resolve_engine(native) is native
+        with pytest.raises(ReproTypeError):
+            resolve_engine(42)
+
+    def test_custom_engine_runs_queries(self):
+        calls = []
+
+        class Recording(Engine):
+            name = "recording-test"
+
+            def run(self, plan, ctx):
+                calls.append(plan.op)
+                return get_engine("native").run(plan, ctx)
+
+        register_engine(Recording())
+        try:
+            from repro.query import Database
+
+            db = Database()
+            db.create("Even", temporal=["t"])
+            db.relation("Even").add_tuple(["2n"])
+            result = db.query("Even(t)", engine="recording-test")
+            assert result.contains([4]) and not result.contains([3])
+            assert calls  # the custom engine was actually used
+        finally:
+            from repro.plan import engine as engine_mod
+
+            engine_mod._ENGINES.pop("recording-test", None)
+
+
+class TestNativeEngine:
+    def test_scan_missing_relation(self):
+        from repro.core.errors import EvaluationError
+
+        ctx = ExecutionContext(relations={})
+        with pytest.raises(EvaluationError, match="unknown relation"):
+            get_engine("native").run(scan("Missing"), ctx)
+
+    def test_memo_computes_shared_subtree_once(self):
+        rel = GeneralizedRelation.empty(TT)
+        rel.add_tuple(["1", "2"])
+        shared = ir.Select(scan(), "t1 <= t2")
+        tree = ir.Union(shared, shared)
+        seen = []
+        ctx = ExecutionContext(
+            relations={"R": rel},
+            memo={},
+            on_result=lambda node, result: seen.append(id(node)),
+        )
+        out = get_engine("native").run(tree, ctx)
+        assert not out.is_empty()
+        # The shared select (and the scan below it) ran once, not twice.
+        assert seen.count(id(shared)) == 1
+
+    def test_on_pair_hook_fires(self):
+        rel = GeneralizedRelation.empty(TT)
+        rel.add_tuple(["1", "2"])
+        pairs = []
+        ctx = ExecutionContext(
+            relations={"R": rel},
+            on_pair=lambda node, l, r: pairs.append((node.op, l, r)),
+        )
+        get_engine("native").run(ir.Intersect(scan(), scan()), ctx)
+        assert pairs == [("intersect", 1, 1)]

@@ -11,11 +11,19 @@ than the naive path it replaces — or when any variant's output diverged
 from the naive reference (``all_outputs_match`` false).  The
 ``fig2_projection`` workload additionally carries the batched-kernel
 target of ``>= 2.0x`` recorded in the report's ``required_speedup``.
+
+The gate also runs a live **planner smoke check** (``--no-smoke`` to
+skip): the logical rewrite passes (``docs/planner.md``) must produce a
+visibly smaller plan on the pushdown fixture *and* the same result as
+the naive pipeline.  Selection/projection pushdown touches the same
+projection-heavy shape ``fig2_projection`` measures, so the smoke check
+plus that workload's floor guard the planner against perf regressions.
 """
 
 from __future__ import annotations
 
 import json
+import pathlib
 import sys
 
 #: Per-workload floors beyond the global >= 1.0 requirement.
@@ -52,18 +60,62 @@ def gate(report: dict) -> list[str]:
     return failures
 
 
+def planner_smoke() -> list[str]:
+    """Run the logical planner on the pushdown fixture and check it.
+
+    Three assertions: the rewrite passes fired, the optimized plan is
+    strictly smaller than the naive lowering (the pushdown actually
+    happened), and the optimized result equals the naive one on a
+    comparison window.  Returns failure messages (empty = ok).
+    """
+    try:
+        from repro.query import Database
+    except ImportError:  # running from a checkout without install
+        sys.path.insert(
+            0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+        )
+        from repro.query import Database
+
+    fixture = "Even(t) & t >= 0"
+    failures: list[str] = []
+    db = Database()
+    db.create("Even", temporal=["t"])
+    db.relation("Even").add_tuple(["2n"])
+    report = db.plan(fixture, optimize=True)
+    if sum(p.rewrites for p in report.passes) < 3:
+        failures.append(
+            f"planner: fewer than 3 rewrites on {fixture!r} "
+            f"({[f'{p.name}:{p.rewrites}' for p in report.passes]})"
+        )
+    if report.plan.size() >= report.naive.size():
+        failures.append(
+            f"planner: no plan shrink on {fixture!r} "
+            f"({report.naive.size()} -> {report.plan.size()} nodes)"
+        )
+    naive = db.query(fixture, optimize=False)
+    optimized = db.query(fixture, optimize=True)
+    if optimized.snapshot(-64, 64) != naive.snapshot(-64, 64):
+        failures.append(f"planner: optimized != naive on {fixture!r}")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
+    smoke = "--no-smoke" not in args
+    args = [a for a in args if a != "--no-smoke"]
     path = args[0] if args else "BENCH_perf.json"
     with open(path) as handle:
         report = json.load(handle)
     failures = gate(report)
+    if smoke:
+        failures += planner_smoke()
     for line in failures:
         print(f"FAIL: {line}")
     if failures:
         return 1
     names = ", ".join(sorted(report["workloads"]))
-    print(f"bench gate ok ({names})")
+    suffix = ", planner smoke ok" if smoke else ""
+    print(f"bench gate ok ({names}{suffix})")
     return 0
 
 
