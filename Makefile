@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-optimized lint docs-check bench bench-smoke fuzz reports clean
+.PHONY: test test-optimized lint docs-check bench bench-smoke serve-bench serve-bench-smoke fuzz reports clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,6 +32,15 @@ bench:
 # Small sizes for CI smoke runs.
 bench-smoke:
 	$(PYTHON) -m repro.perf.bench --smoke
+
+# Serving-layer load generator: sequential vs group commits/s, served
+# query latency, the readers-never-block check and the single-writer
+# lock check; writes BENCH_serve.json (see docs/serving.md).
+serve-bench:
+	$(PYTHON) -m repro.serve.bench
+
+serve-bench-smoke:
+	$(PYTHON) -m repro.serve.bench --smoke
 
 # Differential fuzzing against the finite-window oracle; shrunk repros
 # of any failure land in fuzz-failures/ (see docs/fuzzing.md).

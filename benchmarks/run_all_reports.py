@@ -41,6 +41,7 @@ REPORTS = [
     ("test_bench_ablation_baseline", "baseline_report"),
     ("test_bench_ablation_complement", "ablation_report"),
     ("perf_report", "perf_report"),
+    ("serve_report", "serve_report"),
 ]
 
 

@@ -1,0 +1,60 @@
+"""Consolidated-report wrapper for the serving-layer benchmark.
+
+Runs :mod:`repro.serve.bench` (smoke sizes, so the consolidated run
+stays quick), writes the machine-readable ``BENCH_serve.json`` next to
+the repository root, and returns the human-readable digest.  The
+full-size run is ``python -m repro.serve.bench`` (or
+``make serve-bench``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.serve.bench import run_serve_bench
+
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+
+def serve_report(smoke: bool = True) -> list[str]:
+    """Regenerate ``BENCH_serve.json``; return the digest lines."""
+    report = run_serve_bench(smoke=smoke)
+    OUTPUT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    commits = report["commits"]
+    queries = report["queries"]
+    rvw = report["reader_vs_writer"]
+    summary = report["summary"]
+    lines = ["Serving layer: group commit vs sequential, MVCC reads"]
+    lines.append(
+        f"  commits/s: sequential {commits['sequential_commits_per_s']} "
+        f"vs group {commits['group_commits_per_s']} "
+        f"(x{commits['speedup']}, mean group size "
+        f"{commits['mean_group_size']})"
+    )
+    lines.append(
+        f"  served queries: p50 {queries['p50_ms']}ms "
+        f"p99 {queries['p99_ms']}ms ({queries['queries_per_s']}/s)"
+    )
+    lines.append(
+        f"  reader during bulk commit: max {rvw['reader_max_ms']}ms "
+        f"over a {rvw['bulk_commit_s']}s commit "
+        f"(idle p50 {rvw['reader_idle_p50_ms']}ms); "
+        f"nonblocking={rvw['nonblocking_ok']} "
+        f"isolation={rvw['snapshot_isolation_ok']}"
+    )
+    lines.append(
+        f"  single-writer lock: second writer rejected = "
+        f"{report['lock']['second_writer_rejected']}"
+    )
+    lines.append(
+        "summary.ok: OK"
+        if summary["ok"]
+        else "summary.ok: SUSPECT — a serving-layer gate failed"
+    )
+    lines.append(f"(JSON written to {OUTPUT.name})")
+    return lines
+
+
+if __name__ == "__main__":
+    print("\n".join(serve_report()))

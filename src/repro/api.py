@@ -51,6 +51,11 @@ The surface, by area:
   :class:`StorageEngine` (the WAL-backed store itself), and the
   deterministic crash harness :class:`FaultInjector` /
   :func:`crash_at` / :class:`InjectedCrash`;
+* **serving** — :class:`ReproServer` (the asyncio multi-client server:
+  MVCC snapshot reads, single-fsync group commit),
+  :meth:`Database.snapshot` / :class:`Snapshot` (lock-free pinned
+  reads, in-process too), and the :class:`SyncClient` /
+  :class:`Client` wire clients — see ``docs/serving.md``;
 * **observability** — :func:`tracing`, :class:`TraceRecorder`,
   :class:`Span`, :func:`render_flamegraph`, :func:`metrics`,
   :class:`MetricsRegistry`, :func:`kernel_backend` (which DBM closure
@@ -83,6 +88,7 @@ from repro.core.errors import (
     ReproTypeError,
     ReproValueError,
     SchemaError,
+    ServeError,
     StorageError,
 )
 from repro.fuzz import (
@@ -120,7 +126,9 @@ from repro.query import (
     explain_analyze,
     parse_query,
 )
+from repro.query.catalog import Snapshot
 from repro.query.explain import plan_report as _plan_report
+from repro.serve import Client, ReproServer, SyncClient
 from repro.storage import (
     FaultInjector,
     InjectedCrash,
@@ -182,6 +190,11 @@ __all__ = [
     "InjectedCrash",
     "StorageEngine",
     "crash_at",
+    # serving (MVCC snapshots, group commit)
+    "Client",
+    "ReproServer",
+    "Snapshot",
+    "SyncClient",
     # differential fuzzing
     "Case",
     "CaseResult",
@@ -208,5 +221,6 @@ __all__ = [
     "ReproTypeError",
     "ReproValueError",
     "SchemaError",
+    "ServeError",
     "StorageError",
 ]

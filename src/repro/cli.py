@@ -11,6 +11,7 @@ Usage::
     python -m repro.cli db open mydb         # shell bound to a durable db
     python -m repro.cli db compact mydb      # fold the WAL into a snapshot
     python -m repro.cli db info mydb         # recovery + catalog summary
+    python -m repro.cli serve start mydb     # multi-client server (MVCC)
 
 Commands:
 
@@ -387,6 +388,19 @@ def db_main(argv: list[str]) -> int:
                 help="run one command (repeatable)",
             )
     args = parser.parse_args(argv)
+    # Every action opens the store, and opening can fail in ways the
+    # operator caused (missing root, torn manifest, another writer
+    # holding the lock) — report those as one clean diagnostic line,
+    # never a traceback.
+    try:
+        return _db_action(args)
+    except ReproError as exc:
+        print(f"error: {exc}")
+        return 1
+
+
+def _db_action(args) -> int:
+    """Run one parsed ``repro db`` action (may raise ``ReproError``)."""
     if args.action == "init":
         with Database.open(args.path) as db:
             print(f"initialized {args.path} ({len(db.names)} relations)")
@@ -424,9 +438,10 @@ def main(argv: list[str] | None = None) -> int:
     shell, but every ``ask``/``query`` runs under the trace recorder
     and prints its flamegraph; ``--trace-json out.json`` writes every
     collected span tree to a JSON file on exit.  ``repro.cli fuzz ...``
-    runs the differential fuzzer (:mod:`repro.fuzz.cli`), and
+    runs the differential fuzzer (:mod:`repro.fuzz.cli`),
     ``repro.cli db ...`` manages durable on-disk databases
-    (:func:`db_main`).
+    (:func:`db_main`), and ``repro.cli serve ...`` runs the concurrent
+    multi-client server (:mod:`repro.serve.cli`).
     """
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "fuzz":
@@ -435,6 +450,10 @@ def main(argv: list[str] | None = None) -> int:
         return fuzz_main(argv[1:])
     if argv and argv[0] == "db":
         return db_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.cli import serve_main
+
+        return serve_main(argv[1:])
     trace_mode = bool(argv) and argv[0] == "trace"
     if trace_mode:
         argv = argv[1:]

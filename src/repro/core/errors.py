@@ -13,6 +13,7 @@ caller needs.  The hierarchy::
     ├── EvaluationError          first-order query evaluation
     ├── StorageError             durable-storage protocol violations
     │   └── RecoveryError        a persisted database cannot be recovered
+    ├── ServeError               wire-protocol / served-request failures
     ├── ReproValueError          invalid argument value (also ValueError)
     └── ReproTypeError           invalid argument type (also TypeError)
 
@@ -87,6 +88,20 @@ class RecoveryError(StorageError):
     failing its checksum) — torn WAL tails and orphan snapshot files
     are repaired silently and do not raise.
     """
+
+
+class ServeError(ReproError):
+    """A served request failed: malformed frame, unknown op, server error.
+
+    Raised by the wire layer (:mod:`repro.serve.protocol`) for frames
+    that cannot be decoded, and by the client when the server answers a
+    request with ``ok: false`` — the server-side error type and message
+    are preserved in :attr:`remote_type`.
+    """
+
+    def __init__(self, message: str, remote_type: str | None = None) -> None:
+        super().__init__(message)
+        self.remote_type = remote_type
 
 
 class ReproValueError(ReproError, ValueError):

@@ -211,6 +211,19 @@ class GeneralizedRelation:
         dbm = atoms_to_dbm(atoms, self.schema.temporal_names)
         self.add(GeneralizedTuple.make(lrps, data=data, dbm=dbm))
 
+    def copy(self) -> GeneralizedRelation:
+        """A shallow, independently mutable copy of this relation.
+
+        The copy holds the same (immutable) generalized tuples but its
+        own tuple list and key set, so insertions into either side never
+        show through to the other — the primitive the MVCC catalog core
+        (:mod:`repro.query.catalog`) uses to freeze committed versions.
+        """
+        out = GeneralizedRelation.empty(self.schema)
+        out._tuples = list(self._tuples)
+        out._keys = set(self._keys)
+        return out
+
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------

@@ -19,6 +19,7 @@ themselves rather than here: see ``GeneralizedTuple._plans``.)
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable
 
@@ -26,45 +27,56 @@ from repro.perf.config import get_config
 
 
 class LRUCache:
-    """A minimal least-recently-used mapping with a hard size bound."""
+    """A minimal least-recently-used mapping with a hard size bound.
 
-    __slots__ = ("maxsize", "_data", "hits", "misses", "evictions")
+    Thread-safe: the serving layer (:mod:`repro.serve`) evaluates
+    queries and applies group-commit mutations in worker threads that
+    share these global caches, so lookup/insert/eviction run under a
+    per-cache lock (uncontended in the single-threaded case, far off
+    the per-tuple hot path either way).
+    """
+
+    __slots__ = ("maxsize", "_data", "_lock", "hits", "misses", "evictions")
 
     def __init__(self, maxsize: int) -> None:
         if maxsize < 1:
             raise ValueError("LRUCache needs maxsize >= 1")
         self.maxsize = maxsize
         self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Look up ``key``, refreshing its recency on a hit."""
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            return default
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert or refresh ``key``, evicting the LRU entry when full."""
-        data = self._data
-        if key in data:
-            data.move_to_end(key)
+        with self._lock:
+            data = self._data
+            if key in data:
+                data.move_to_end(key)
+                data[key] = value
+                return
             data[key] = value
-            return
-        data[key] = value
-        if len(data) > self.maxsize:
-            data.popitem(last=False)
-            self.evictions += 1
+            if len(data) > self.maxsize:
+                data.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (statistics are kept)."""
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def __len__(self) -> int:
         return len(self._data)

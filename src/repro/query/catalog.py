@@ -1,0 +1,479 @@
+"""The MVCC transactional core: immutable committed catalog versions.
+
+The paper's finite-representation semantics (Defs. 2.1–2.3) makes a
+committed catalog a *value*: a finite set of generalized relations that
+never changes after commit.  This module leans on that to give the
+database multi-version concurrency control essentially for free:
+
+* a :class:`CatalogVersion` is one committed catalog state, stamped
+  with a monotone version token and frozen — its relations are never
+  mutated after construction (commit copies only the relations that
+  changed, so consecutive versions share unchanged relation objects);
+* a :class:`Snapshot` pins one version and evaluates queries against
+  it — **lock-free**: pinning is a single pointer read, so readers
+  never block writers and writers never block readers;
+* a :class:`VersionedCatalog` is the transactional core both the
+  in-process :class:`~repro.query.database.Database` and the served
+  path (:mod:`repro.serve`) commit through: one writer lock serializes
+  commits, and :meth:`VersionedCatalog.commit_mutations` implements
+  the group-commit protocol — many writers' transactions applied in
+  arrival order and made durable by one WAL append run + one fsync
+  (:meth:`repro.storage.engine.StorageEngine.commit_many`).
+
+Mutations are plain JSON-shaped dicts (the same shape the wire
+protocol carries)::
+
+    {"op": "create", "name": "Train", "temporal": ["dep"], "data": []}
+    {"op": "insert", "name": "Train", "lrps": ["2 + 60n"],
+     "constraints": "dep >= 0", "data": []}
+    {"op": "drop", "name": "Train"}
+    {"op": "put", "name": "Train", "relation": {...jsonio payload...}}
+
+Applying a batch never touches the committed version it starts from:
+each touched relation is copied first (:meth:`GeneralizedRelation.copy
+<repro.core.relations.GeneralizedRelation.copy>`), which is what makes
+a pinned snapshot immune to every later commit.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from types import MappingProxyType
+
+from repro.core.errors import (
+    EvaluationError,
+    ReproError,
+    ReproTypeError,
+    SchemaError,
+)
+from repro.core.relations import GeneralizedRelation, Schema
+
+
+class CatalogVersion:
+    """One immutable committed catalog state with a version token.
+
+    Treat instances as frozen values: the relation mapping is exposed
+    read-only, and the engine never mutates a relation reachable from a
+    committed version (commit installs copies of changed relations).
+    """
+
+    __slots__ = ("version", "_relations")
+
+    def __init__(
+        self, version: int, relations: Mapping[str, GeneralizedRelation]
+    ) -> None:
+        self.version = version
+        self._relations = dict(relations)
+
+    @property
+    def relations(self) -> Mapping[str, GeneralizedRelation]:
+        """The committed relations, as a read-only mapping."""
+        return MappingProxyType(self._relations)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Relation names in this version, in insertion order."""
+        return tuple(self._relations)
+
+    def relation(self, name: str) -> GeneralizedRelation:
+        """Look up one relation; unknown names raise ``EvaluationError``."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise EvaluationError(f"unknown relation {name!r}") from None
+
+    def schemas(self) -> dict[str, Schema]:
+        """Name-to-schema mapping (what the query parser needs)."""
+        return {name: rel.schema for name, rel in self._relations.items()}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __repr__(self) -> str:
+        return (
+            f"<CatalogVersion v{self.version} "
+            f"relations={list(self._relations)}>"
+        )
+
+
+class Snapshot:
+    """A pinned, read-only view of one committed catalog version.
+
+    Obtained from :meth:`Database.snapshot
+    <repro.query.database.Database.snapshot>` (or per served
+    connection via the wire protocol's ``snapshot`` op).  All reads —
+    :meth:`query`, :meth:`ask`, :meth:`relation` — see exactly the
+    pinned version, no matter how many commits land after the pin:
+    snapshot isolation, without ever taking the writer lock.
+    """
+
+    __slots__ = ("_version", "max_tuples", "max_extensions")
+
+    def __init__(
+        self,
+        version: CatalogVersion,
+        *,
+        max_tuples: int,
+        max_extensions: int,
+    ) -> None:
+        self._version = version
+        self.max_tuples = max_tuples
+        self.max_extensions = max_extensions
+
+    @property
+    def version(self) -> int:
+        """The pinned version token."""
+        return self._version.version
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Relation names in the pinned version."""
+        return self._version.names
+
+    def relation(self, name: str) -> GeneralizedRelation:
+        """Look up a relation in the pinned version."""
+        return self._version.relation(name)
+
+    def schemas(self) -> dict[str, Schema]:
+        """Name-to-schema mapping of the pinned version."""
+        return self._version.schemas()
+
+    def parse(self, text: str):
+        """Parse a query against the pinned version's schemas."""
+        from repro.query.parser import parse_query
+
+        return parse_query(text, self.schemas())
+
+    def _evaluator(self, *, engine=None, optimize=None):
+        from repro.query.evaluator import Evaluator
+
+        return Evaluator(
+            dict(self._version.relations),
+            max_tuples=self.max_tuples,
+            max_extensions=self.max_extensions,
+            engine=engine,
+            optimize=optimize,
+        )
+
+    def query(self, query, *, engine=None, optimize=None):
+        """Evaluate a query against the pinned version.
+
+        Accepts a query string or AST; returns the result relation.
+        Unlike :meth:`Database.query <repro.query.database.Database.query>`
+        this never sees uncommitted working-state mutations — only the
+        pinned committed catalog.
+        """
+        if isinstance(query, str):
+            query = self.parse(query)
+        return self._evaluator(engine=engine, optimize=optimize).evaluate(
+            query
+        )
+
+    def ask(self, query, *, engine=None, optimize=None) -> bool:
+        """Evaluate a closed (yes/no) query against the pinned version."""
+        if isinstance(query, str):
+            query = self.parse(query)
+        return self._evaluator(engine=engine, optimize=optimize).ask(query)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._version
+
+    def __repr__(self) -> str:
+        return (
+            f"<Snapshot v{self.version} relations={list(self.names)}>"
+        )
+
+
+@dataclass
+class TxnResult:
+    """The outcome of one transaction in a group-commit batch.
+
+    Exactly one of the two shapes: success (``error is None``) carries
+    the version token the transaction committed as and how many WAL
+    mutation records it appended (0 for a no-op); failure carries the
+    :class:`~repro.core.errors.ReproError` that aborted *this*
+    transaction — other transactions in the batch are unaffected.
+    """
+
+    version: int
+    records: int = 0
+    error: ReproError | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the transaction committed."""
+        return self.error is None
+
+
+def apply_mutations(
+    relations: Mapping[str, GeneralizedRelation],
+    mutations: Sequence[Mapping],
+) -> dict[str, GeneralizedRelation]:
+    """Apply one transaction's mutation list to a catalog state.
+
+    Pure with respect to its input: returns a *new* name-to-relation
+    dict, copying each touched relation before modifying it, so the
+    input state (typically a committed version) is never altered.
+    Raises the usual catalog errors (:class:`SchemaError` for a
+    duplicate ``create``, :class:`EvaluationError` for an unknown name,
+    parse errors from malformed tuple text) — the caller treats any
+    :class:`~repro.core.errors.ReproError` as aborting the transaction.
+    """
+    state = dict(relations)
+    touched: set[str] = set()
+    for mutation in mutations:
+        try:
+            op = mutation["op"]
+        except (TypeError, KeyError):
+            raise ReproTypeError(
+                f"malformed mutation {mutation!r}: missing 'op'"
+            ) from None
+        if op == "create":
+            name = _name_of(mutation)
+            if name in state:
+                raise SchemaError(f"relation {name!r} already exists")
+            schema = Schema.make(
+                tuple(mutation.get("temporal") or ()),
+                tuple(mutation.get("data") or ()),
+            )
+            state[name] = GeneralizedRelation.empty(schema)
+            touched.add(name)
+        elif op == "insert":
+            name = _name_of(mutation)
+            if name not in state:
+                raise EvaluationError(f"unknown relation {name!r}")
+            if name not in touched:
+                state[name] = state[name].copy()
+                touched.add(name)
+            state[name].add_tuple(
+                list(mutation.get("lrps") or ()),
+                mutation.get("constraints") or "",
+                tuple(mutation.get("data") or ()),
+            )
+        elif op == "drop":
+            name = _name_of(mutation)
+            if name not in state:
+                raise EvaluationError(f"unknown relation {name!r}")
+            del state[name]
+            touched.discard(name)
+        elif op == "put":
+            from repro.storage import jsonio
+
+            name = _name_of(mutation)
+            state[name] = jsonio.relation_from_dict(mutation["relation"])
+            touched.add(name)
+        else:
+            raise ReproTypeError(f"unknown mutation op {op!r}")
+    return state
+
+
+def _name_of(mutation: Mapping) -> str:
+    try:
+        return mutation["name"]
+    except KeyError:
+        raise ReproTypeError(
+            f"malformed mutation {dict(mutation)!r}: missing 'name'"
+        ) from None
+
+
+class VersionedCatalog:
+    """The transactional core: committed versions behind one writer lock.
+
+    Holds the current :class:`CatalogVersion` behind a single atomic
+    pointer — :meth:`current` is a lock-free read, which is the whole
+    MVCC story for readers.  Writers serialize on an internal lock:
+
+    * :meth:`commit_state` — the in-process path: commit a full working
+      catalog as one transaction (one fsync);
+    * :meth:`commit_mutations` — the served group-commit path: a batch
+      of transactions, each a mutation list, applied in order and made
+      durable by **one** fsync via
+      :meth:`~repro.storage.engine.StorageEngine.commit_many`.
+
+    With no engine the same versioning semantics hold purely in memory
+    (version tokens count from 0), so the serving layer can run
+    diskless for tests and ephemeral workloads.
+    """
+
+    def __init__(
+        self,
+        engine=None,
+        base: Mapping[str, GeneralizedRelation] | None = None,
+    ) -> None:
+        self._engine = engine
+        token = engine.version if engine is not None else 0
+        self._committed = CatalogVersion(token, dict(base or {}))
+        self._write_lock = threading.Lock()
+
+    @property
+    def engine(self):
+        """The backing storage engine, or ``None`` for in-memory."""
+        return self._engine
+
+    @property
+    def version(self) -> int:
+        """The current committed version token (lock-free read)."""
+        return self._committed.version
+
+    def current(self) -> CatalogVersion:
+        """The current committed version — a single pointer read.
+
+        Readers pin snapshots by holding the returned object; no lock
+        is taken, so this never waits on an in-flight commit and an
+        in-flight commit never waits on readers.
+        """
+        return self._committed
+
+    def commit_state(
+        self, relations: Mapping[str, GeneralizedRelation]
+    ) -> tuple[CatalogVersion, int]:
+        """Commit a full catalog state as one transaction.
+
+        Diffs ``relations`` against the committed version, persists the
+        transaction when an engine is attached (one WAL append run, one
+        fsync), and publishes a new :class:`CatalogVersion` holding
+        *copies* of the changed relations — the caller keeps mutating
+        its working objects without ever reaching into the version.
+        Returns ``(version, records)``; a no-op commit returns the
+        current version with 0 records.
+        """
+        with self._write_lock:
+            previous = self._committed
+            changed = [
+                name
+                for name, rel in relations.items()
+                if name not in previous
+                or previous.relation(name) != rel
+            ]
+            dropped = [
+                name for name in previous.names if name not in relations
+            ]
+            if not changed and not dropped:
+                return previous, 0
+            frozen = {
+                name: (
+                    rel.copy()
+                    if name in changed
+                    else previous.relation(name)
+                )
+                for name, rel in relations.items()
+            }
+            if self._engine is not None:
+                # The engine receives the frozen copies (never the
+                # caller's still-mutable working objects) plus the
+                # changed-name hint, so its diff only serializes what
+                # this commit touched.
+                records = self._engine.commit_many(
+                    [frozen], changed=[set(changed)]
+                )[0]
+                token = self._engine.version
+            else:
+                records = len(changed) + len(dropped)
+                token = previous.version + 1
+            version = CatalogVersion(token, frozen)
+            self._committed = version
+            return version, records
+
+    def commit_mutations(
+        self, batches: Sequence[Sequence[Mapping]]
+    ) -> list[TxnResult]:
+        """Group commit: one transaction per mutation batch, one fsync.
+
+        Applies each batch in order on top of its predecessor's state
+        (:func:`apply_mutations`); a batch that raises a
+        :class:`~repro.core.errors.ReproError` aborts only itself —
+        subsequent batches apply against the last good state, exactly
+        as if the failed transaction had never been submitted.  All
+        surviving transactions are then made durable by a single
+        :meth:`~repro.storage.engine.StorageEngine.commit_many` call
+        (one fsync) and the committed pointer swings once, to the last
+        state.  Returns one :class:`TxnResult` per input batch, in
+        order.
+
+        Equivalence guarantee (tested by the hypothesis suite): the
+        final committed state equals committing the same batches one by
+        one through :meth:`commit_state` application order — group
+        commit changes only durability batching, never semantics.
+        """
+        with self._write_lock:
+            previous = self._committed
+            base = dict(previous.relations)
+            states: list[dict[str, GeneralizedRelation]] = []
+            hints: list[set[str]] = []
+            slots: list[ReproError | int] = []
+            for batch in batches:
+                try:
+                    state = apply_mutations(base, batch)
+                except ReproError as exc:
+                    slots.append(exc)
+                    continue
+                # apply_mutations copies exactly the relations it
+                # touches, so object identity against the predecessor
+                # state is a sound (and cheap) changed-name hint for
+                # the engine's diff.
+                hints.append(
+                    {
+                        name
+                        for name, rel in state.items()
+                        if base.get(name) is not rel
+                    }
+                )
+                slots.append(len(states))
+                states.append(state)
+                base = state
+            if self._engine is not None and states:
+                counts = self._engine.commit_many(states, changed=hints)
+            else:
+                counts = [
+                    _count_changes(
+                        states[i - 1] if i else dict(previous.relations),
+                        state,
+                    )
+                    for i, state in enumerate(states)
+                ]
+            # Stamp version tokens: each non-noop transaction committed
+            # as one engine txn, so walk the final token backwards over
+            # the batch (a no-op transaction reads as its predecessor).
+            nonnoop = sum(1 for count in counts if count)
+            if self._engine is not None and nonnoop:
+                final = self._engine.version
+            else:
+                final = previous.version + nonnoop
+            running = final - nonnoop
+            versions: list[int] = []
+            for count in counts:
+                if count:
+                    running += 1
+                versions.append(running)
+            results: list[TxnResult] = []
+            for slot in slots:
+                if isinstance(slot, ReproError):
+                    results.append(TxnResult(version=final, error=slot))
+                else:
+                    results.append(
+                        TxnResult(
+                            version=versions[slot], records=counts[slot]
+                        )
+                    )
+            if nonnoop:
+                self._committed = CatalogVersion(final, states[-1])
+            return results
+
+
+def _count_changes(
+    before: Mapping[str, GeneralizedRelation],
+    after: Mapping[str, GeneralizedRelation],
+) -> int:
+    """How many relations differ between two catalog states."""
+    changed = sum(
+        1
+        for name, rel in after.items()
+        if name not in before or before[name] != rel
+    )
+    dropped = sum(1 for name in before if name not in after)
+    return changed + dropped

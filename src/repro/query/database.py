@@ -9,6 +9,17 @@ a durable, crash-safe store (:mod:`repro.storage.engine`) with
 explicit :meth:`Database.commit` / :meth:`Database.compact` /
 :meth:`Database.close` — the finite representability of Definitions
 2.1–2.3 is exactly what makes the infinite extensions storable.
+
+Concurrency model (shared with the served path, :mod:`repro.serve`):
+every commit publishes an immutable :class:`~repro.query.catalog.
+CatalogVersion` through the :class:`~repro.query.catalog.
+VersionedCatalog` transactional core.  :meth:`Database.snapshot` pins
+the current committed version into a read-only
+:class:`~repro.query.catalog.Snapshot` without taking any lock, so
+readers holding snapshots never block — and are never torn by —
+concurrent commits (MVCC snapshot isolation).  The working catalog
+this class mutates in place is private to it; committed versions hold
+copies of whatever changed.
 """
 
 from __future__ import annotations
@@ -16,11 +27,17 @@ from __future__ import annotations
 import warnings
 from collections.abc import Hashable, Sequence
 
-from repro.core.errors import EvaluationError, ReproTypeError, SchemaError
+from repro.core.errors import (
+    EvaluationError,
+    ReproTypeError,
+    SchemaError,
+    StorageError,
+)
 from repro.core.negation import DEFAULT_MAX_EXTENSIONS
 from repro.core.normalize import DEFAULT_MAX_TUPLES
 from repro.core.relations import GeneralizedRelation, Schema
 from repro.query.ast import Query
+from repro.query.catalog import CatalogVersion, Snapshot, VersionedCatalog
 from repro.query.evaluator import Evaluator
 from repro.query.parser import Directive, parse_query, split_directive
 
@@ -47,6 +64,8 @@ class Database:
         self.max_tuples = max_tuples
         self.max_extensions = max_extensions
         self._engine = None
+        self._core = VersionedCatalog()
+        self._closed = False
 
     # ------------------------------------------------------------------
     # durability
@@ -82,8 +101,15 @@ class Database:
 
         engine = StorageEngine.open(path, create=create)
         db = cls(max_tuples=max_tuples, max_extensions=max_extensions)
-        db._relations = dict(engine.relations)
+        # The working catalog gets independently mutable copies; the
+        # recovered relations themselves seed committed version 0, so
+        # in-place mutation of the working state can never reach a
+        # pinned snapshot.
+        db._relations = {
+            name: rel.copy() for name, rel in engine.relations.items()
+        }
         db._engine = engine
+        db._core = VersionedCatalog(engine=engine, base=engine.relations)
         return db
 
     @property
@@ -107,15 +133,38 @@ class Database:
             )
         return self._engine
 
+    def _check_open(self) -> None:
+        """Reject use of a persistent database after :meth:`close`.
+
+        A closed handle's working catalog is stale by definition —
+        silently querying it (or worse, raising ``AttributeError`` from
+        a half-torn-down engine) was the use-after-close bug this guard
+        fixes; every catalog and query entry point now raises a clean
+        :class:`~repro.core.errors.StorageError` instead.
+        """
+        if self._engine is not None and self._engine._crashed:
+            raise StorageError(
+                "engine crashed (injected fault); reopen the database"
+            )
+        if self._closed:
+            raise StorageError(
+                "database is closed; reopen it with Database.open(path)"
+            )
+
     def commit(self) -> int:
         """Durably persist the current catalog (requires :meth:`open`).
 
         Returns the number of WAL mutation records appended (0 when the
         catalog is unchanged since the last commit).  Atomic under
         crashes: recovery yields either the previous or the new
-        committed state, never a mixture.
+        committed state, never a mixture.  Publishes a new immutable
+        :class:`~repro.query.catalog.CatalogVersion`; snapshots pinned
+        before the commit keep seeing the old one.
         """
-        return self._require_engine().commit(self._relations)
+        self._check_open()
+        self._require_engine()
+        _version, records = self._core.commit_state(self._relations)
+        return records
 
     def compact(self) -> str:
         """Fold the committed WAL into a fresh snapshot; truncate the log.
@@ -123,12 +172,53 @@ class Database:
         Returns the new snapshot's file name.  Uncommitted in-memory
         changes are unaffected (and remain uncommitted).
         """
+        self._check_open()
         return self._require_engine().compact()
 
     def close(self) -> None:
-        """Release the durable store, if any (idempotent, no commit)."""
+        """Release the durable store, if any (idempotent, no commit).
+
+        A *persistent* database becomes unusable after close: any
+        further query or catalog call raises
+        :class:`~repro.core.errors.StorageError`.  Closing an
+        in-memory database is a no-op.
+        """
         if self._engine is not None:
             self._engine.close()
+            self._closed = True
+
+    @property
+    def version(self) -> int:
+        """The committed catalog version token (monotone per commit)."""
+        return self._core.version
+
+    def snapshot(self) -> Snapshot:
+        """Pin a read-only MVCC snapshot of the committed catalog.
+
+        For a durable database this is the last committed version — a
+        single lock-free pointer read, so pinning (and querying the
+        pin) never blocks concurrent committers, and later commits
+        never show through.  For an in-memory database it is a
+        point-in-time copy of the current working catalog.  Uncommitted
+        working-state mutations are never visible in a snapshot of a
+        durable database.
+        """
+        self._check_open()
+        if self._engine is None:
+            version = CatalogVersion(
+                self._core.version,
+                {
+                    name: rel.copy()
+                    for name, rel in self._relations.items()
+                },
+            )
+        else:
+            version = self._core.current()
+        return Snapshot(
+            version,
+            max_tuples=self.max_tuples,
+            max_extensions=self.max_extensions,
+        )
 
     def __enter__(self) -> Database:
         return self
@@ -154,6 +244,7 @@ class Database:
         positional form still works for one release but emits a
         :class:`DeprecationWarning`.
         """
+        self._check_open()
         if args:
             warnings.warn(
                 "positional temporal/data arguments to Database.create() "
@@ -181,10 +272,12 @@ class Database:
 
     def register(self, name: str, relation: GeneralizedRelation) -> None:
         """Register an existing relation under ``name`` (replacing any)."""
+        self._check_open()
         self._relations[name] = relation
 
     def relation(self, name: str) -> GeneralizedRelation:
         """Look up a relation by name."""
+        self._check_open()
         try:
             return self._relations[name]
         except KeyError:
@@ -192,6 +285,7 @@ class Database:
 
     def drop(self, name: str) -> None:
         """Remove a relation from the catalog."""
+        self._check_open()
         if name not in self._relations:
             raise EvaluationError(f"unknown relation {name!r}")
         del self._relations[name]
@@ -218,6 +312,7 @@ class Database:
 
     def parse(self, text: str) -> Query:
         """Parse a query against the catalog's schemas."""
+        self._check_open()
         return parse_query(text, self.schemas())
 
     def _evaluator(self, *, engine=None, optimize=None) -> Evaluator:
@@ -244,6 +339,7 @@ class Database:
         ``REPRO_OPTIMIZE``).  Optimization never changes results, only
         how they are computed.
         """
+        self._check_open()
         if isinstance(query, str):
             directive, text = split_directive(query)
             if directive is Directive.EXPLAIN:
@@ -255,6 +351,7 @@ class Database:
 
     def ask(self, query: str | Query, *, engine=None, optimize=None) -> bool:
         """Evaluate a closed (yes/no) query — Theorem 4.1's setting."""
+        self._check_open()
         if isinstance(query, str):
             query = self.parse(query)
         return self._evaluator(engine=engine, optimize=optimize).ask(query)

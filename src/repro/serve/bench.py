@@ -1,0 +1,365 @@
+"""The serving-layer load generator: ``BENCH_serve.json``.
+
+Usage::
+
+    python -m repro.serve.bench                  # full run, repo defaults
+    python -m repro.serve.bench --smoke          # small/fast variant
+    python -m repro.serve.bench --out out.json
+
+Starts a real server (daemon thread, ephemeral port, durable store in
+a temp directory) and drives it over TCP with
+:class:`~repro.serve.client.SyncClient` worker threads, measuring the
+three claims the serving layer makes:
+
+* **group commit beats sequential commit** — the same number of
+  transactions committed by N concurrent writers (drained into
+  single-fsync groups) versus one writer committing them one at a
+  time.  Reported as commits/s for both modes plus the observed group
+  sizes;
+* **snapshot readers never block on writers** — a reader pins a
+  snapshot and queries in a tight loop while a writer commits a large
+  transaction; the reader's worst-case latency must stay far below
+  the commit's duration (and the pinned snapshot must not see the
+  commit: snapshot isolation is checked too);
+* **the store is single-writer** — a second
+  :class:`~repro.storage.engine.StorageEngine` on the served root
+  must fail with :class:`~repro.core.errors.StorageError`.
+
+Also measures served read throughput/latency (p50/p99 over N client
+threads).  ``summary.ok`` gates all of the above, which is what CI's
+serve-smoke job asserts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import shutil
+import statistics
+import sys
+import tempfile
+import threading
+import time
+
+from repro.core.errors import StorageError
+from repro.obs import metrics
+from repro.serve.client import SyncClient
+from repro.serve.server import ReproServer
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+def _insert(offset: int, name: str = "Event") -> dict:
+    return {
+        "op": "insert",
+        "name": name,
+        "lrps": [f"{offset} + 100000n"],
+        "constraints": "t >= 0",
+        "data": [],
+    }
+
+
+def run_serve_bench(
+    *,
+    writers: int = 8,
+    commits_per_writer: int = 6,
+    query_clients: int = 4,
+    queries_per_client: int = 30,
+    bulk_tuples: int = 1200,
+    smoke: bool = False,
+) -> dict:
+    """Run the full load-generation suite; returns the report dict."""
+    if smoke:
+        commits_per_writer = 2
+        query_clients = 2
+        queries_per_client = 8
+        bulk_tuples = 300
+    root = tempfile.mkdtemp(prefix="repro-serve-bench-")
+    try:
+        return _run(
+            root + "/db",
+            writers=writers,
+            commits_per_writer=commits_per_writer,
+            query_clients=query_clients,
+            queries_per_client=queries_per_client,
+            bulk_tuples=bulk_tuples,
+            smoke=smoke,
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def _run(
+    root: str,
+    *,
+    writers: int,
+    commits_per_writer: int,
+    query_clients: int,
+    queries_per_client: int,
+    bulk_tuples: int,
+    smoke: bool,
+) -> dict:
+    server = ReproServer.open(root, query_workers=max(2, query_clients))
+    server.start_in_thread()
+    offsets = iter(range(10, 10_000_000))
+    try:
+        port = server.port
+
+        # -- single-writer lock: a second engine on the served root fails
+        from repro.storage.engine import StorageEngine
+
+        try:
+            StorageEngine.open(root)
+            lock_ok = False
+        except StorageError:
+            lock_ok = True
+
+        with SyncClient(port=port) as seed:
+            seed.commit(
+                [{"op": "create", "name": "Event", "temporal": ["t"]}]
+                + [_insert(next(offsets)) for _ in range(8)]
+                + [{"op": "create", "name": "Probe", "temporal": ["t"]}]
+                + [_insert(next(offsets), "Probe") for _ in range(3)]
+            )
+
+        total_txns = writers * commits_per_writer
+
+        # Each commit mode writes its own fresh relation so both phases
+        # start from (and grow through) identical catalog shapes — the
+        # comparison measures batching, not catalog size.
+        with SyncClient(port=port) as seed:
+            seed.commit([{"op": "create", "name": "Seq", "temporal": ["t"]}])
+            seed.commit([{"op": "create", "name": "Grp", "temporal": ["t"]}])
+
+        # -- sequential baseline: one client, total_txns commits in a row
+        with SyncClient(port=port) as client:
+            started = time.perf_counter()
+            for _ in range(total_txns):
+                client.commit([_insert(next(offsets), "Seq")])
+            sequential_s = time.perf_counter() - started
+
+        # -- group commit: `writers` concurrent clients, same txn count
+        barrier = threading.Barrier(writers + 1)
+        batch_before = metrics().histogram("serve.commit.batch_txns")
+        groups_before = batch_before.count
+        txns_before = batch_before.total
+
+        def writer_main() -> None:
+            with SyncClient(port=port) as c:
+                barrier.wait()
+                for _ in range(commits_per_writer):
+                    c.commit([_insert(next(offsets), "Grp")])
+
+        threads = [
+            threading.Thread(target=writer_main, name=f"bench-writer-{i}")
+            for i in range(writers)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        started = time.perf_counter()
+        for t in threads:
+            t.join()
+        group_s = time.perf_counter() - started
+        batch_after = metrics().histogram("serve.commit.batch_txns")
+        groups = batch_after.count - groups_before
+        grouped_txns = batch_after.total - txns_before
+
+        # -- read throughput/latency at N concurrent query clients
+        latencies: list[list[float]] = [[] for _ in range(query_clients)]
+
+        def reader_main(slot: int) -> None:
+            with SyncClient(port=port) as c:
+                c.snapshot()
+                for i in range(queries_per_client):
+                    t0 = time.perf_counter()
+                    c.ask(f"EXISTS t. Event(t) & t >= {i}")
+                    latencies[slot].append(time.perf_counter() - t0)
+
+        threads = [
+            threading.Thread(target=reader_main, args=(i,))
+            for i in range(query_clients)
+        ]
+        started = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        queries_s = time.perf_counter() - started
+        flat = [x for slot in latencies for x in slot]
+
+        # -- snapshot readers vs a slow writer: reads must not block.
+        # Baseline first: the reader's idle latency on the tiny Probe
+        # relation, to separate "slow query" from "blocked by writer".
+        with SyncClient(port=port) as reader:
+            baseline_lat = []
+            for _ in range(20):
+                t0 = time.perf_counter()
+                reader.ask("EXISTS t. Probe(t) & t >= 5")
+                baseline_lat.append(time.perf_counter() - t0)
+        baseline_p50 = _percentile(baseline_lat, 0.5)
+
+        stop = threading.Event()
+        commit_s = [0.0]
+
+        def bulk_writer() -> None:
+            with SyncClient(port=port) as c:
+                t0 = time.perf_counter()
+                c.commit(
+                    [{"op": "create", "name": "Bulk", "temporal": ["t"]}]
+                    + [
+                        _insert(next(offsets), "Bulk")
+                        for _ in range(bulk_tuples)
+                    ]
+                )
+                commit_s[0] = time.perf_counter() - t0
+                stop.set()
+
+        reader_lat: list[float] = []
+        isolation_ok = True
+        with SyncClient(port=port) as reader:
+            pinned = reader.snapshot()
+            wt = threading.Thread(target=bulk_writer)
+            wt.start()
+            while not stop.is_set():
+                t0 = time.perf_counter()
+                reader.ask("EXISTS t. Probe(t) & t >= 5")
+                reader_lat.append(time.perf_counter() - t0)
+            wt.join()
+            # snapshot isolation: the pin must predate Bulk entirely
+            isolation_ok = "Bulk" not in reader.names()
+            reader.release()
+            isolation_ok = isolation_ok and "Bulk" in reader.names()
+            isolation_ok = isolation_ok and reader.ping()["version"] > pinned
+
+        sequential_cps = total_txns / sequential_s if sequential_s else 0.0
+        group_cps = total_txns / group_s if group_s else 0.0
+        reader_max = max(reader_lat) if reader_lat else 0.0
+        # "never blocks": a reader blocked on the writer would wait the
+        # whole bulk commit out; an unblocked one stays within GIL
+        # jitter of its idle latency, far under the commit's duration.
+        nonblocking_ok = bool(reader_lat) and (
+            reader_max < max(0.5 * commit_s[0], 10 * baseline_p50, 0.02)
+        )
+
+        report = {
+            "meta": {
+                "platform": platform.platform(),
+                "python": platform.python_version(),
+                "smoke": smoke,
+                "writers": writers,
+                "commits_per_writer": commits_per_writer,
+                "query_clients": query_clients,
+                "queries_per_client": queries_per_client,
+                "bulk_tuples": bulk_tuples,
+            },
+            "commits": {
+                "txns": total_txns,
+                "sequential_s": round(sequential_s, 6),
+                "sequential_commits_per_s": round(sequential_cps, 1),
+                "group_s": round(group_s, 6),
+                "group_commits_per_s": round(group_cps, 1),
+                "speedup": round(group_cps / sequential_cps, 2)
+                if sequential_cps
+                else None,
+                "commit_groups": groups,
+                "grouped_txns": grouped_txns,
+                "mean_group_size": round(grouped_txns / groups, 2)
+                if groups
+                else None,
+            },
+            "queries": {
+                "total": len(flat),
+                "wall_s": round(queries_s, 6),
+                "queries_per_s": round(len(flat) / queries_s, 1)
+                if queries_s
+                else None,
+                "p50_ms": round(_percentile(flat, 0.5) * 1e3, 3),
+                "p99_ms": round(_percentile(flat, 0.99) * 1e3, 3),
+                "mean_ms": round(statistics.mean(flat) * 1e3, 3)
+                if flat
+                else None,
+            },
+            "reader_vs_writer": {
+                "bulk_commit_s": round(commit_s[0], 6),
+                "reader_idle_p50_ms": round(baseline_p50 * 1e3, 3),
+                "reader_reads": len(reader_lat),
+                "reader_max_ms": round(reader_max * 1e3, 3),
+                "reader_p50_ms": round(
+                    _percentile(reader_lat, 0.5) * 1e3, 3
+                ),
+                "nonblocking_ok": nonblocking_ok,
+                "snapshot_isolation_ok": isolation_ok,
+            },
+            "lock": {"second_writer_rejected": lock_ok},
+        }
+        report["summary"] = {
+            "group_commit_faster": group_cps > sequential_cps,
+            "readers_never_block": nonblocking_ok,
+            "snapshot_isolation": isolation_ok,
+            "single_writer_lock": lock_ok,
+            "ok": (
+                group_cps > sequential_cps
+                and nonblocking_ok
+                and isolation_ok
+                and lock_ok
+            ),
+        }
+        return report
+    finally:
+        server.stop_in_thread()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: run the bench and write the JSON report."""
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.bench",
+        description="Serving-layer load generator (BENCH_serve.json)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast variant (CI gate)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_serve.json",
+        help="report path (default: BENCH_serve.json)",
+    )
+    parser.add_argument(
+        "--writers", type=int, default=8, help="concurrent commit clients"
+    )
+    args = parser.parse_args(argv)
+    report = run_serve_bench(writers=args.writers, smoke=args.smoke)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    commits = report["commits"]
+    print(
+        f"commits/s: sequential {commits['sequential_commits_per_s']} "
+        f"vs group {commits['group_commits_per_s']} "
+        f"(x{commits['speedup']}, mean group "
+        f"{commits['mean_group_size']})"
+    )
+    print(
+        f"queries: p50 {report['queries']['p50_ms']}ms "
+        f"p99 {report['queries']['p99_ms']}ms "
+        f"({report['queries']['queries_per_s']}/s)"
+    )
+    print(
+        f"reader max {report['reader_vs_writer']['reader_max_ms']}ms "
+        f"during {report['reader_vs_writer']['bulk_commit_s']}s commit"
+    )
+    print(f"summary.ok: {report['summary']['ok']} -> {args.out}")
+    return 0 if report["summary"]["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

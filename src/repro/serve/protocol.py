@@ -1,0 +1,145 @@
+"""The wire protocol: newline-delimited JSON request/response frames.
+
+One TCP connection carries a sequence of requests, each a single line
+of JSON terminated by ``\\n``; the server answers every request with
+exactly one JSON line.  Requests and responses are JSON objects:
+
+Request::
+
+    {"id": 7, "op": "query", "text": "EXISTS t. Event(t)"}
+
+Success response (op-specific fields alongside)::
+
+    {"id": 7, "ok": true, "version": 12, "result": {...}}
+
+Error response::
+
+    {"id": 7, "ok": false,
+     "error": {"type": "EvaluationError", "message": "unknown ..."}}
+
+``id`` is an opaque client-chosen correlation value echoed back
+verbatim; the server answers requests of one connection in order, so
+pipelining is safe.  ``error.type`` is the server-side exception class
+name — the client re-raises the matching
+:class:`~repro.core.errors.ReproError` subclass when one exists and
+:class:`~repro.core.errors.ServeError` otherwise.
+
+Operations
+----------
+
+=============  ==============================  ============================
+op             request fields                  success fields
+=============  ==============================  ============================
+``ping``       —                               ``pong``, ``version``,
+                                               ``protocol``
+``info``       —                               ``version``, ``persistent``,
+                                               ``relations`` (name→size)
+``names``      —                               ``names``
+``snapshot``   —                               ``version`` (now pinned)
+``release``    —                               ``version`` (current again)
+``relation``   ``name``                        ``version``, ``relation``
+``query``      ``text``                        ``version``, ``result``
+``ask``        ``text``                        ``version``, ``answer``
+``commit``     ``mutations`` (list of dicts)   ``version``, ``records``
+=============  ==============================  ============================
+
+``query``/``ask``/``relation`` evaluate against the connection's
+pinned snapshot when one is held (``snapshot`` op), else against the
+latest committed version.  ``commit`` submits one transaction — a
+mutation list in the JSON shape of
+:func:`repro.query.catalog.apply_mutations` — to the group-commit
+batcher; the response arrives only after the transaction is durable
+(fsync), and carries the version token it committed as.
+
+Frames are capped at :data:`MAX_FRAME_BYTES`; an oversized or
+non-JSON frame is a protocol error that closes the connection.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core import errors as _errors
+from repro.core.errors import ReproError, ServeError
+
+#: Protocol revision carried in every ``ping`` response.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one frame (request or response line), in bytes.
+MAX_FRAME_BYTES = 32 << 20
+
+#: The operations the server understands.
+OPS = (
+    "ping",
+    "info",
+    "names",
+    "snapshot",
+    "release",
+    "relation",
+    "query",
+    "ask",
+    "commit",
+)
+
+
+def encode_frame(payload: dict[str, Any]) -> bytes:
+    """Serialize one request/response object to a newline-framed line."""
+    data = json.dumps(payload, separators=(",", ":"), default=_default)
+    raw = data.encode("utf-8") + b"\n"
+    if len(raw) > MAX_FRAME_BYTES:
+        raise ServeError(
+            f"frame of {len(raw)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return raw
+
+
+def _default(value: Any) -> Any:
+    raise ServeError(f"payload value {value!r} is not JSON-serializable")
+
+
+def decode_frame(line: bytes) -> dict[str, Any]:
+    """Parse one received line into a request/response object."""
+    try:
+        payload = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ServeError(f"malformed frame: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ServeError(
+            f"malformed frame: expected a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    return payload
+
+
+def error_payload(request_id: Any, exc: BaseException) -> dict[str, Any]:
+    """The error-response object for a failed request."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+    }
+
+
+def raise_remote(error: dict[str, Any]) -> None:
+    """Re-raise a server-reported error on the client side.
+
+    The error's ``type`` names the exception class the server caught;
+    when it matches a :class:`~repro.core.errors.ReproError` subclass
+    the client raises that same type (so ``except EvaluationError``
+    works identically in-process and over the wire).  Unknown types —
+    and protocol-level failures — surface as
+    :class:`~repro.core.errors.ServeError` with the original class
+    name preserved in ``remote_type``.
+    """
+    name = str(error.get("type") or "ServeError")
+    message = str(error.get("message") or "request failed")
+    cls = getattr(_errors, name, None)
+    if (
+        isinstance(cls, type)
+        and issubclass(cls, ReproError)
+        and cls is not ServeError
+    ):
+        raise cls(message)
+    raise ServeError(message, remote_type=name)

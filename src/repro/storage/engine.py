@@ -34,6 +34,29 @@ truncates any torn tail — so a crash anywhere inside commit leaves
 either the full pre-commit or the full post-commit state, never a
 partial one.
 
+**Group commit** (:meth:`StorageEngine.commit_many`) generalizes the
+protocol to a batch of transactions: each catalog state in the batch is
+diffed against its predecessor and appended as its own WAL transaction
+(records + commit marker), but the whole batch shares one fsync at the
+end.  A crash mid-batch is still per-transaction atomic — recovery
+keeps exactly the prefix of transactions whose commit markers reached
+disk — and no caller is acknowledged before the shared fsync returns,
+so an unacknowledged transaction lost to a crash was never promised.
+This is what lets the serving layer (:mod:`repro.serve`) funnel many
+concurrent writers through a single disk flush.
+
+**Single-writer lock**: :meth:`open` takes an exclusive ``flock`` on
+``<root>/LOCK`` and holds it until :meth:`close`.  A second engine —
+in this or any other process — opening the same root gets a clean
+:class:`~repro.core.errors.StorageError` instead of interleaving WAL
+appends with the first.  A crashed engine (injected fault) releases
+the lock immediately, modeling the OS dropping a dead process's locks.
+
+Every transaction committed bumps the engine's monotone
+:attr:`~StorageEngine.version` token; the MVCC catalog core
+(:mod:`repro.query.catalog`) uses it to name immutable committed
+catalog versions.
+
 Compaction (:meth:`StorageEngine.compact`) folds the WAL into a fresh
 snapshot using the classic temp-file/fsync/rename dance, updating the
 manifest atomically before truncating the log; a crash at any step
@@ -52,6 +75,11 @@ import os
 import time
 from typing import Any
 
+try:  # POSIX only; on other platforms the single-writer lock is a no-op
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
+
 from repro.core.errors import RecoveryError, StorageError
 from repro.core.relations import GeneralizedRelation
 from repro.obs import metrics
@@ -63,6 +91,7 @@ FORMAT_VERSION = 1
 MANIFEST_NAME = "MANIFEST"
 WAL_NAME = "wal.log"
 SNAPSHOT_DIR = "snapshots"
+LOCK_NAME = "LOCK"
 
 
 def _fsync_dir(path: str) -> None:
@@ -97,6 +126,7 @@ class StorageEngine:
         self._snapshot_lsn = 0
         self._snapshot_name: str | None = None
         self._wal_file = None
+        self._lock_fd: int | None = None
         self._closed = True
         self._crashed = False
 
@@ -116,6 +146,57 @@ class StorageEngine:
     def _snapshot_dir(self) -> str:
         return os.path.join(self.root, SNAPSHOT_DIR)
 
+    @property
+    def _lock_path(self) -> str:
+        return os.path.join(self.root, LOCK_NAME)
+
+    # ------------------------------------------------------------------
+    # single-writer lock
+    # ------------------------------------------------------------------
+
+    def _acquire_lock(self) -> None:
+        """Take the exclusive inter-process lock on this root.
+
+        Uses a non-blocking ``flock`` on ``<root>/LOCK`` so a second
+        opener — another process or another engine in this one — fails
+        fast with :class:`~repro.core.errors.StorageError` instead of
+        silently interleaving WAL appends with the holder.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platform
+            return
+        fd = os.open(self._lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            raise StorageError(
+                f"database at {self.root!r} is locked by another writer "
+                "(the storage engine is single-writer; close the other "
+                "handle or serve the database via repro.serve)"
+            ) from None
+        self._lock_fd = fd
+
+    def _release_lock(self) -> None:
+        """Drop the inter-process lock (idempotent)."""
+        if self._lock_fd is None:
+            return
+        try:
+            os.close(self._lock_fd)  # closing the fd releases the flock
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self._lock_fd = None
+
+    def _mark_crashed(self) -> None:
+        """Record an injected crash and release the lock.
+
+        A real crash would end the process, and the OS would drop its
+        ``flock`` with it; the simulated crash must do the same so the
+        test harness can reopen the root the way a restarted process
+        would.
+        """
+        self._crashed = True
+        self._release_lock()
+
     # ------------------------------------------------------------------
     # open / recovery
     # ------------------------------------------------------------------
@@ -127,6 +208,11 @@ class StorageEngine:
         With ``create`` set (the default) a missing or empty directory
         is initialized to an empty database; otherwise opening a path
         with no manifest raises :class:`~repro.core.errors.StorageError`.
+
+        Opening takes the exclusive single-writer lock first — before
+        recovery, which may truncate a torn WAL tail — so two engines
+        can never repair or append to the same root concurrently; the
+        loser gets a :class:`~repro.core.errors.StorageError`.
         """
         engine = cls(root)
         started = time.perf_counter()
@@ -134,16 +220,23 @@ class StorageEngine:
             if not create:
                 raise StorageError(f"no database at {root!r}")
             if os.path.isdir(root) and any(
-                entry not in (SNAPSHOT_DIR, WAL_NAME)
+                entry not in (SNAPSHOT_DIR, WAL_NAME, LOCK_NAME)
                 for entry in os.listdir(root)
             ):
                 raise StorageError(
                     f"refusing to initialize a database in non-empty "
                     f"directory {root!r}"
                 )
-            engine._initialize()
-        engine._recover()
-        engine._wal_file = open(engine._wal_path, "ab", buffering=0)
+            os.makedirs(root, exist_ok=True)
+        engine._acquire_lock()
+        try:
+            if not os.path.exists(engine._manifest_path):
+                engine._initialize()
+            engine._recover()
+            engine._wal_file = open(engine._wal_path, "ab", buffering=0)
+        except BaseException:
+            engine._release_lock()
+            raise
         engine._closed = False
         registry = metrics()
         registry.histogram("storage.recovery.seconds").observe(
@@ -198,7 +291,7 @@ class StorageEngine:
         with open(path, "wb", buffering=0) as handle:
             if cut is not None:
                 handle.write(data[:cut])
-                self._crashed = True
+                self._mark_crashed()
                 raise faults.InjectedCrash(point)
             handle.write(data)
             faults.fire(point.rsplit(".", 1)[0] + ".fsync")
@@ -323,71 +416,126 @@ class StorageEngine:
         nothing changed — no I/O at all in that case).  Atomic: a crash
         anywhere inside leaves the previous committed state recoverable.
         """
+        return self.commit_many([relations])[0]
+
+    def commit_many(
+        self,
+        states: list[dict[str, GeneralizedRelation]],
+        changed: list[set[str] | None] | None = None,
+    ) -> list[int]:
+        """Group commit: one WAL transaction per state, one shared fsync.
+
+        Each catalog state is diffed against its predecessor (the first
+        against the last committed state) and appended as its own
+        transaction — ``put``/``drop`` records plus a commit marker —
+        and the whole batch is made durable by a *single* fsync at the
+        end.  Returns the per-state mutation record counts (0 for a
+        state identical to its predecessor, which appends nothing and
+        consumes no transaction id).
+
+        ``changed`` optionally narrows the diff, one entry per state: a
+        set of relation names the caller guarantees are the *only* ones
+        whose content may differ from the predecessor state (``None``
+        entries diff everything).  The transactional core supplies this
+        from its copy-on-write bookkeeping, turning the per-transaction
+        diff cost from O(catalog) serialization into O(touched) —
+        relations outside the hint keep their committed payload without
+        being re-serialized.  Dropped relations are always detected
+        from the state's keys, hint or not.
+
+        Atomicity is per transaction: a crash mid-batch recovers to the
+        longest prefix of transactions whose commit markers reached
+        disk.  Callers must not acknowledge any transaction in the
+        batch before this method returns — that is the group-commit
+        contract the serving layer's batcher upholds.
+        """
         self._check_live()
         started = time.perf_counter()
-        current: dict[str, str] = {}
-        puts: list[tuple[str, dict]] = []
-        for name, relation in relations.items():
-            payload = jsonio.relation_to_dict(relation)
-            encoded = canonical_json(payload)
-            current[name] = encoded
-            if self._committed.get(name) != encoded:
-                puts.append((name, payload))
-        drops = [name for name in self._committed if name not in current]
-        if not puts and not drops:
-            return 0
-        txn = self._next_txn
+        counts: list[int] = []
+        committed = dict(self._committed)
         bytes_appended = 0
+        records_appended = 0
+        txns = 0
         try:
-            for name, payload in puts:
+            for index, relations in enumerate(states):
+                hint = changed[index] if changed is not None else None
+                current: dict[str, str] = {}
+                puts: list[tuple[str, dict]] = []
+                for name, relation in relations.items():
+                    if (
+                        hint is not None
+                        and name not in hint
+                        and name in committed
+                    ):
+                        current[name] = committed[name]
+                        continue
+                    payload = jsonio.relation_to_dict(relation)
+                    encoded = canonical_json(payload)
+                    current[name] = encoded
+                    if committed.get(name) != encoded:
+                        puts.append((name, payload))
+                drops = [name for name in committed if name not in current]
+                if not puts and not drops:
+                    counts.append(0)
+                    continue
+                txn = self._next_txn
+                for name, payload in puts:
+                    bytes_appended += self._append(
+                        {
+                            "lsn": self._next_lsn,
+                            "txn": txn,
+                            "op": "put",
+                            "name": name,
+                            "relation": payload,
+                        }
+                    )
+                for name in drops:
+                    bytes_appended += self._append(
+                        {
+                            "lsn": self._next_lsn,
+                            "txn": txn,
+                            "op": "drop",
+                            "name": name,
+                        }
+                    )
+                faults.fire("wal.commit")
                 bytes_appended += self._append(
                     {
                         "lsn": self._next_lsn,
                         "txn": txn,
-                        "op": "put",
-                        "name": name,
-                        "relation": payload,
+                        "op": "commit",
+                        "ops": len(puts) + len(drops),
                     }
                 )
-            for name in drops:
-                bytes_appended += self._append(
-                    {
-                        "lsn": self._next_lsn,
-                        "txn": txn,
-                        "op": "drop",
-                        "name": name,
-                    }
-                )
-            faults.fire("wal.commit")
-            bytes_appended += self._append(
-                {
-                    "lsn": self._next_lsn,
-                    "txn": txn,
-                    "op": "commit",
-                    "ops": len(puts) + len(drops),
-                }
-            )
-            faults.fire("wal.fsync")
-            os.fsync(self._wal_file.fileno())
+                self._next_txn = txn + 1
+                committed = current
+                txns += 1
+                records_appended += len(puts) + len(drops) + 1
+                counts.append(len(puts) + len(drops))
+            if txns:
+                faults.fire("wal.fsync")
+                os.fsync(self._wal_file.fileno())
         except faults.InjectedCrash:
-            self._crashed = True
+            self._mark_crashed()
             raise
-        self._next_txn = txn + 1
-        self._committed = current
-        self.relations = dict(relations)
+        if not txns:
+            return counts
+        self._committed = committed
+        self.relations = dict(states[-1])
         registry = metrics()
-        registry.counter("storage.wal.records_appended").inc(
-            len(puts) + len(drops) + 1
-        )
+        registry.counter("storage.wal.records_appended").inc(records_appended)
         registry.counter("storage.wal.bytes_appended").inc(bytes_appended)
+        registry.counter("storage.wal.fsyncs").inc()
+        registry.counter("storage.commit.txns").inc(txns)
+        registry.histogram("storage.commit.batch_txns").observe(txns)
         registry.gauge("storage.wal.bytes").set(
             os.path.getsize(self._wal_path)
         )
-        registry.gauge("storage.relations").set(len(relations))
+        registry.gauge("storage.relations").set(len(states[-1]))
         registry.histogram("storage.commit.seconds").observe(
             time.perf_counter() - started
         )
-        return len(puts) + len(drops)
+        return counts
 
     def _append(self, payload: dict[str, Any]) -> int:
         """Frame and append one record (torn-write injection point)."""
@@ -395,7 +543,7 @@ class StorageEngine:
         cut = faults.fire("wal.append", size=len(data))
         if cut is not None:
             self._wal_file.write(data[:cut])
-            self._crashed = True
+            self._mark_crashed()
             raise faults.InjectedCrash("wal.append")
         self._wal_file.write(data)
         self._next_lsn += 1
@@ -437,7 +585,7 @@ class StorageEngine:
             self._write_manifest(snapshot=name, snapshot_lsn=snapshot_lsn)
             faults.fire("wal.reset")
         except faults.InjectedCrash:
-            self._crashed = True
+            self._mark_crashed()
             raise
         self._wal_file.close()
         self._wal_file = open(self._wal_path, "wb", buffering=0)
@@ -469,6 +617,7 @@ class StorageEngine:
                 except OSError:  # pragma: no cover
                     pass
             self._wal_file.close()
+        self._release_lock()
         self._closed = True
 
     def _check_live(self) -> None:
@@ -478,6 +627,17 @@ class StorageEngine:
             )
         if self._closed:
             raise StorageError("engine is closed")
+
+    @property
+    def version(self) -> int:
+        """The monotone committed-version token (last committed txn id).
+
+        Starts at the highest transaction id recovery replayed (0 for a
+        fresh database) and bumps once per committed transaction — the
+        identity the MVCC catalog core stamps on immutable committed
+        versions.
+        """
+        return self._next_txn - 1
 
     def info(self) -> dict[str, Any]:
         """A JSON-friendly summary of the store (for ``repro db info``)."""
@@ -495,6 +655,7 @@ class StorageEngine:
             "snapshot": self._snapshot_name,
             "snapshot_lsn": self._snapshot_lsn,
             "next_lsn": self._next_lsn,
+            "version": self.version,
             "wal_bytes": wal_bytes,
         }
 

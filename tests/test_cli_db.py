@@ -77,11 +77,10 @@ class TestDbSubcommand:
         assert "format 1" in out
         assert "Train: 1 generalized tuple(s)" in out
 
-    def test_compact_missing_database_errors(self, tmp_path):
-        from repro.core.errors import StorageError
-
-        with pytest.raises(StorageError):
-            run_cli("db", "compact", str(tmp_path / "nope"))
+    def test_compact_missing_database_errors(self, tmp_path, capsys):
+        assert run_cli("db", "compact", str(tmp_path / "nope")) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("error: no database at")
 
     def test_shell_compact_command(self, tmp_path, capsys):
         path = str(tmp_path / "db")
@@ -93,6 +92,48 @@ class TestDbSubcommand:
             "-c", "compact",
         )
         assert "compacted into" in capsys.readouterr().out
+
+
+class TestDbDiagnostics:
+    """``repro db`` on broken roots: one clean line, never a traceback."""
+
+    def test_info_missing_root(self, tmp_path, capsys):
+        assert run_cli("db", "info", str(tmp_path / "nope")) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("error: no database at")
+        assert "Traceback" not in out
+
+    def test_info_truncated_manifest(self, tmp_path, capsys):
+        path = str(tmp_path / "db")
+        run_cli("db", "init", path)
+        capsys.readouterr()
+        manifest = tmp_path / "db" / "MANIFEST"
+        manifest.write_bytes(manifest.read_bytes()[:5])
+        assert run_cli("db", "info", path) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("error:")
+        assert "corrupt" in out
+
+    def test_info_empty_manifest(self, tmp_path, capsys):
+        path = str(tmp_path / "db")
+        run_cli("db", "init", path)
+        capsys.readouterr()
+        (tmp_path / "db" / "MANIFEST").write_bytes(b"")
+        assert run_cli("db", "info", path) == 1
+        assert capsys.readouterr().out.startswith("error:")
+
+    def test_info_locked_root(self, tmp_path, capsys):
+        path = str(tmp_path / "db")
+        with Database.open(path):
+            capsys.readouterr()
+            assert run_cli("db", "info", path) == 1
+            assert "locked by another" in capsys.readouterr().out
+
+    def test_open_missing_parent_still_initializes(self, tmp_path, capsys):
+        # `db open` (create semantics) on a fresh path is not an error
+        path = str(tmp_path / "fresh")
+        assert run_cli("db", "open", path, "-c", "list") == 0
+        assert "(no relations)" in capsys.readouterr().out
 
 
 class TestSessionDurabilityCommands:

@@ -1,0 +1,85 @@
+"""Regression tests for use-after-close on ``Database``.
+
+The bug: after ``close()`` a persistent database's methods either
+raised ``AttributeError`` from the half-torn-down engine (``commit``,
+``compact``) or silently operated on the stale in-memory catalog
+(``query``, ``relation``, ``create``).  Every entry point must now
+raise a clean ``StorageError``.
+"""
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.query.database import Database
+
+
+@pytest.fixture
+def closed_db(tmp_path):
+    db = Database.open(str(tmp_path / "db"))
+    db.create("Ev", temporal=["t"])
+    db.relation("Ev").add_tuple(["5n"], "t >= 0", [])
+    db.commit()
+    db.close()
+    return db
+
+
+class TestUseAfterClose:
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda db: db.commit(),
+            lambda db: db.compact(),
+            lambda db: db.query("EXISTS t. Ev(t)"),
+            lambda db: db.ask("EXISTS t. Ev(t)"),
+            lambda db: db.parse("EXISTS t. Ev(t)"),
+            lambda db: db.relation("Ev"),
+            lambda db: db.create("New", temporal=["t"]),
+            lambda db: db.drop("Ev"),
+            lambda db: db.register("X", None),
+            lambda db: db.snapshot(),
+        ],
+        ids=[
+            "commit",
+            "compact",
+            "query",
+            "ask",
+            "parse",
+            "relation",
+            "create",
+            "drop",
+            "register",
+            "snapshot",
+        ],
+    )
+    def test_closed_database_raises_storage_error(self, closed_db, call):
+        with pytest.raises(StorageError, match="closed"):
+            call(closed_db)
+
+    def test_close_is_idempotent(self, closed_db):
+        closed_db.close()
+        closed_db.close()
+
+    def test_context_manager_exit_closes(self, tmp_path):
+        with Database.open(str(tmp_path / "db")) as db:
+            db.create("Ev", temporal=["t"])
+            db.commit()
+        with pytest.raises(StorageError, match="closed"):
+            db.query("EXISTS t. Ev(t)")
+
+    def test_reopen_after_close_works(self, closed_db, tmp_path):
+        with Database.open(str(tmp_path / "db"), create=False) as db:
+            assert db.names == ("Ev",)
+            assert db.ask("EXISTS t. Ev(t) & t >= 10")
+
+    def test_in_memory_database_close_is_a_noop(self):
+        db = Database()
+        db.create("Ev", temporal=["t"])
+        db.close()
+        # still fully usable: close() only applies to persistent stores
+        db.relation("Ev").add_tuple(["3n"], "t >= 0", [])
+        assert db.ask("EXISTS t. Ev(t)")
+        assert db.snapshot().names == ("Ev",)
+
+    def test_error_message_says_how_to_recover(self, closed_db):
+        with pytest.raises(StorageError, match="Database.open"):
+            closed_db.commit()

@@ -1,0 +1,86 @@
+"""Regression tests for the exclusive single-writer storage lock.
+
+The bug: two ``StorageEngine``/``Database`` handles could open one
+root concurrently, interleave WAL appends and corrupt the store.  The
+fix takes a non-blocking ``fcntl.flock`` on ``<root>/LOCK`` before
+recovery and holds it until close; the second opener gets a clean
+``StorageError``.
+"""
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.query.database import Database
+from repro.storage import faults
+from repro.storage.engine import LOCK_NAME, StorageEngine
+
+
+class TestSingleWriterLock:
+    def test_second_engine_on_same_root_is_rejected(self, tmp_path):
+        root = str(tmp_path / "db")
+        first = StorageEngine.open(root)
+        try:
+            with pytest.raises(StorageError, match="locked by another"):
+                StorageEngine.open(root)
+        finally:
+            first.close()
+
+    def test_second_database_on_same_root_is_rejected(self, tmp_path):
+        root = str(tmp_path / "db")
+        with Database.open(root):
+            with pytest.raises(StorageError, match="locked by another"):
+                Database.open(root)
+
+    def test_lock_releases_on_close(self, tmp_path):
+        root = str(tmp_path / "db")
+        StorageEngine.open(root).close()
+        second = StorageEngine.open(root)
+        second.close()
+
+    def test_lock_file_lives_in_root(self, tmp_path):
+        root = tmp_path / "db"
+        engine = StorageEngine.open(str(root))
+        try:
+            assert (root / LOCK_NAME).exists()
+        finally:
+            engine.close()
+
+    def test_lock_does_not_break_fresh_init_check(self, tmp_path):
+        # A root containing only the LOCK file still counts as "empty
+        # enough" to initialize; unrelated files still refuse.
+        root = tmp_path / "db"
+        StorageEngine.open(str(root)).close()
+        stray = tmp_path / "other"
+        stray.mkdir()
+        (stray / "unrelated.txt").write_text("hi")
+        with pytest.raises(StorageError, match="non-empty"):
+            StorageEngine.open(str(stray))
+
+    def test_failed_open_releases_lock(self, tmp_path):
+        # Opening a root with create=False fails after the lock check;
+        # the lock must not leak, so a later create succeeds.
+        root = str(tmp_path / "db")
+        StorageEngine.open(root).close()
+        manifest = tmp_path / "db" / "MANIFEST"
+        manifest.write_bytes(manifest.read_bytes()[:4])  # torn
+        with pytest.raises(StorageError):
+            StorageEngine.open(root, create=False)
+        # the torn manifest still fails, but with the recovery error —
+        # not "locked by another writer"
+        with pytest.raises(StorageError, match="corrupt"):
+            StorageEngine.open(root, create=False)
+
+    def test_injected_crash_releases_lock_for_reopen(self, tmp_path):
+        # Crash-recovery tests reopen the root while the crashed handle
+        # is still alive; a dead writer's lock must not survive it
+        # (modeling the OS dropping a crashed process's flocks).
+        root = str(tmp_path / "db")
+        db = Database.open(root)
+        db.create("Ev", temporal=["t"])
+        db.relation("Ev").add_tuple(["5n"], "t >= 0", [])
+        with faults.crash_at("wal.commit"):
+            with pytest.raises(faults.InjectedCrash):
+                db.commit()
+        reopened = Database.open(root)
+        assert reopened.names == ()
+        reopened.close()
