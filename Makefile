@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-optimized lint docs-check bench bench-smoke serve-bench serve-bench-smoke fuzz reports clean
+.PHONY: test test-optimized lint docs-check bench bench-smoke serve-bench serve-bench-smoke stream-bench stream-bench-smoke fuzz reports clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -41,6 +41,15 @@ serve-bench:
 
 serve-bench-smoke:
 	$(PYTHON) -m repro.serve.bench --smoke
+
+# Streaming-ingest benchmark: tuples/s through the append path and
+# incremental view refresh vs full recomputation (gated at >= 2x);
+# writes BENCH_stream.json (see docs/deductive.md).
+stream-bench:
+	$(PYTHON) -m repro.deductive.bench
+
+stream-bench-smoke:
+	$(PYTHON) -m repro.deductive.bench --smoke
 
 # Differential fuzzing against the finite-window oracle; shrunk repros
 # of any failure land in fuzz-failures/ (see docs/fuzzing.md).

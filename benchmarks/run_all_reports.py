@@ -42,6 +42,7 @@ REPORTS = [
     ("test_bench_ablation_complement", "ablation_report"),
     ("perf_report", "perf_report"),
     ("serve_report", "serve_report"),
+    ("stream_report", "stream_report"),
 ]
 
 

@@ -1,0 +1,54 @@
+"""Consolidated-report wrapper for the streaming-ingest benchmark.
+
+Runs :mod:`repro.deductive.bench` (smoke sizes, so the consolidated
+run stays quick), writes the machine-readable ``BENCH_stream.json``
+next to the repository root, and returns the human-readable digest.
+The full-size run is ``python -m repro.deductive.bench`` (or
+``make stream-bench``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.deductive.bench import run_stream_bench
+
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_stream.json"
+
+
+def stream_report(smoke: bool = True) -> list[str]:
+    """Regenerate ``BENCH_stream.json``; return the digest lines."""
+    report = run_stream_bench(smoke=smoke)
+    OUTPUT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    ingest = report["ingest"]
+    refresh = report["refresh"]
+    equivalence = report["equivalence"]
+    summary = report["summary"]
+    lines = ["Streaming ingest: incremental view maintenance vs recompute"]
+    lines.append(
+        f"  ingest: {ingest['tuples']} tuples in {ingest['seconds']}s "
+        f"({ingest['tuples_per_s']} tuples/s; batch p50 "
+        f"{ingest['batch_p50_ms']}ms p99 {ingest['batch_p99_ms']}ms)"
+    )
+    lines.append(
+        f"  view refresh: incremental {refresh['incremental_mean_ms']}ms "
+        f"vs recompute {refresh['recompute_mean_ms']}ms mean "
+        f"(x{refresh['speedup']}, {refresh['samples']} batches)"
+    )
+    lines.append(
+        f"  incremental == recompute on "
+        f"{equivalence['checked_batches']}/{equivalence['checked_batches']}"
+        f" batches: {'OK' if equivalence['ok'] else 'DISAGREE'}"
+    )
+    lines.append(
+        "summary.ok: OK"
+        if summary["ok"]
+        else "summary.ok: SUSPECT — a streaming gate failed"
+    )
+    lines.append(f"(JSON written to {OUTPUT.name})")
+    return lines
+
+
+if __name__ == "__main__":
+    print("\n".join(stream_report()))

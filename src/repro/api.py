@@ -56,6 +56,12 @@ The surface, by area:
   :meth:`Database.snapshot` / :class:`Snapshot` (lock-free pinned
   reads, in-process too), and the :class:`SyncClient` /
   :class:`Client` wire clients — see ``docs/serving.md``;
+* **deduction** — :class:`Program` / :class:`Rule` (Datalog over
+  generalized relations, semi-naive evaluation),
+  :meth:`Database.install_program` (materialized IDB views, refreshed
+  incrementally on every commit) and
+  :meth:`Database.append_stream` (batched streaming ingest) — see
+  ``docs/deductive.md``;
 * **observability** — :func:`tracing`, :class:`TraceRecorder`,
   :class:`Span`, :func:`render_flamegraph`, :func:`metrics`,
   :class:`MetricsRegistry`, :func:`kernel_backend` (which DBM closure
@@ -77,6 +83,7 @@ from repro.core import (
     Schema,
     relation,
 )
+from repro.deductive import Program, Rule
 from repro.core.errors import (
     ConstraintError,
     DomainError,
@@ -195,6 +202,9 @@ __all__ = [
     "ReproServer",
     "Snapshot",
     "SyncClient",
+    # deduction (Datalog programs, materialized views)
+    "Program",
+    "Rule",
     # differential fuzzing
     "Case",
     "CaseResult",

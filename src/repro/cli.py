@@ -12,6 +12,10 @@ Usage::
     python -m repro.cli db compact mydb      # fold the WAL into a snapshot
     python -m repro.cli db info mydb         # recovery + catalog summary
     python -m repro.cli serve start mydb     # multi-client server (MVCC)
+    python -m repro.cli deduce prog.dl --data facts.tdb
+                                             # evaluate a Datalog program
+    python -m repro.cli deduce prog.dl --db mydb --install
+                                             # install materialized views
 
 Commands:
 
@@ -431,6 +435,99 @@ def _db_action(args) -> int:
     return 0
 
 
+def deduce_main(argv: list[str]) -> int:
+    """The ``repro deduce`` subcommand: Datalog programs end to end.
+
+    Evaluates a program file against a database — a durable store
+    (``--db PATH``), a relation text file (``--data FILE``), or an
+    empty catalog — and prints the derived IDB relations.  With
+    ``--install`` (durable databases only) the program's IDB is
+    instead installed as materialized views, refreshed incrementally
+    by every subsequent commit and streamed append.
+
+    Operator errors — unstratifiable programs, IDB/EDB name clashes,
+    unsafe rules, missing files — are reported as one clean
+    ``error: ...`` line with exit status 1, never a traceback
+    (matching the ``repro db`` convention).
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro.cli deduce",
+        description="Evaluate or install a Datalog program",
+    )
+    parser.add_argument("program", help="program file (declare + rules)")
+    parser.add_argument(
+        "--db", default=None, metavar="PATH", help="durable database root"
+    )
+    parser.add_argument(
+        "--data",
+        default=None,
+        metavar="FILE",
+        help="relation text file to load as the EDB",
+    )
+    parser.add_argument(
+        "--install",
+        action="store_true",
+        help="install the program's IDB as materialized views "
+        "(requires --db)",
+    )
+    parser.add_argument(
+        "--strategy",
+        default=None,
+        choices=("seminaive", "naive"),
+        help="fixpoint strategy (default: seminaive, or REPRO_SEMINAIVE)",
+    )
+    args = parser.parse_args(argv)
+    if args.install and args.db is None:
+        parser.error("--install requires --db PATH")
+    try:
+        return _deduce_action(args)
+    except ReproError as exc:
+        print(f"error: {exc}")
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}")
+        return 1
+
+
+def _deduce_action(args) -> int:
+    """Run one parsed ``repro deduce`` action (may raise ``ReproError``)."""
+    from repro.deductive import Program
+
+    with open(args.program) as handle:
+        program = Program.from_text(handle.read())
+    if args.db is not None:
+        with Database.open(args.db, create=False) as db:
+            if args.data is not None:
+                with open(args.data) as handle:
+                    for name, rel in textio.loads_all(handle.read()).items():
+                        db.register(name, rel)
+            if args.install:
+                db.install_program(program)
+                for name, watermark in sorted(db.views().items()):
+                    size = len(db.relation(name))
+                    print(
+                        f"installed {name}: {size} generalized tuple(s), "
+                        f"watermark v{watermark}"
+                    )
+                return 0
+            result = program.evaluate(db, strategy=args.strategy)
+            _print_derived(program, result)
+        return 0
+    db = Database()
+    if args.data is not None:
+        with open(args.data) as handle:
+            for name, rel in textio.loads_all(handle.read()).items():
+                db.register(name, rel)
+    result = program.evaluate(db, strategy=args.strategy)
+    _print_derived(program, result)
+    return 0
+
+
+def _print_derived(program, result) -> None:
+    for name in program.idb_names:
+        print(textio.format_relation(result.relation(name), name).rstrip())
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point: interactive, script file, or -c commands.
 
@@ -454,6 +551,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serve.cli import serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "deduce":
+        return deduce_main(argv[1:])
     trace_mode = bool(argv) and argv[0] == "trace"
     if trace_mode:
         argv = argv[1:]

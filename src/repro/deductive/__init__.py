@@ -1,12 +1,36 @@
-"""A Datalog-style deductive layer over generalized relations (Sec. 5)."""
+"""A Datalog-style deductive layer over generalized relations (Sec. 5).
 
-from repro.deductive.program import DEFAULT_MAX_ITERATIONS, Program
+Programs evaluate semi-naively by default (per-rule delta queries; see
+:mod:`repro.deductive.incremental`), with the naive full-body fixpoint
+kept as the oracle (``strategy="naive"`` / ``REPRO_SEMINAIVE=0``).
+:class:`~repro.deductive.incremental.ViewMaintainer` is the bridge to
+the transactional core: installed through
+:meth:`repro.query.database.Database.install_program`, it keeps the
+program's IDB materialized in every committed catalog version.
+"""
+
+from repro.deductive.program import (
+    DEFAULT_MAX_ITERATIONS,
+    STRATEGIES,
+    Program,
+    default_strategy,
+)
+from repro.deductive.incremental import (
+    DIRTY,
+    RefreshReport,
+    ViewMaintainer,
+)
 from repro.deductive.rules import HeadArg, Rule, head_relation
 
 __all__ = [
     "DEFAULT_MAX_ITERATIONS",
+    "DIRTY",
     "HeadArg",
     "Program",
+    "RefreshReport",
     "Rule",
+    "STRATEGIES",
+    "ViewMaintainer",
+    "default_strategy",
     "head_relation",
 ]

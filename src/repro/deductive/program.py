@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
+import os
 from collections.abc import Sequence
 
 from repro.core import algebra
-from repro.core.errors import EvaluationError, SchemaError
+from repro.core.errors import EvaluationError, ReproValueError, SchemaError
 from repro.core.relations import GeneralizedRelation, Schema
 from repro.core.simplify import simplify_relation
 from repro.query.ast import Not, Pred, Query
@@ -13,6 +14,24 @@ from repro.query.database import Database
 from repro.deductive.rules import Rule, head_relation
 
 DEFAULT_MAX_ITERATIONS = 50
+
+#: Known evaluation strategies: ``"seminaive"`` iterates per-rule delta
+#: queries (the default), ``"naive"`` re-evaluates every full body per
+#: round — kept as the executable oracle the equivalence suite and the
+#: fuzz harness's ``"ivm"`` leg compare against.
+STRATEGIES = ("seminaive", "naive")
+
+
+def default_strategy() -> str:
+    """The strategy used when :meth:`Program.evaluate` gets none.
+
+    ``REPRO_SEMINAIVE=0`` forces the naive oracle globally (the same
+    spirit as ``REPRO_OPTIMIZE`` for the planner); anything else —
+    including unset — selects semi-naive evaluation.
+    """
+    return (
+        "naive" if os.environ.get("REPRO_SEMINAIVE") == "0" else "seminaive"
+    )
 
 
 class Program:
@@ -104,11 +123,22 @@ class Program:
 
     @property
     def rules(self) -> tuple[Rule, ...]:
+        """The program's rules, in declaration order."""
         return tuple(self._rules)
 
     @property
     def idb_names(self) -> tuple[str, ...]:
+        """Declared IDB predicate names, in declaration order."""
         return tuple(self._idb)
+
+    def schema(self, name: str) -> Schema:
+        """The declared schema of one IDB predicate."""
+        try:
+            return self._idb[name]
+        except KeyError:
+            raise SchemaError(
+                f"{name!r} is not a declared IDB predicate"
+            ) from None
 
     # ------------------------------------------------------------------
     # dependency analysis
@@ -148,8 +178,10 @@ class Program:
         """
         schemas = {**edb_schemas, **self._idb}
         for rule in self._rules:
-            if rule.body_query is None:
-                rule.bind(schemas)
+            # Keyed rebinding: a body parsed against one database's
+            # schemas is re-parsed when the mapping differs (a program
+            # is reusable across databases with different EDB shapes).
+            rule.ensure_bound(schemas)
         stratum = {name: 0 for name in self._idb}
         deps: list[tuple[str, str, bool]] = []
         for rule in self._rules:
@@ -190,12 +222,28 @@ class Program:
         db: Database,
         max_iterations: int = DEFAULT_MAX_ITERATIONS,
         simplify: bool = True,
+        strategy: str | None = None,
     ) -> Database:
         """Evaluate the program; returns a new Database with IDB filled.
 
         EDB relations are taken from ``db`` (and are never modified).
         Within each stratum, rules are iterated to a semantic fixpoint.
+
+        ``strategy`` selects how each stratum reaches its fixpoint:
+        ``"seminaive"`` (the default) iterates per-rule *delta* queries
+        — each round only re-derives from the previous round's new
+        tuples (see :mod:`repro.deductive.incremental`); ``"naive"``
+        re-evaluates every full rule body per round, and is kept as the
+        executable oracle.  Both produce semantically identical
+        databases; ``REPRO_SEMINAIVE=0`` flips the default to naive.
         """
+        if strategy is None:
+            strategy = default_strategy()
+        if strategy not in STRATEGIES:
+            raise ReproValueError(
+                f"unknown evaluation strategy {strategy!r}; "
+                f"expected one of {STRATEGIES}"
+            )
         for name in self._idb:
             if name in db:
                 raise SchemaError(
@@ -209,12 +257,53 @@ class Program:
         for name, schema in self._idb.items():
             out.register(name, GeneralizedRelation.empty(schema))
         strata = self.stratify(db.schemas())
+        if strategy == "seminaive":
+            self._evaluate_seminaive(out, strata, max_iterations, simplify)
+            return out
         for layer in strata:
             layer_rules = [
                 r for r in self._rules if r.head_name in set(layer)
             ]
             self._fixpoint(out, layer_rules, max_iterations, simplify)
         return out
+
+    def _evaluate_seminaive(
+        self,
+        out: Database,
+        strata: list[list[str]],
+        max_iterations: int,
+        simplify: bool,
+    ) -> None:
+        """Run every stratum through the semi-naive delta iteration."""
+        from repro.deductive.incremental import seminaive_stratum
+        from repro.obs import metrics, span
+
+        registry = metrics()
+        state = {name: out.relation(name) for name in out.names}
+        with span("deductive.evaluate", strategy="seminaive"):
+            for layer in strata:
+                layer_rules = [
+                    r for r in self._rules if r.head_name in set(layer)
+                ]
+                _deltas, stats = seminaive_stratum(
+                    state,
+                    layer_rules,
+                    self._idb,
+                    set(layer),
+                    None,
+                    max_iterations=max_iterations,
+                    simplify=simplify,
+                    max_tuples=out.max_tuples,
+                    max_extensions=out.max_extensions,
+                )
+                registry.counter("deductive.rules_fired").inc(
+                    stats.rules_fired
+                )
+                registry.histogram("deductive.iterations").observe(
+                    stats.iterations
+                )
+        for name in self._idb:
+            out.register(name, state[name])
 
     def _fixpoint(
         self,

@@ -69,6 +69,12 @@ class Rule:
     head_args: tuple[HeadArg, ...]
     body_text: str
     body_query: object = field(default=None, repr=False)
+    #: The schema mapping the body was last parsed against.  Binding is
+    #: keyed to it so a program evaluated against one database rebinds
+    #: cleanly when re-evaluated against a database whose EDB schemas
+    #: differ — reusing the stale bound query was a silent-wrong-answer
+    #: bug (see :meth:`ensure_bound`).
+    bound_key: tuple = field(default=None, repr=False, compare=False)
 
     @classmethod
     def parse(cls, text: str) -> Rule:
@@ -110,10 +116,26 @@ class Rule:
 
     @property
     def head_vars(self) -> tuple[str, ...]:
+        """The head's variable names, in argument order."""
         return tuple(a.var for a in self.head_args if a.is_var)
+
+    def ensure_bound(self, schemas: dict[str, Schema]) -> None:
+        """Bind the body, rebinding if ``schemas`` changed since last time.
+
+        A :class:`Rule` caches its parsed body, but the parse depends
+        on the predicate schemas in scope.  Evaluating one
+        :class:`~repro.deductive.program.Program` against two databases
+        with different EDB schemas must therefore re-parse — this
+        method compares the schema mapping against the one the cached
+        body was built from and rebinds only on a mismatch.
+        """
+        key = tuple(sorted(schemas.items(), key=lambda item: item[0]))
+        if self.body_query is None or self.bound_key != key:
+            self.bind(schemas)
 
     def bind(self, schemas: dict[str, Schema]) -> None:
         """Parse the body against the known schemas and check safety."""
+        self.bound_key = None
         self.body_query = parse_query(self.body_text, schemas)
         free = free_variables(self.body_query)
         _check_negation_safety(self.body_query, self.head_name)
@@ -143,6 +165,11 @@ class Rule:
                     f"head variable {arg.var!r} is {var_sort.value} in the "
                     f"body but {want.value} in {self.head_name}'s schema"
                 )
+        # Stamped only after the parse and every safety check passed:
+        # a failed bind must fail again (not be masked) on retry.
+        self.bound_key = tuple(
+            sorted(schemas.items(), key=lambda item: item[0])
+        )
 
     def __str__(self) -> str:
         rendered = ", ".join(

@@ -16,6 +16,10 @@ engine must agree exactly.  This package exploits that:
   over per-node windows.
 * :mod:`repro.fuzz.shrink` — delta-debugging minimization of failing
   cases to few-tuple, few-node repros.
+* :mod:`repro.fuzz.ivm` — the incremental-view-maintenance leg:
+  streamed append/retract batches whose maintained recursive view is
+  compared against a naive recompute after every batch (divergence
+  kind ``"ivm"``; ``repro fuzz --ivm N``).
 * :mod:`repro.fuzz.cli` — the ``repro fuzz`` subcommand.
 
 See ``docs/fuzzing.md`` for the window-commutation argument and usage.
@@ -53,6 +57,12 @@ from repro.fuzz.gen import (
     case_seed,
     generate_case,
 )
+from repro.fuzz.ivm import (
+    DEFAULT_IVM_PROFILE,
+    IvmProfile,
+    IvmResult,
+    run_ivm_case,
+)
 from repro.fuzz.shrink import ShrinkResult, same_failure, shrink_case
 
 __all__ = [
@@ -61,11 +71,14 @@ __all__ = [
     "CaseResult",
     "Complement",
     "DEFAULT_CONFIG",
+    "DEFAULT_IVM_PROFILE",
     "DEFAULT_PROFILE",
     "DiffConfig",
     "Divergence",
     "Expr",
     "FuzzProfile",
+    "IvmProfile",
+    "IvmResult",
     "Intersect",
     "Join",
     "Leaf",
@@ -86,6 +99,7 @@ __all__ = [
     "generate_case",
     "load_case",
     "run_case",
+    "run_ivm_case",
     "same_failure",
     "shrink_case",
 ]

@@ -9,6 +9,7 @@ corpus.  Examples::
     repro fuzz --seed 7 --budget 2000 --window -6 6 --out fuzz-failures
     repro fuzz --replay tests/corpus/*.json
     repro fuzz --seed 0 --budget 50 --trace
+    repro fuzz --seed 0 --budget 0 --ivm 20
 
 Exit status is 0 when every case is clean (``ok`` / ``unstable`` /
 ``oversize`` / ``limit``) and 1 when any case is ``divergent`` or
@@ -82,6 +83,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", action="store_true",
         help="run under the span recorder; print a flamegraph for every "
         "failing case and the fuzz metrics at the end",
+    )
+    parser.add_argument(
+        "--ivm", type=int, default=0, metavar="N",
+        help="also run N incremental-view-maintenance cases: streamed "
+        "append/retract batches where the maintained view is compared "
+        "against a naive recompute after every batch (divergence kind "
+        '"ivm"; seeds replay exactly)',
     )
     return parser
 
@@ -158,6 +166,18 @@ def fuzz_main(argv: list[str] | None = None) -> int:
                 print(f"  {shrunk}", file=out)
                 path = _save_repro(Path(args.out), result, shrunk.case)
                 print(f"  repro written to {path}", file=out)
+        for index in range(args.ivm):
+            from repro.fuzz.ivm import run_ivm_case
+
+            seed = case_seed(args.seed, index)
+            result = run_ivm_case(seed)
+            ran += 1
+            counts[result.status] = counts.get(result.status, 0) + 1
+            if not result.failing:
+                continue
+            failures += 1
+            print(f"FAIL ivm case {index} (seed {seed})", file=out)
+            print(result.summary(), file=out)
     finally:
         if recorder_cm is not None:
             recorder_cm.__exit__(None, None, None)

@@ -57,20 +57,47 @@ class CatalogVersion:
     Treat instances as frozen values: the relation mapping is exposed
     read-only, and the engine never mutates a relation reachable from a
     committed version (commit installs copies of changed relations).
+
+    When a deductive program is installed
+    (:meth:`VersionedCatalog.install_program`), the version also
+    carries the program's materialized IDB views *as ordinary
+    relations* plus per-view input-version watermarks: the version
+    token whose EDB state each view was last refreshed against.
+    Because commit refreshes views in the same critical section that
+    publishes the version, every committed version is self-consistent
+    — a pinned snapshot always reads views computed from exactly the
+    EDB it sees.
     """
 
-    __slots__ = ("version", "_relations")
+    __slots__ = ("version", "_relations", "_view_watermarks")
 
     def __init__(
-        self, version: int, relations: Mapping[str, GeneralizedRelation]
+        self,
+        version: int,
+        relations: Mapping[str, GeneralizedRelation],
+        *,
+        view_watermarks: Mapping[str, int] | None = None,
     ) -> None:
         self.version = version
         self._relations = dict(relations)
+        self._view_watermarks = dict(view_watermarks or {})
 
     @property
     def relations(self) -> Mapping[str, GeneralizedRelation]:
         """The committed relations, as a read-only mapping."""
         return MappingProxyType(self._relations)
+
+    @property
+    def view_watermarks(self) -> Mapping[str, int]:
+        """Materialized-view freshness: view name -> input version token.
+
+        Empty when no program is installed.  A watermark equal to
+        :attr:`version` means the view was refreshed by the commit that
+        published this very version; a lower watermark means the
+        intervening commits did not touch the view's inputs (the view
+        object is shared with the older version).
+        """
+        return MappingProxyType(self._view_watermarks)
 
     @property
     def names(self) -> tuple[str, ...]:
@@ -213,6 +240,8 @@ class TxnResult:
 def apply_mutations(
     relations: Mapping[str, GeneralizedRelation],
     mutations: Sequence[Mapping],
+    *,
+    protected: frozenset[str] | set[str] = frozenset(),
 ) -> dict[str, GeneralizedRelation]:
     """Apply one transaction's mutation list to a catalog state.
 
@@ -223,6 +252,10 @@ def apply_mutations(
     duplicate ``create``, :class:`EvaluationError` for an unknown name,
     parse errors from malformed tuple text) — the caller treats any
     :class:`~repro.core.errors.ReproError` as aborting the transaction.
+
+    ``protected`` names (the installed program's materialized views)
+    may not be targeted by any mutation: views are derived state, kept
+    consistent by the commit path itself.
     """
     state = dict(relations)
     touched: set[str] = set()
@@ -233,8 +266,14 @@ def apply_mutations(
             raise ReproTypeError(
                 f"malformed mutation {mutation!r}: missing 'op'"
             ) from None
+        name = _name_of(mutation)
+        if name in protected:
+            raise SchemaError(
+                f"relation {name!r} is a materialized view of the "
+                "installed deductive program; mutate its input "
+                "relations instead"
+            )
         if op == "create":
-            name = _name_of(mutation)
             if name in state:
                 raise SchemaError(f"relation {name!r} already exists")
             schema = Schema.make(
@@ -244,19 +283,13 @@ def apply_mutations(
             state[name] = GeneralizedRelation.empty(schema)
             touched.add(name)
         elif op == "insert":
-            name = _name_of(mutation)
             if name not in state:
                 raise EvaluationError(f"unknown relation {name!r}")
             if name not in touched:
                 state[name] = state[name].copy()
                 touched.add(name)
-            state[name].add_tuple(
-                list(mutation.get("lrps") or ()),
-                mutation.get("constraints") or "",
-                tuple(mutation.get("data") or ()),
-            )
+            _insert_into(state[name], mutation)
         elif op == "drop":
-            name = _name_of(mutation)
             if name not in state:
                 raise EvaluationError(f"unknown relation {name!r}")
             del state[name]
@@ -264,12 +297,58 @@ def apply_mutations(
         elif op == "put":
             from repro.storage import jsonio
 
-            name = _name_of(mutation)
             state[name] = jsonio.relation_from_dict(mutation["relation"])
             touched.add(name)
         else:
             raise ReproTypeError(f"unknown mutation op {op!r}")
     return state
+
+
+def _insert_into(
+    relation: GeneralizedRelation, mutation: Mapping
+) -> None:
+    """Apply one ``insert`` mutation to an (already copied) relation.
+
+    Two payload shapes are accepted.  The friendly text form carries
+    ``lrps`` as LRP strings plus a ``constraints`` string naming the
+    schema's temporal attributes.  The structural ``tuple`` form is a
+    jsonio tuple entry (``lrps`` as ``[offset, period]`` pairs, raw DBM
+    ``bounds``, ``data`` scalars) — what the streaming append path
+    (:meth:`repro.query.database.Database.append_stream`) batches over
+    the wire, skipping per-tuple text parsing entirely.
+    """
+    entry = mutation.get("tuple")
+    if entry is None:
+        relation.add_tuple(
+            list(mutation.get("lrps") or ()),
+            mutation.get("constraints") or "",
+            tuple(mutation.get("data") or ()),
+        )
+        return
+    from repro.core.dbm import DBM
+    from repro.core.lrp import LRP
+    from repro.core.tuples import GeneralizedTuple
+
+    try:
+        lrps = tuple(
+            LRP.make(offset, period) for offset, period in entry["lrps"]
+        )
+        dbm = DBM(len(lrps))
+        for i, j, bound in entry.get("bounds") or ():
+            if i >= 0 and j >= 0:
+                dbm.add_difference(i, j, bound)
+            elif j < 0:
+                dbm.add_upper(i, bound)
+            else:
+                dbm.add_lower(j, -bound)
+        gtuple = GeneralizedTuple(
+            lrps=lrps, dbm=dbm, data=tuple(entry.get("data") or ())
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproTypeError(
+            f"malformed tuple entry in insert mutation: {exc}"
+        ) from exc
+    relation.add(gtuple)
 
 
 def _name_of(mutation: Mapping) -> str:
@@ -309,11 +388,119 @@ class VersionedCatalog:
         token = engine.version if engine is not None else 0
         self._committed = CatalogVersion(token, dict(base or {}))
         self._write_lock = threading.Lock()
+        self._maintainer = None
 
     @property
     def engine(self):
         """The backing storage engine, or ``None`` for in-memory."""
         return self._engine
+
+    @property
+    def maintainer(self):
+        """The installed view maintainer, or ``None``.
+
+        Set by :meth:`install_program`; a
+        :class:`~repro.deductive.incremental.ViewMaintainer` holding
+        the program's stratification and view schemas.
+        """
+        return self._maintainer
+
+    @property
+    def view_names(self) -> tuple[str, ...]:
+        """Names of the installed program's materialized views."""
+        if self._maintainer is None:
+            return ()
+        return self._maintainer.view_names
+
+    def install_program(
+        self,
+        program,
+        *,
+        max_tuples: int,
+        max_extensions: int,
+        verify: bool = False,
+    ) -> tuple[CatalogVersion, object]:
+        """Install a deductive program; materialize its IDB as views.
+
+        Stratifies ``program`` against the committed EDB schemas,
+        materializes every IDB predicate, and publishes a new
+        :class:`CatalogVersion` in which the views ride as ordinary
+        relations (so snapshots, wire queries and WAL persistence all
+        work unchanged) with per-view watermarks.  From then on every
+        commit — :meth:`commit_state` and each transaction of
+        :meth:`commit_mutations` — refreshes the views inside the same
+        critical section that publishes the version.
+
+        Committed relations that already carry a view's name are
+        **adopted** when their schema matches the declared IDB schema —
+        that is the reopen path: views persisted by an earlier process
+        are picked up without recomputation.  ``verify=True`` forces a
+        from-scratch recomputation instead (repairing any divergence);
+        a same-name relation with a *different* schema raises
+        :class:`SchemaError`.  Returns the published version and the
+        :class:`~repro.deductive.incremental.RefreshReport` (``None``
+        when adoption skipped evaluation).
+        """
+        from repro.deductive.incremental import ViewMaintainer
+
+        with self._write_lock:
+            previous = self._committed
+            old_views = (
+                set(self._maintainer.view_names)
+                if self._maintainer is not None
+                else set()
+            )
+            base_state = {
+                name: rel
+                for name, rel in previous.relations.items()
+                if name not in old_views
+            }
+            candidates = {
+                name: base_state.pop(name)
+                for name in list(base_state)
+                if name in program.idb_names
+            }
+            maintainer = ViewMaintainer(
+                program,
+                {name: rel.schema for name, rel in base_state.items()},
+                max_tuples=max_tuples,
+                max_extensions=max_extensions,
+            )
+            for name, rel in candidates.items():
+                if rel.schema != maintainer.view_schemas[name]:
+                    raise SchemaError(
+                        f"existing relation {name!r} does not match the "
+                        "program's declared schema for that view"
+                    )
+            report = None
+            if (
+                not verify
+                and len(candidates) == len(maintainer.view_names)
+            ):
+                views = dict(candidates)
+            else:
+                views, report = maintainer.initialize(base_state)
+            changed = [
+                name
+                for name, view in views.items()
+                if name not in previous or previous.relation(name) != view
+            ]
+            frozen = dict(base_state)
+            frozen.update(views)
+            if self._engine is not None and changed:
+                self._engine.commit_many([frozen], changed=[set(changed)])
+                token = self._engine.version
+            elif changed:
+                token = previous.version + 1
+            else:
+                token = previous.version
+            watermarks = {name: token for name in maintainer.view_names}
+            version = CatalogVersion(
+                token, frozen, view_watermarks=watermarks
+            )
+            self._maintainer = maintainer
+            self._committed = version
+            return version, report
 
     @property
     def version(self) -> int:
@@ -341,18 +528,46 @@ class VersionedCatalog:
         its working objects without ever reaching into the version.
         Returns ``(version, records)``; a no-op commit returns the
         current version with 0 records.
+
+        With a program installed, names of materialized views in
+        ``relations`` are ignored (views are derived state); instead
+        the changed program inputs are diffed into insert/:data:`DIRTY
+        <repro.deductive.incremental.DIRTY>` deltas and the views
+        refreshed before the version is published, so the committed
+        state is always self-consistent.  Dropping a program input
+        raises :class:`SchemaError` (the whole commit fails).
         """
         with self._write_lock:
             previous = self._committed
+            maintainer = self._maintainer
+            view_names = (
+                set(maintainer.view_names)
+                if maintainer is not None
+                else set()
+            )
+            incoming = {
+                name: rel
+                for name, rel in relations.items()
+                if name not in view_names
+            }
             changed = [
                 name
-                for name, rel in relations.items()
+                for name, rel in incoming.items()
                 if name not in previous
                 or previous.relation(name) != rel
             ]
             dropped = [
-                name for name in previous.names if name not in relations
+                name
+                for name in previous.names
+                if name not in incoming and name not in view_names
             ]
+            if maintainer is not None:
+                for name in dropped:
+                    if name in maintainer.input_names:
+                        raise SchemaError(
+                            f"cannot drop relation {name!r}: it is an "
+                            "input of the installed deductive program"
+                        )
             if not changed and not dropped:
                 return previous, 0
             frozen = {
@@ -361,21 +576,47 @@ class VersionedCatalog:
                     if name in changed
                     else previous.relation(name)
                 )
-                for name, rel in relations.items()
+                for name, rel in incoming.items()
             }
+            hint = set(changed)
+            watermarks = dict(previous.view_watermarks)
+            changed_views: list[str] = []
+            if maintainer is not None:
+                deltas = _input_deltas(
+                    maintainer, previous.relations, frozen, changed
+                )
+                old_views = {
+                    name: previous.relation(name)
+                    for name in view_names
+                    if name in previous
+                }
+                views, _report = maintainer.refresh(
+                    frozen, old_views, deltas
+                )
+                # refresh carries untouched views over by reference, so
+                # identity is a sound changed-view test.
+                for name, view in views.items():
+                    if view is not old_views.get(name):
+                        changed_views.append(name)
+                        hint.add(name)
+                    frozen[name] = view
             if self._engine is not None:
                 # The engine receives the frozen copies (never the
                 # caller's still-mutable working objects) plus the
                 # changed-name hint, so its diff only serializes what
                 # this commit touched.
                 records = self._engine.commit_many(
-                    [frozen], changed=[set(changed)]
+                    [frozen], changed=[hint]
                 )[0]
                 token = self._engine.version
             else:
-                records = len(changed) + len(dropped)
+                records = len(changed) + len(dropped) + len(changed_views)
                 token = previous.version + 1
-            version = CatalogVersion(token, frozen)
+            for name in changed_views:
+                watermarks[name] = token
+            version = CatalogVersion(
+                token, frozen, view_watermarks=watermarks
+            )
             self._committed = version
             return version, records
 
@@ -399,30 +640,76 @@ class VersionedCatalog:
         final committed state equals committing the same batches one by
         one through :meth:`commit_state` application order — group
         commit changes only durability batching, never semantics.
+
+        When a program is installed, each transaction's views are
+        refreshed *inside* that transaction — mutation batches that
+        only insert into program inputs fold into the views by
+        semi-naive delta evaluation, which is what lets the group
+        commit amortize view maintenance across a burst of appends.
+        Every intermediate state handed to the WAL therefore carries
+        fresh views, so crash recovery can never surface a stale view.
+        Mutations that target a view, or drop a program input, abort
+        (only) their own transaction.
         """
         with self._write_lock:
             previous = self._committed
+            maintainer = self._maintainer
+            view_names = (
+                set(maintainer.view_names)
+                if maintainer is not None
+                else set()
+            )
             base = dict(previous.relations)
             states: list[dict[str, GeneralizedRelation]] = []
             hints: list[set[str]] = []
             slots: list[ReproError | int] = []
+            wm_slots: dict[str, int] = {}
             for batch in batches:
                 try:
-                    state = apply_mutations(base, batch)
-                except ReproError as exc:
-                    slots.append(exc)
-                    continue
-                # apply_mutations copies exactly the relations it
-                # touches, so object identity against the predecessor
-                # state is a sound (and cheap) changed-name hint for
-                # the engine's diff.
-                hints.append(
-                    {
+                    state = apply_mutations(
+                        base, batch, protected=view_names
+                    )
+                    # apply_mutations copies exactly the relations it
+                    # touches, so object identity against the
+                    # predecessor state is a sound (and cheap)
+                    # changed-name hint for the engine's diff.
+                    hint = {
                         name
                         for name, rel in state.items()
                         if base.get(name) is not rel
                     }
-                )
+                    if maintainer is not None:
+                        missing = sorted(
+                            name
+                            for name in maintainer.input_names
+                            if name not in state
+                        )
+                        if missing:
+                            raise SchemaError(
+                                f"cannot drop relation {missing[0]!r}: "
+                                "it is an input of the installed "
+                                "deductive program"
+                            )
+                        deltas = _input_deltas(
+                            maintainer, base, state, hint
+                        )
+                        old_views = {
+                            name: base[name]
+                            for name in view_names
+                            if name in base
+                        }
+                        views, _report = maintainer.refresh(
+                            state, old_views, deltas
+                        )
+                        for name, view in views.items():
+                            if view is not old_views.get(name):
+                                hint.add(name)
+                                wm_slots[name] = len(states)
+                            state[name] = view
+                except ReproError as exc:
+                    slots.append(exc)
+                    continue
+                hints.append(hint)
                 slots.append(len(states))
                 states.append(state)
                 base = state
@@ -461,8 +748,53 @@ class VersionedCatalog:
                         )
                     )
             if nonnoop:
-                self._committed = CatalogVersion(final, states[-1])
+                watermarks = dict(previous.view_watermarks)
+                for name, slot in wm_slots.items():
+                    watermarks[name] = versions[slot]
+                self._committed = CatalogVersion(
+                    final, states[-1], view_watermarks=watermarks
+                )
             return results
+
+
+def _input_deltas(
+    maintainer,
+    before: Mapping[str, GeneralizedRelation],
+    after: Mapping[str, GeneralizedRelation],
+    changed_names,
+) -> dict[str, object]:
+    """Classify changed program inputs as insert deltas or ``DIRTY``.
+
+    For each changed relation the maintainer reads, the semantic
+    difference decides: tuples only *added* yield an insert delta the
+    refresh can fold semi-naively; any removed point means the change
+    is not monotone and the input is marked
+    :data:`~repro.deductive.incremental.DIRTY`, forcing the affected
+    strata to recompute.
+    """
+    from repro.core import algebra
+    from repro.core.simplify import simplify_relation
+    from repro.deductive.incremental import DIRTY
+
+    deltas: dict[str, object] = {}
+    for name in changed_names:
+        if name not in maintainer.input_names:
+            continue
+        new = after[name]
+        old = before.get(name)
+        if old is None:
+            old = GeneralizedRelation.empty(new.schema)
+        if old.schema != new.schema:
+            deltas[name] = DIRTY
+            continue
+        removed = algebra.subtract(old, new)
+        if not removed.is_empty():
+            deltas[name] = DIRTY
+            continue
+        inserted = simplify_relation(algebra.subtract(new, old))
+        if not inserted.is_empty():
+            deltas[name] = inserted
+    return deltas
 
 
 def _count_changes(

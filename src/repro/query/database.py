@@ -163,7 +163,8 @@ class Database:
         """
         self._check_open()
         self._require_engine()
-        _version, records = self._core.commit_state(self._relations)
+        version, records = self._core.commit_state(self._relations)
+        self._sync_views(version)
         return records
 
     def compact(self) -> str:
@@ -227,6 +228,113 @@ class Database:
         self.close()
 
     # ------------------------------------------------------------------
+    # deductive programs and streaming appends
+    # ------------------------------------------------------------------
+
+    def install_program(self, program, *, verify: bool = False):
+        """Install a deductive program; keep its IDB materialized.
+
+        Commits the current working catalog, stratifies ``program``
+        against it, and materializes every IDB predicate as a
+        *materialized view*: an ordinary relation riding in each
+        committed :class:`~repro.query.catalog.CatalogVersion`, kept
+        consistent by every subsequent :meth:`commit` /
+        :meth:`append_stream` (incrementally where the change is
+        insert-only, by stratum recomputation otherwise).  Views are
+        queryable like any relation but cannot be created, registered,
+        dropped or mutated directly.
+
+        On a reopened durable database, views persisted by a previous
+        process are adopted without recomputation when their schemas
+        match; ``verify=True`` forces recomputation (repairing any
+        divergence).  Returns the
+        :class:`~repro.deductive.incremental.RefreshReport` of the
+        initial materialization, or ``None`` when adoption skipped it.
+        """
+        self._check_open()
+        self._core.commit_state(self._relations)
+        version, report = self._core.install_program(
+            program,
+            max_tuples=self.max_tuples,
+            max_extensions=self.max_extensions,
+            verify=verify,
+        )
+        self._sync_views(version)
+        return report
+
+    def append_stream(self, name: str, tuples) -> int:
+        """Append a batch of generalized tuples as one transaction.
+
+        The streaming ingest path: flushes pending working-catalog
+        changes, then commits the batch through the transactional
+        core's group-commit protocol — one WAL append run, one fsync,
+        and (with a program installed) one incremental view refresh for
+        the whole batch, which is what amortizes maintenance cost over
+        burst ingest.  ``tuples`` may hold
+        :class:`~repro.core.tuples.GeneralizedTuple` values or jsonio
+        tuple entries (``{"lrps": [[offset, period], ...], "bounds":
+        [...], "data": [...]}``).  Returns the number of WAL mutation
+        records the transaction appended.
+        """
+        self._check_open()
+        self._core.commit_state(self._relations)
+        mutations = [
+            {"op": "insert", "name": name, "tuple": _tuple_entry(t)}
+            for t in tuples
+        ]
+        result = self._core.commit_mutations([mutations])[0]
+        if result.error is not None:
+            raise result.error
+        current = self._core.current()
+        if name in current:
+            self._relations[name] = current.relation(name).copy()
+        self._sync_views(current)
+        return result.records
+
+    @property
+    def program(self):
+        """The installed deductive program, or ``None``."""
+        maintainer = self._core.maintainer
+        return maintainer.program if maintainer is not None else None
+
+    @property
+    def view_names(self) -> tuple[str, ...]:
+        """Names of the installed program's materialized views."""
+        return self._core.view_names
+
+    def views(self) -> dict[str, int]:
+        """Materialized views and their freshness watermarks.
+
+        Maps each view name to the committed version token whose EDB
+        state it was last refreshed against (see
+        :attr:`CatalogVersion.view_watermarks
+        <repro.query.catalog.CatalogVersion.view_watermarks>`).
+        Empty when no program is installed.
+        """
+        self._check_open()
+        return dict(self._core.current().view_watermarks)
+
+    def _sync_views(self, version) -> None:
+        """Mirror committed views into the working catalog.
+
+        The working catalog is what :meth:`query` reads, so after any
+        commit that refreshed views the mirrors must follow.  Copies
+        keep a caller who grabs the relation object from reaching into
+        the committed version.
+        """
+        for view in self._core.view_names:
+            if view in version:
+                self._relations[view] = version.relation(view).copy()
+
+    def _guard_view(self, name: str) -> None:
+        if name in self._core.view_names:
+            raise SchemaError(
+                f"relation {name!r} is a materialized view of the "
+                "installed deductive program; mutate its input "
+                "relations instead"
+            )
+
+    # ------------------------------------------------------------------
     # catalog management
     # ------------------------------------------------------------------
 
@@ -264,6 +372,7 @@ class Database:
             temporal = args[0]
             if len(args) == 2:
                 data = args[1]
+        self._guard_view(name)
         if name in self._relations:
             raise SchemaError(f"relation {name!r} already exists")
         rel = GeneralizedRelation.empty(Schema.make(temporal, data))
@@ -273,6 +382,7 @@ class Database:
     def register(self, name: str, relation: GeneralizedRelation) -> None:
         """Register an existing relation under ``name`` (replacing any)."""
         self._check_open()
+        self._guard_view(name)
         self._relations[name] = relation
 
     def relation(self, name: str) -> GeneralizedRelation:
@@ -286,6 +396,7 @@ class Database:
     def drop(self, name: str) -> None:
         """Remove a relation from the catalog."""
         self._check_open()
+        self._guard_view(name)
         if name not in self._relations:
             raise EvaluationError(f"unknown relation {name!r}")
         del self._relations[name]
@@ -407,3 +518,23 @@ class Database:
 
     def __repr__(self) -> str:
         return f"<Database relations={list(self._relations)}>"
+
+
+def _tuple_entry(value) -> dict:
+    """Normalize one :meth:`Database.append_stream` item to a jsonio entry."""
+    from repro.core.tuples import GeneralizedTuple
+
+    if isinstance(value, GeneralizedTuple):
+        return {
+            "lrps": [[lrp.offset, lrp.period] for lrp in value.lrps],
+            "bounds": [
+                [i, j, bound] for i, j, bound in value.dbm.iter_bounds()
+            ],
+            "data": list(value.data),
+        }
+    if isinstance(value, dict):
+        return value
+    raise ReproTypeError(
+        "append_stream items must be GeneralizedTuple values or jsonio "
+        f"tuple entries, not {type(value).__name__}"
+    )

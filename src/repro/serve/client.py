@@ -139,6 +139,45 @@ class SyncClient:
             "records": int(payload["records"]),
         }
 
+    def append(self, name: str, tuples) -> dict[str, Any]:
+        """Append a batch of tuples to ``name`` as one transaction.
+
+        ``tuples`` may hold :class:`~repro.core.tuples.GeneralizedTuple`
+        values or jsonio tuple entries; the batch rides the server's
+        group commit, so concurrent appenders share one fsync and one
+        materialized-view refresh.  Returns ``{"version", "records"}``.
+        """
+        payload = self._call(
+            "append", name=name, tuples=_tuple_entries(tuples)
+        )
+        return {
+            "version": int(payload["version"]),
+            "records": int(payload["records"]),
+        }
+
+    def install_program(self, text: str, *, verify: bool = False) -> dict:
+        """Install a deductive program from its text form.
+
+        The server materializes the program's IDB predicates as views
+        in the committed catalog (see :meth:`Database.install_program
+        <repro.query.database.Database.install_program>`).  Returns
+        ``{"version", "views", "mode"}`` where ``mode`` is
+        ``"recompute"`` or ``"adopt"``.
+        """
+        payload = self._call("install_program", text=text, verify=verify)
+        return {
+            "version": int(payload["version"]),
+            "views": list(payload["views"]),
+            "mode": payload["mode"],
+        }
+
+    def views(self) -> dict[str, int]:
+        """Materialized views of the visible version, with watermarks."""
+        return {
+            str(name): int(token)
+            for name, token in self._call("views")["views"].items()
+        }
+
     def close(self) -> None:
         """Close the connection (idempotent)."""
         if self._sock is not None:
@@ -240,6 +279,36 @@ class Client:
             "records": int(payload["records"]),
         }
 
+    async def append(self, name: str, tuples) -> dict[str, Any]:
+        """Append a batch of tuples to ``name`` as one transaction."""
+        payload = await self._call(
+            "append", name=name, tuples=_tuple_entries(tuples)
+        )
+        return {
+            "version": int(payload["version"]),
+            "records": int(payload["records"]),
+        }
+
+    async def install_program(
+        self, text: str, *, verify: bool = False
+    ) -> dict:
+        """Install a deductive program from its text form."""
+        payload = await self._call(
+            "install_program", text=text, verify=verify
+        )
+        return {
+            "version": int(payload["version"]),
+            "views": list(payload["views"]),
+            "mode": payload["mode"],
+        }
+
+    async def views(self) -> dict[str, int]:
+        """Materialized views of the visible version, with watermarks."""
+        return {
+            str(name): int(token)
+            for name, token in (await self._call("views"))["views"].items()
+        }
+
     async def close(self) -> None:
         """Close the connection (idempotent)."""
         self._writer.close()
@@ -253,3 +322,33 @@ class Client:
 
     async def __aexit__(self, *exc_info) -> None:
         await self.close()
+
+
+def _tuple_entries(tuples) -> list[dict]:
+    """Normalize append() items to jsonio tuple entries for the wire."""
+    from repro.core.errors import ReproTypeError
+    from repro.core.tuples import GeneralizedTuple
+
+    entries: list[dict] = []
+    for value in tuples:
+        if isinstance(value, GeneralizedTuple):
+            entries.append(
+                {
+                    "lrps": [
+                        [lrp.offset, lrp.period] for lrp in value.lrps
+                    ],
+                    "bounds": [
+                        [i, j, bound]
+                        for i, j, bound in value.dbm.iter_bounds()
+                    ],
+                    "data": list(value.data),
+                }
+            )
+        elif isinstance(value, dict):
+            entries.append(value)
+        else:
+            raise ReproTypeError(
+                "append items must be GeneralizedTuple values or jsonio "
+                f"tuple entries, not {type(value).__name__}"
+            )
+    return entries

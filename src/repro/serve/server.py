@@ -494,6 +494,61 @@ class ReproServer:
                 "version": result.version,
                 "records": result.records,
             }, pinned
+        if op == "append":
+            # Streaming ingest: one transaction of structural inserts.
+            # Rides the group-commit batcher, so concurrent appenders
+            # share one fsync *and* (with a program installed) view
+            # refresh is amortized over every batch in the group.
+            name = _field(request, "name", str)
+            tuples = request.get("tuples")
+            if not isinstance(tuples, list):
+                raise ServeError(
+                    "append needs 'tuples': a list of tuple entries"
+                )
+            mutations = [
+                {"op": "insert", "name": name, "tuple": entry}
+                for entry in tuples
+            ]
+            metrics().counter("serve.appends").inc()
+            metrics().histogram("serve.append.tuples").observe(len(tuples))
+            result = await self._batcher.submit(mutations)
+            if result.error is not None:
+                raise result.error
+            return {
+                "version": result.version,
+                "records": result.records,
+            }, pinned
+        if op == "install_program":
+            from repro.deductive import Program
+
+            text = _field(request, "text", str)
+            program = Program.from_text(text)
+            verify = bool(request.get("verify", False))
+
+            def install():
+                return self._catalog.install_program(
+                    program,
+                    max_tuples=self.max_tuples,
+                    max_extensions=self.max_extensions,
+                    verify=verify,
+                )
+
+            # The commit pool serializes with the group-commit drainer's
+            # executor thread, so installation never races a commit.
+            version, report = await loop.run_in_executor(
+                self._commit_pool, install
+            )
+            return {
+                "version": version.version,
+                "views": list(version.view_watermarks),
+                "mode": report.mode if report is not None else "adopt",
+            }, pinned
+        if op == "views":
+            view = self._view(pinned)
+            return {
+                "version": view.version,
+                "views": dict(view.view_watermarks),
+            }, pinned
         raise ServeError(f"unknown op {op!r}")
 
 

@@ -1,0 +1,133 @@
+"""Tests for the ``repro deduce`` CLI subcommand.
+
+The contract: evaluate or install Datalog programs from the shell,
+with operator errors — unstratifiable programs, IDB/EDB name clashes,
+missing files — reported as one clean ``error: ...`` line and exit
+status 1, never a traceback (the ``repro db`` convention).
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.query.database import Database
+
+PROGRAM = (
+    "declare Busy(t:T, robot:D)\n"
+    "Busy(t, r) <- EXISTS a. EXISTS b. "
+    "(Perform(a, b, r) & a <= t & t <= b)\n"
+)
+
+FACTS = (
+    "relation Perform(t1:T, t2:T, robot:D)\n"
+    '[2 + 10n, 5 + 10n] : t1 = t2 - 3 | "r1"\n'
+)
+
+
+def run_cli(*argv) -> int:
+    return main(list(argv))
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "prog.dl"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+@pytest.fixture
+def facts_file(tmp_path):
+    path = tmp_path / "facts.tdb"
+    path.write_text(FACTS)
+    return str(path)
+
+
+class TestEvaluate:
+    def test_data_file_evaluation(self, program_file, facts_file, capsys):
+        assert run_cli("deduce", program_file, "--data", facts_file) == 0
+        out = capsys.readouterr().out
+        assert "relation Busy(t:T, robot:D)" in out
+        assert "r1" in out
+
+    def test_naive_strategy_agrees(
+        self, program_file, facts_file, capsys
+    ):
+        run_cli("deduce", program_file, "--data", facts_file)
+        fast = capsys.readouterr().out
+        run_cli(
+            "deduce", program_file, "--data", facts_file,
+            "--strategy", "naive",
+        )
+        assert capsys.readouterr().out == fast
+
+    def test_durable_db_evaluation(self, tmp_path, program_file, capsys):
+        root = str(tmp_path / "db")
+        with Database.open(root) as db:
+            db.create("Perform", temporal=["t1", "t2"], data=["robot"])
+            db.relation("Perform").add_tuple(
+                ["2 + 10n", "5 + 10n"], "t1 = t2 - 3", ["r1"]
+            )
+            db.commit()
+        assert run_cli("deduce", program_file, "--db", root) == 0
+        assert "Busy" in capsys.readouterr().out
+
+
+class TestInstall:
+    def test_install_materializes_views(
+        self, tmp_path, program_file, capsys
+    ):
+        root = str(tmp_path / "db")
+        with Database.open(root) as db:
+            db.create("Perform", temporal=["t1", "t2"], data=["robot"])
+            db.relation("Perform").add_tuple(
+                ["2 + 10n", "5 + 10n"], "t1 = t2 - 3", ["r1"]
+            )
+            db.commit()
+        assert (
+            run_cli("deduce", program_file, "--db", root, "--install") == 0
+        )
+        out = capsys.readouterr().out
+        assert "installed Busy" in out and "watermark" in out
+        with Database.open(root, create=False) as db:
+            assert "Busy" in db.names
+
+    def test_install_requires_db(self, program_file, capsys):
+        with pytest.raises(SystemExit):
+            run_cli("deduce", program_file, "--install")
+
+
+class TestCleanErrors:
+    def test_unstratifiable_program(self, tmp_path, facts_file, capsys):
+        path = tmp_path / "bad.dl"
+        path.write_text(
+            "declare P(t:T)\n"
+            "declare Q(t:T)\n"
+            "P(t) <- EXISTS a. EXISTS b. "
+            '(Perform(a, b, "r1") & a <= t & t <= b) & ~Q(t)\n'
+            "Q(t) <- EXISTS a. EXISTS b. "
+            '(Perform(a, b, "r1") & a <= t & t <= b) & ~P(t)\n'
+        )
+        assert run_cli("deduce", str(path), "--data", facts_file) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("error: ")
+        assert "not stratifiable" in out
+        assert "Traceback" not in out
+
+    def test_idb_edb_clash(self, tmp_path, facts_file, capsys):
+        path = tmp_path / "clash.dl"
+        path.write_text(
+            "declare Perform(t:T, r:D)\nPerform(t, r) <- Other(t, r)\n"
+        )
+        assert run_cli("deduce", str(path), "--data", facts_file) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("error: ")
+        assert "clashes" in out
+
+    def test_missing_program_file(self, capsys):
+        assert run_cli("deduce", "no-such-file.dl") == 1
+        assert capsys.readouterr().out.startswith("error: ")
+
+    def test_missing_db_root(self, program_file, capsys):
+        assert (
+            run_cli("deduce", program_file, "--db", "no-such-root") == 1
+        )
+        assert capsys.readouterr().out.startswith("error: ")

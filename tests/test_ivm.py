@@ -1,0 +1,303 @@
+"""Incremental view maintenance through the versioned catalog.
+
+The contract under test: after *every* commit — streamed append
+batches, group-committed mutations, full-state commits, crash-reopen
+— each materialized view denotes exactly the point set a from-scratch
+evaluation of the installed program derives from the committed EDB.
+Plus the transactional trimmings: watermarks, snapshot pinning, view
+protection, adoption on reopen, and the wire-level ``append`` /
+``install_program`` / ``views`` ops.
+"""
+
+import pytest
+
+from repro.core import algebra
+from repro.core.errors import SchemaError
+from repro.deductive.scenarios import (
+    EDGE_SCHEMA,
+    edge_batches,
+    edge_relation,
+    reachability_program,
+)
+from repro.fuzz.ivm import run_ivm_case
+from repro.query import Database
+from repro.serve import ReproServer, SyncClient
+
+
+def assert_views_match_recompute(db: Database) -> None:
+    """Every installed view equals a from-scratch naive evaluation."""
+    program = db.program
+    oracle_db = Database()
+    for name in db.names:
+        if name not in db.view_names:
+            oracle_db.register(name, db.relation(name))
+    oracle = program.evaluate(oracle_db, strategy="naive")
+    for name in db.view_names:
+        assert algebra.equivalent(
+            db.relation(name), oracle.relation(name)
+        ), f"maintained view {name} diverged from recompute"
+
+
+def fresh_db(window: int = 4) -> Database:
+    db = Database()
+    db.create("Edge", temporal=["t"], data=["src", "dst"])
+    db.install_program(reachability_program(window))
+    return db
+
+
+class TestAppendStream:
+    def test_views_match_recompute_after_every_batch(self):
+        db = fresh_db()
+        for batch in edge_batches(5, 4, 3, seed=11):
+            db.append_stream("Edge", batch)
+            assert_views_match_recompute(db)
+
+    def test_append_lands_all_tuples(self):
+        db = fresh_db()
+        batch = edge_batches(4, 1, 3, seed=0)[0]
+        # One transaction: a positive record count (Edge + the
+        # refreshed view), and every tuple of the batch visible.
+        assert db.append_stream("Edge", batch) > 0
+        got = db.relation("Edge").snapshot(0, 48)
+        want = edge_relation([batch]).snapshot(0, 48)
+        assert got == want
+
+    def test_append_to_unknown_relation(self):
+        from repro.core.errors import EvaluationError
+
+        db = fresh_db()
+        batch = edge_batches(4, 1, 1, seed=0)[0]
+        with pytest.raises(EvaluationError, match="unknown relation"):
+            db.append_stream("Nope", batch)
+
+    def test_watermark_advances_with_each_append(self):
+        db = fresh_db()
+        seen = [db.views()["Reach"]]
+        for batch in edge_batches(4, 3, 2, seed=3):
+            db.append_stream("Edge", batch)
+            seen.append(db.views()["Reach"])
+        assert seen == sorted(set(seen)), "watermarks must be monotone"
+
+    def test_untouched_view_watermark_stays(self, tmp_path):
+        # A commit that never touches the program's inputs must not
+        # pretend to have refreshed the view.
+        with Database.open(tmp_path / "db") as db:
+            db.create("Edge", temporal=["t"], data=["src", "dst"])
+            db.install_program(reachability_program(4))
+            db.append_stream("Edge", edge_batches(4, 1, 2, seed=1)[0])
+            before = db.views()["Reach"]
+            db.create("Other", temporal=["t"])
+            db.relation("Other").add_tuple(["5n"], "t >= 0", [])
+            db.commit()
+            assert db.views()["Reach"] == before
+            assert db.snapshot().version > before
+
+
+class TestDirtyPath:
+    def test_retraction_recomputes_views(self, tmp_path):
+        # Shrinking the EDB is not an insert-only delta: the catalog
+        # must classify it DIRTY and recompute, not union-fold.
+        with Database.open(tmp_path / "db") as db:
+            db.create("Edge", temporal=["t"], data=["src", "dst"])
+            db.install_program(reachability_program(4))
+            batches = edge_batches(4, 3, 3, seed=7)
+            for batch in batches:
+                db.append_stream("Edge", batch)
+            db.register("Edge", edge_relation(batches[:-1]))
+            db.commit()
+            assert_views_match_recompute(db)
+
+    def test_grow_then_shrink_sequence(self, tmp_path):
+        with Database.open(tmp_path / "db") as db:
+            db.create("Edge", temporal=["t"], data=["src", "dst"])
+            db.install_program(reachability_program(4))
+            batches = edge_batches(5, 4, 2, seed=9)
+            db.append_stream("Edge", batches[0])
+            db.append_stream("Edge", batches[1])
+            db.register("Edge", edge_relation([batches[0]]))
+            db.commit()
+            assert_views_match_recompute(db)
+            db.append_stream("Edge", batches[2])
+            assert_views_match_recompute(db)
+
+
+class TestSnapshotPinning:
+    def test_pinned_snapshot_is_isolated_from_appends(self, tmp_path):
+        with Database.open(tmp_path / "db") as db:
+            db.create("Edge", temporal=["t"], data=["src", "dst"])
+            db.install_program(reachability_program(4))
+            batches = edge_batches(4, 2, 3, seed=2)
+            db.append_stream("Edge", batches[0])
+            pinned = db.snapshot()
+            before_edge = pinned.relation("Edge").snapshot(0, 48)
+            before_reach = pinned.relation("Reach").snapshot(0, 48)
+            db.append_stream("Edge", batches[1])
+            # The pin still sees the old EDB *and* the old view —
+            # never a view ahead of its base relations.
+            assert pinned.relation("Edge").snapshot(0, 48) == before_edge
+            assert pinned.relation("Reach").snapshot(0, 48) == before_reach
+            fresh = db.snapshot()
+            assert fresh.version > pinned.version
+            assert fresh.relation("Edge").snapshot(0, 48) >= before_edge
+
+
+class TestDurability:
+    def test_views_survive_reopen_and_are_adopted(self, tmp_path):
+        root = tmp_path / "db"
+        program = reachability_program(4)
+        batches = edge_batches(4, 3, 2, seed=4)
+        with Database.open(root) as db:
+            db.create("Edge", temporal=["t"], data=["src", "dst"])
+            db.install_program(program)
+            for batch in batches:
+                db.append_stream("Edge", batch)
+            reach = db.relation("Reach").snapshot(0, 48)
+            watermarks = db.views()
+        with Database.open(root, create=False) as db:
+            # Persisted views are adopted: no recomputation report.
+            report = db.install_program(reachability_program(4))
+            assert report is None
+            assert db.relation("Reach").snapshot(0, 48) == reach
+            assert db.views() == watermarks
+            assert_views_match_recompute(db)
+
+    def test_verify_forces_recompute_on_reopen(self, tmp_path):
+        root = tmp_path / "db"
+        with Database.open(root) as db:
+            db.create("Edge", temporal=["t"], data=["src", "dst"])
+            db.install_program(reachability_program(4))
+            db.append_stream("Edge", edge_batches(4, 1, 2, seed=6)[0])
+        with Database.open(root, create=False) as db:
+            report = db.install_program(
+                reachability_program(4), verify=True
+            )
+            assert report is not None and report.mode == "recompute"
+            assert_views_match_recompute(db)
+
+    def test_append_then_reopen_views_consistent(self, tmp_path):
+        root = tmp_path / "db"
+        with Database.open(root) as db:
+            db.create("Edge", temporal=["t"], data=["src", "dst"])
+            db.install_program(reachability_program(3))
+            db.append_stream("Edge", edge_batches(5, 1, 3, seed=8)[0])
+        with Database.open(root, create=False) as db:
+            db.install_program(reachability_program(3))
+            db.append_stream("Edge", edge_batches(5, 1, 3, seed=18)[0])
+            assert_views_match_recompute(db)
+
+
+class TestViewProtection:
+    def test_create_register_drop_guarded(self):
+        db = fresh_db()
+        with pytest.raises(SchemaError):
+            db.create("Reach", temporal=["t"], data=["src", "dst"])
+        with pytest.raises(SchemaError):
+            db.register("Reach", edge_relation([]))
+        with pytest.raises(SchemaError):
+            db.drop("Reach")
+
+    def test_append_stream_into_view_guarded(self):
+        db = fresh_db()
+        batch = edge_batches(4, 1, 1, seed=0)[0]
+        with pytest.raises(SchemaError):
+            db.append_stream("Reach", batch)
+
+    def test_idb_clash_with_existing_relation(self):
+        db = Database()
+        db.create("Reach", temporal=["t"], data=["src", "dst"])
+        db.create("Edge", temporal=["t"], data=["src", "dst"])
+        db.relation("Reach").add_tuple(["1"], "", ["a", "b"])
+        db.relation("Edge").add_tuple(["2"], "", ["a", "b"])
+        # Adoption requires a matching schema; a matching schema is
+        # adopted, a different one must raise.
+        clashing = Database()
+        clashing.create("Reach", temporal=["t", "u"])
+        clashing.create("Edge", temporal=["t"], data=["src", "dst"])
+        with pytest.raises(SchemaError):
+            clashing.install_program(reachability_program(3))
+
+
+class TestServeOps:
+    @pytest.fixture
+    def server(self):
+        with ReproServer() as srv:
+            yield srv
+
+    @pytest.fixture
+    def client(self, server):
+        with SyncClient(port=server.port) as c:
+            yield c
+
+    def _setup(self, client):
+        client.commit(
+            [
+                {
+                    "op": "create",
+                    "name": "Edge",
+                    "temporal": ["t"],
+                    "data": ["src", "dst"],
+                }
+            ]
+        )
+        program_text = (
+            "declare Reach(t:T, src:D, dst:D)\n"
+            "Reach(t, x, y) <- Edge(t, x, y)\n"
+            "Reach(t, x, z) <- EXISTS s. EXISTS u. (Reach(s, x, u) "
+            "& Edge(t, u, z) & s <= t & t <= s + 4)\n"
+        )
+        return client.install_program(program_text)
+
+    def test_install_append_views_roundtrip(self, client):
+        installed = self._setup(client)
+        assert installed["views"] == ["Reach"]
+        batch = edge_batches(4, 1, 3, seed=12)[0]
+        result = client.append("Edge", batch)
+        assert result["records"] > 0
+        views = client.views()
+        assert set(views) == {"Reach"}
+        assert views["Reach"] == result["version"]
+        assert client.ask(
+            "EXISTS t. EXISTS x. EXISTS y. Reach(t, x, y)"
+        )
+
+    def test_wire_mutation_into_view_aborts(self, client):
+        self._setup(client)
+        with pytest.raises(SchemaError):
+            client.commit(
+                [
+                    {
+                        "op": "insert",
+                        "name": "Reach",
+                        "lrps": ["1 + 4n"],
+                        "constraints": "t >= 0",
+                        "data": ["a", "b"],
+                    }
+                ]
+            )
+
+    def test_pinned_client_sees_old_views(self, server):
+        with SyncClient(port=server.port) as a:
+            self._setup(a)
+            a.append("Edge", edge_batches(4, 1, 2, seed=13)[0])
+            a.snapshot()
+            pinned_views = a.views()
+            with SyncClient(port=server.port) as b:
+                b.append("Edge", edge_batches(4, 1, 2, seed=14)[0])
+                assert b.views()["Reach"] > pinned_views["Reach"]
+            assert a.views() == pinned_views
+
+
+class TestFuzzIvmLeg:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_seeded_cases_agree(self, seed):
+        result = run_ivm_case(seed)
+        assert result.status == "ok", result.summary()
+        assert result.batches > 0
+        assert not result.failing
+
+    def test_cli_flag_runs_ivm_cases(self, capsys):
+        from repro.fuzz.cli import fuzz_main
+
+        assert fuzz_main(["--budget", "0", "--ivm", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 case(s)" in out
