@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-optimized lint docs-check bench bench-smoke serve-bench serve-bench-smoke stream-bench stream-bench-smoke fuzz reports clean
+.PHONY: test test-optimized lint docs-check docs-examples bench bench-smoke serve-bench serve-bench-smoke stream-bench stream-bench-smoke opt-bench opt-bench-smoke fuzz reports clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -23,6 +23,12 @@ lint:
 # export (and its public methods) must carry a docstring.
 docs-check:
 	$(PYTHON) tools/docs_check.py
+
+# Executable documentation: extract every fenced python/repro-shell
+# block from docs/*.md and README.md and run it against a scratch
+# database; drift between docs and code fails the build.
+docs-examples:
+	$(PYTHON) tools/docs_check.py --examples
 
 # Full-size before/after benchmark of the optimization layer; writes
 # BENCH_perf.json (see docs/performance.md for the format).
@@ -50,6 +56,15 @@ stream-bench:
 
 stream-bench-smoke:
 	$(PYTHON) -m repro.deductive.bench --smoke
+
+# Optimizer benchmark: MINIMIZE/MAXIMIZE exactness on the scheduling
+# scenario pack + random-corpus oracle parity and tuples/s; writes
+# BENCH_opt.json (see docs/optimization.md).
+opt-bench:
+	$(PYTHON) -m repro.optimize.bench
+
+opt-bench-smoke:
+	$(PYTHON) -m repro.optimize.bench --smoke
 
 # Differential fuzzing against the finite-window oracle; shrunk repros
 # of any failure land in fuzz-failures/ (see docs/fuzzing.md).

@@ -1,0 +1,53 @@
+"""Consolidated-report wrapper for the optimizer benchmark.
+
+Runs :mod:`repro.optimize.bench` (smoke sizes, so the consolidated run
+stays quick), writes the machine-readable ``BENCH_opt.json`` next to
+the repository root, and returns the human-readable digest.  The
+full-size run is ``python -m repro.optimize.bench`` (or
+``make opt-bench``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.optimize.bench import run_opt_bench
+
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_opt.json"
+
+
+def opt_report(smoke: bool = True) -> list[str]:
+    """Regenerate ``BENCH_opt.json``; return the digest lines."""
+    report = run_opt_bench(smoke=smoke)
+    OUTPUT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    lines = ["Optimizer: MINIMIZE/MAXIMIZE exactness and throughput"]
+    for row in report["scenarios"]:
+        lines.append(
+            f"  scenario {row['name']}: {row['status']} {row['value']} "
+            f"(oracle {row['oracle']}, {row['ms']}ms) "
+            f"{'ok' if row['ok'] else 'FAIL'}"
+        )
+    corpus = report["corpus"]
+    lines.append(
+        f"  corpus parity: {corpus['parity_failures']} failures in "
+        f"{corpus['parity_checks']} checks "
+        f"(statuses {corpus['statuses']})"
+    )
+    for row in report["throughput"]:
+        lines.append(
+            f"  throughput {row['objective']}: {row['tuples_per_s']}/s "
+            f"({row['probes_per_tuple']} probes/tuple)"
+        )
+    summary = report["summary"]
+    lines.append(
+        "summary.ok: OK"
+        if summary["ok"]
+        else "summary.ok: SUSPECT — an optimizer exactness gate failed"
+    )
+    lines.append(f"(JSON written to {OUTPUT.name})")
+    return lines
+
+
+if __name__ == "__main__":
+    print("\n".join(opt_report()))

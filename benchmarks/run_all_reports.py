@@ -43,6 +43,7 @@ REPORTS = [
     ("perf_report", "perf_report"),
     ("serve_report", "serve_report"),
     ("stream_report", "stream_report"),
+    ("opt_report", "opt_report"),
 ]
 
 

@@ -34,8 +34,13 @@ Commands:
     window NAME LO HI                  enumerate concrete points
     ask QUERY                          yes/no first-order query
     query QUERY                        open query; prints the result
-                                       (EXPLAIN / EXPLAIN ANALYZE prefixes
-                                       work here too)
+                                       (EXPLAIN / EXPLAIN ANALYZE /
+                                       MINIMIZE / MAXIMIZE prefixes work
+                                       here too)
+    minimize OBJ : QUERY               exact minimum of OBJ (a temporal
+                                       variable or difference `a - b`)
+                                       over the query's result
+    maximize OBJ : QUERY               exact maximum, same objective forms
     explain QUERY                      show the algebraic evaluation plan
     plan QUERY                         show the logical plan without
                                        running it (rewrites included when
@@ -212,6 +217,7 @@ class Session:
         return "true" if self.db.ask(rest) else "false"
 
     def _cmd_query(self, rest: str) -> str:
+        from repro.optimize import OptimizationResult
         from repro.plan.report import PlanReport
         from repro.query.explain import PlanNode, QueryTrace
 
@@ -224,7 +230,17 @@ class Session:
         if isinstance(result, QueryTrace):  # EXPLAIN ANALYZE prefix
             self.traces.append(result.to_dict())
             return self._format_result(result.result) + "\n" + result.flamegraph()
+        if isinstance(result, OptimizationResult):  # MINIMIZE/MAXIMIZE
+            return str(result)
         return self._format_result(result)
+
+    def _cmd_minimize(self, rest: str) -> str:
+        """``minimize OBJ : QUERY`` — exact minimum of a linear objective."""
+        return str(self.db.optimize(rest, sense="min"))
+
+    def _cmd_maximize(self, rest: str) -> str:
+        """``maximize OBJ : QUERY`` — exact maximum of a linear objective."""
+        return str(self.db.optimize(rest, sense="max"))
 
     def _format_result(self, result: GeneralizedRelation) -> str:
         header = f"result{result.schema}: {len(result)} generalized tuple(s)"
@@ -234,9 +250,18 @@ class Session:
         return header + ("\n" + body if body else "")
 
     def _record_trace(self, text: str):
-        from repro.query.parser import split_directive
+        from repro.query.parser import Directive, split_directive
 
-        trace = self.db.trace(split_directive(text)[1])
+        directive, rest = split_directive(text)
+        if directive in (Directive.MINIMIZE, Directive.MAXIMIZE):
+            from repro.optimize import parse_objective
+            from repro.query.explain import optimize_trace
+
+            objective, qtext = parse_objective(rest)
+            sense = "min" if directive is Directive.MINIMIZE else "max"
+            trace = optimize_trace(self.db, qtext, objective, sense)
+        else:
+            trace = self.db.trace(rest)
         self.traces.append(trace.to_dict())
         return trace
 

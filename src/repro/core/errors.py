@@ -39,13 +39,30 @@ class ConstraintError(ReproError):
 
 
 class ParseError(ReproError):
-    """A textual lrp, tuple, relation, formula or query failed to parse."""
+    """A textual lrp, tuple, relation, formula or query failed to parse.
 
-    def __init__(self, message: str, position: int | None = None) -> None:
-        if position is not None:
+    ``position`` is the byte offset into the source text.  When the
+    raiser also knows the source (the query parser does), it passes
+    ``line`` and ``column`` (both 1-based) so multi-line queries report
+    a human-addressable location instead of a raw offset.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        position: int | None = None,
+        *,
+        line: int | None = None,
+        column: int | None = None,
+    ) -> None:
+        if line is not None and column is not None:
+            message = f"{message} (at line {line}, column {column})"
+        elif position is not None:
             message = f"{message} (at position {position})"
         super().__init__(message)
         self.position = position
+        self.line = line
+        self.column = column
 
 
 class NormalizationLimitError(ReproError):

@@ -32,28 +32,48 @@ from repro.intervals.calendar import (
     schedule_relation,
     weekly,
 )
+from repro.intervals.scheduling import (
+    ITINERARY_PROGRAM,
+    Scenario,
+    contention_database,
+    itinerary_database,
+    meeting_database,
+    oracle_optimum,
+    run_scenario,
+    scenario_pack,
+    trip_database,
+)
 
 __all__ = [
     "ALLEN_INVERSES",
     "ALLEN_TEMPLATES",
+    "ITINERARY_PROGRAM",
     "MINUTES_PER_DAY",
     "MINUTES_PER_HOUR",
     "MINUTES_PER_WEEK",
     "RecurringTrip",
+    "Scenario",
     "allen_atoms",
     "at_time",
     "classify",
     "compose",
     "composition_table",
+    "contention_database",
     "daily",
     "every",
     "feasible_relations",
     "fmt_time",
     "holds",
     "hourly",
+    "itinerary_database",
     "liege_brussels_schedule",
+    "meeting_database",
+    "oracle_optimum",
     "pairs_related",
     "proper",
+    "run_scenario",
+    "scenario_pack",
     "schedule_relation",
+    "trip_database",
     "weekly",
 ]

@@ -1,0 +1,314 @@
+"""Calendar scheduling scenarios for the optimizer (MINIMIZE/MAXIMIZE).
+
+Each :class:`Scenario` bundles a self-contained database builder, one
+optimization query, and a finite *oracle window*: the exact answer the
+optimizer extracts from DBM closures can be cross-checked against
+brute-force enumeration of the query result over that window
+(:func:`oracle_optimum`).  The pack exercises the three shapes the
+paper's scheduling examples call for:
+
+* **meeting feasibility** — recurring availability windows encoded as
+  anchor-plus-instant tuples (a periodic anchor lrp and a dense
+  period-1 instant constrained relative to it);
+* **recurring-resource contention** — two periodic busy patterns with
+  incommensurate periods, asking for the earliest clash and the
+  deepest overlap (a difference objective);
+* **earliest completion over a temporal-graph view** — a two-leg
+  itinerary materialized as a deductive view, minimized end to end.
+
+Scenario databases are built fresh on every :meth:`Scenario.build`
+call, so callers may mutate them freely.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.lrp import LRP
+from repro.intervals.calendar import (
+    RecurringTrip,
+    daily,
+    every,
+    hourly,
+    liege_brussels_schedule,
+    schedule_relation,
+)
+
+#: The dense instant coordinate: every integer minute.
+_ANY_MINUTE = LRP.make(0, 1)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One optimization scenario: a database, a query, and an oracle.
+
+    ``query`` carries the ``MINIMIZE``/``MAXIMIZE`` directive, so
+    ``scenario.build().query(scenario.query)`` returns the
+    :class:`~repro.optimize.core.OptimizationResult` directly.
+    ``window`` is a ``(low, high)`` epoch-minute range wide enough to
+    contain the optimum's witness; :func:`oracle_optimum` enumerates
+    the plain query result over it.  ``expected`` documents the known
+    exact answer (``None`` for unbounded scenarios, where
+    ``expect_unbounded`` is set instead).
+    """
+
+    name: str
+    description: str
+    query: str
+    window: tuple[int, int]
+    builder: Callable[[], "object"]
+    expected: int | None = None
+    expect_unbounded: bool = False
+
+    def build(self):
+        """A fresh :class:`~repro.query.database.Database`."""
+        return self.builder()
+
+
+# ----------------------------------------------------------------------
+# scenario databases
+# ----------------------------------------------------------------------
+
+
+def _slot_relation(anchor: LRP, slack: int):
+    """A feasibility relation ``(w, s)``: starts ``s`` inside a window.
+
+    ``w`` ranges over the recurring window anchors; ``s`` is any minute
+    with ``w <= s <= w + slack`` — the starts from which an event of
+    the scenario's duration still fits inside the window.
+    """
+    from repro.core.relations import GeneralizedRelation, Schema
+
+    rel = GeneralizedRelation.empty(Schema.make(temporal=["w", "s"]))
+    rel.add_tuple([anchor, _ANY_MINUTE], f"s >= w & s <= w + {slack}")
+    return rel
+
+
+def meeting_database():
+    """Two participants with recurring daily availability.
+
+    Alice is free 09:00-11:30 daily, Bob 10:15-12:00 daily; the slot
+    relations encode the starts from which a 45-minute meeting fits
+    (slack = window length - 45).
+    """
+    from repro.query.database import Database
+
+    db = Database()
+    db.register("AliceSlot", _slot_relation(daily(9, 0), 150 - 45))
+    db.register("BobSlot", _slot_relation(daily(10, 15), 105 - 45))
+    return db
+
+
+def _busy_relation(anchor: LRP, hold: int):
+    """A busy relation ``(a, t)``: instants ``t`` inside each run.
+
+    ``a`` anchors each recurring run; ``t`` is any minute with
+    ``a <= t <= a + hold``.
+    """
+    from repro.core.relations import GeneralizedRelation, Schema
+
+    rel = GeneralizedRelation.empty(Schema.make(temporal=["a", "t"]))
+    rel.add_tuple([anchor, _ANY_MINUTE], f"t >= a & t <= a + {hold}")
+    return rel
+
+
+def contention_database():
+    """Two recurring jobs sharing one machine, incommensurate periods.
+
+    Job A holds the machine for 20 minutes starting every hour at :10;
+    job B holds it for 15 minutes every 45 minutes starting at minute
+    32.  With gcd(60, 45) = 15 the clash pattern repeats only every
+    180 minutes, so the earliest clash is not visible in either job's
+    own period.
+    """
+    from repro.query.database import Database
+
+    db = Database()
+    db.register("BusyA", _busy_relation(hourly(10), 20))
+    db.register("BusyB", _busy_relation(every(45, 32), 15))
+    return db
+
+
+def trip_database():
+    """The paper's hourly Liège-Brussels schedule, as ``Train``."""
+    from repro.query.database import Database
+
+    db = Database()
+    db.register("Train", liege_brussels_schedule())
+    return db
+
+
+#: Deductive program composing two legs into an itinerary view: the
+#: temporal-graph edge set is the legs, and ``Itinerary`` is the
+#: two-hop reachability with a 10-minute minimum connection time.
+ITINERARY_PROGRAM = (
+    "declare Itinerary(d:T, p:T)\n"
+    "Itinerary(d, p) <- EXISTS a. EXISTS x. EXISTS b. EXISTS y. "
+    "(Leg1(d, a, x) & Leg2(b, p, y) & b >= a + 10)\n"
+)
+
+
+def itinerary_database():
+    """A two-leg journey materialized as a deductive view.
+
+    ``Leg1`` is the hourly Liège-Brussels schedule; ``Leg2`` runs
+    Brussels-Paris hourly at :05 taking 85 minutes.  The installed
+    ``Itinerary(d, p)`` view pairs a leg-1 departure ``d`` with every
+    leg-2 arrival ``p`` reachable with at least 10 minutes to connect.
+    """
+    from repro.deductive.program import Program
+    from repro.query.database import Database
+
+    db = Database()
+    db.register("Leg1", liege_brussels_schedule())
+    db.register(
+        "Leg2",
+        schedule_relation([RecurringTrip(hourly(5), 85, "thalys")]),
+    )
+    db.install_program(Program.from_text(ITINERARY_PROGRAM))
+    return db
+
+
+# ----------------------------------------------------------------------
+# the pack
+# ----------------------------------------------------------------------
+
+
+def scenario_pack() -> tuple[Scenario, ...]:
+    """The scheduling scenario pack, in presentation order."""
+    return (
+        Scenario(
+            name="earliest-meeting",
+            description=(
+                "Earliest start of a 45-minute meeting both Alice "
+                "(09:00-11:30 daily) and Bob (10:15-12:00 daily) can "
+                "attend, on or after the epoch."
+            ),
+            query=(
+                "MINIMIZE s : EXISTS w. EXISTS b. "
+                "AliceSlot(w, s) & BobSlot(b, s) & s >= 0"
+            ),
+            window=(0, 2880),
+            builder=meeting_database,
+            expected=615,  # 10:15 — Bob's window opens last
+        ),
+        Scenario(
+            name="meeting-horizon-open",
+            description=(
+                "The latest such meeting start: unbounded, because the "
+                "availability recurs daily forever."
+            ),
+            query=(
+                "MAXIMIZE s : EXISTS w. EXISTS b. "
+                "AliceSlot(w, s) & BobSlot(b, s) & s >= 0"
+            ),
+            window=(0, 2880),
+            builder=meeting_database,
+            expect_unbounded=True,
+        ),
+        Scenario(
+            name="earliest-contention",
+            description=(
+                "First instant after the epoch when both recurring "
+                "jobs hold the shared machine (periods 60 and 45)."
+            ),
+            query=(
+                "MINIMIZE t : EXISTS a. EXISTS b. "
+                "BusyA(a, t) & BusyB(b, t) & t >= 0"
+            ),
+            window=(0, 720),
+            builder=contention_database,
+            expected=77,  # A's [70,90] run meets B's [77,92] run
+        ),
+        Scenario(
+            name="contention-depth",
+            description=(
+                "How deep into job A's hold a clash can reach: the "
+                "maximum of t - a over clashing instants t in A's run "
+                "anchored at a."
+            ),
+            query=(
+                "MAXIMIZE t - a : EXISTS b. "
+                "BusyA(a, t) & BusyB(b, t) & t >= 0"
+            ),
+            window=(0, 720),
+            builder=contention_database,
+            expected=20,  # the clash at t = 90 ends A's a = 70 run
+        ),
+        Scenario(
+            name="shortest-trip",
+            description=(
+                "Shortest scheduled Liège-Brussels travel time: the "
+                "minimum of arr - dep over the Train schedule."
+            ),
+            query="MINIMIZE arr - dep : Train(dep, arr, s)",
+            window=(0, 1440),
+            builder=trip_database,
+            expected=64,  # the express; the slow train takes 78
+        ),
+        Scenario(
+            name="earliest-completion",
+            description=(
+                "Earliest Paris arrival leaving Liège at 08:00 or "
+                "later, through the Itinerary temporal-graph view "
+                "(10-minute minimum connection)."
+            ),
+            query="MINIMIZE p : Itinerary(d, p) & d >= 480",
+            window=(0, 2880),
+            builder=itinerary_database,
+            expected=690,  # 11:30 — slow 08:02→09:20, connect 10:05→11:30
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# oracle cross-check
+# ----------------------------------------------------------------------
+
+
+def oracle_optimum(scenario: Scenario, db=None) -> int | None:
+    """Brute-force the scenario's optimum over its finite window.
+
+    Strips the directive, evaluates the plain query, enumerates every
+    concrete point of the result with all temporal values inside
+    ``scenario.window``, and takes the min/max of the objective over
+    them.  Returns ``None`` when the window holds no point, and for
+    ``expect_unbounded`` scenarios (a finite window cannot witness
+    unboundedness — assert the optimizer's certificate instead).
+    """
+    from repro.optimize.objective import parse_objective
+    from repro.query.parser import Directive, split_directive
+
+    if scenario.expect_unbounded:
+        return None
+    directive, rest = split_directive(scenario.query)
+    sense = "min" if directive is Directive.MINIMIZE else "max"
+    objective, qtext = parse_objective(rest)
+    if db is None:
+        db = scenario.build()
+    result = db.query(qtext)
+    names = result.schema.names
+    pos = names.index(objective.name)
+    minus = names.index(objective.minus) if objective.minus else None
+    best: int | None = None
+    low, high = scenario.window
+    for point in result.enumerate(low, high):
+        value = point[pos] - (point[minus] if minus is not None else 0)
+        if best is None:
+            best = value
+        elif sense == "min":
+            best = min(best, value)
+        else:
+            best = max(best, value)
+    return best
+
+
+def run_scenario(scenario: Scenario):
+    """Run the scenario's optimization query on a fresh database.
+
+    Returns the :class:`~repro.optimize.core.OptimizationResult`; the
+    query text carries the directive, so this is exactly
+    ``scenario.build().query(scenario.query)``.
+    """
+    return scenario.build().query(scenario.query)

@@ -1,0 +1,254 @@
+"""The optimizer benchmark: ``BENCH_opt.json``.
+
+Usage::
+
+    python -m repro.optimize.bench                  # full run
+    python -m repro.optimize.bench --smoke          # small/fast variant
+    python -m repro.optimize.bench --out out.json
+
+Measures the two claims the optimization layer makes:
+
+* **exactness** — every scheduling-pack scenario
+  (:func:`repro.intervals.scheduling.scenario_pack`) must return the
+  documented optimum, agree with the finite-window enumeration oracle,
+  and flag the unbounded scenario with a valid certificate; a seeded
+  random corpus of generalized tuples is additionally cross-checked
+  against window enumeration (finite optima) and certificate descent
+  (unbounded verdicts);
+* **throughput** — :func:`~repro.optimize.core.optimize_tuple` over
+  the corpus for single-variable and difference objectives, reported
+  as tuples/s plus the emptiness-probe count per tuple (the
+  ``optimize.probes`` metric, i.e. the cost of the ladder searches).
+
+``summary.ok`` gates exactness (and sanity of the timing loop), which
+is what CI's opt bench smoke asserts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+
+from repro.obs import metrics
+from repro.optimize.core import optimize_tuple
+from repro.testing import seeded_tuple
+
+#: Half-width of the enumeration window used for corpus parity checks.
+#: Seeded tuples keep constants within ±8 and periods within 6, so any
+#: finite optimum (and one certificate step beyond any window point)
+#: lands well inside ±128.
+_WINDOW = 128
+
+
+def _probes() -> int:
+    return metrics().counter("optimize.probes").value
+
+
+def _scenario_section() -> tuple[list[dict], bool]:
+    from repro.intervals.scheduling import (
+        oracle_optimum,
+        run_scenario,
+        scenario_pack,
+    )
+
+    rows: list[dict] = []
+    all_ok = True
+    for scenario in scenario_pack():
+        started = time.perf_counter()
+        result = run_scenario(scenario)
+        elapsed = time.perf_counter() - started
+        oracle = oracle_optimum(scenario)
+        if scenario.expect_unbounded:
+            ok = (
+                result.status == "unbounded"
+                and result.certificate is not None
+            )
+        else:
+            ok = (
+                result.status == "optimal"
+                and result.value == oracle == scenario.expected
+            )
+        all_ok = all_ok and ok
+        rows.append(
+            {
+                "name": scenario.name,
+                "status": result.status,
+                "value": result.value
+                if result.status == "optimal"
+                else result.infinity
+                if result.status == "unbounded"
+                else None,
+                "oracle": oracle,
+                "expected": scenario.expected,
+                "ok": ok,
+                "ms": round(elapsed * 1e3, 3),
+            }
+        )
+    return rows, all_ok
+
+
+def _objective_value(point: tuple[int, ...], i: int, j: int | None) -> int:
+    return point[i] - (point[j] if j is not None else 0)
+
+
+def _tuple_parity(gtuple, sense: str, i: int, j: int | None) -> bool:
+    """Cross-check one verdict against window enumeration/descent."""
+    result = optimize_tuple(gtuple, sense, i, j=j)
+    values = [
+        _objective_value(point, i, j)
+        for point in gtuple.enumerate(-_WINDOW, _WINDOW)
+    ]
+    if result.status == "empty":
+        return not values
+    if result.status == "optimal":
+        if not values:
+            return False
+        best = min(values) if sense == "min" else max(values)
+        return result.value == best
+    # Unbounded: the certificate must walk the objective past the best
+    # window value, through points the tuple still contains.
+    cert = result.certificate
+    if cert is None:
+        return False
+    previous = _objective_value(cert.point, i, j)
+    for steps in (1, 2, 3):
+        point = cert.shifted(steps)
+        if not gtuple.contains(point):
+            return False
+        value = _objective_value(point, i, j)
+        if sense == "min" and value >= previous:
+            return False
+        if sense == "max" and value <= previous:
+            return False
+        previous = value
+    return True
+
+
+def run_opt_bench(*, tuples: int = 200, smoke: bool = False) -> dict:
+    """Run the optimizer benchmark suite; returns the report dict."""
+    if smoke:
+        tuples = 40
+
+    scenario_rows, scenarios_ok = _scenario_section()
+
+    rng = random.Random(0x0D71)
+    corpus = [seeded_tuple(rng, temporal_arity=2) for _ in range(tuples)]
+
+    objectives = (
+        ("min", 0, None, "min X1"),
+        ("max", 0, None, "max X1"),
+        ("min", 0, 1, "min X1 - X2"),
+        ("max", 0, 1, "max X1 - X2"),
+    )
+    throughput: list[dict] = []
+    statuses = {"optimal": 0, "unbounded": 0, "empty": 0}
+    for sense, i, j, label in objectives:
+        probes_before = _probes()
+        started = time.perf_counter()
+        for gtuple in corpus:
+            result = optimize_tuple(gtuple, sense, i, j=j)
+            statuses[result.status] += 1
+        elapsed = time.perf_counter() - started
+        probes = _probes() - probes_before
+        throughput.append(
+            {
+                "objective": label,
+                "tuples": len(corpus),
+                "wall_s": round(elapsed, 6),
+                "tuples_per_s": round(len(corpus) / elapsed, 1)
+                if elapsed
+                else None,
+                "probes": probes,
+                "probes_per_tuple": round(probes / len(corpus), 2)
+                if corpus
+                else None,
+            }
+        )
+
+    parity_failures = 0
+    for gtuple in corpus:
+        for sense, i, j, _ in objectives:
+            if not _tuple_parity(gtuple, sense, i, j):
+                parity_failures += 1
+    parity_checks = len(corpus) * len(objectives)
+
+    throughput_ok = all(
+        row["wall_s"] >= 0 and row["tuples"] == len(corpus)
+        for row in throughput
+    )
+    report = {
+        "meta": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "smoke": smoke,
+            "corpus_tuples": tuples,
+            "window": _WINDOW,
+        },
+        "scenarios": scenario_rows,
+        "corpus": {
+            "statuses": statuses,
+            "parity_checks": parity_checks,
+            "parity_failures": parity_failures,
+        },
+        "throughput": throughput,
+    }
+    report["summary"] = {
+        "scenarios_ok": scenarios_ok,
+        "corpus_parity_ok": parity_failures == 0,
+        "ok": scenarios_ok and parity_failures == 0 and throughput_ok,
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: run the bench and write the JSON report."""
+    parser = argparse.ArgumentParser(
+        prog="repro.optimize.bench",
+        description="Optimizer benchmark (BENCH_opt.json)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast variant (CI gate)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_opt.json",
+        help="report path (default: BENCH_opt.json)",
+    )
+    parser.add_argument(
+        "--tuples",
+        type=int,
+        default=200,
+        help="random corpus size (full run)",
+    )
+    args = parser.parse_args(argv)
+    report = run_opt_bench(tuples=args.tuples, smoke=args.smoke)
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for row in report["scenarios"]:
+        print(
+            f"scenario {row['name']}: {row['status']} {row['value']} "
+            f"(oracle {row['oracle']}) {'ok' if row['ok'] else 'FAIL'}"
+        )
+    corpus = report["corpus"]
+    print(
+        f"corpus parity: {corpus['parity_failures']} failures in "
+        f"{corpus['parity_checks']} checks {corpus['statuses']}"
+    )
+    for row in report["throughput"]:
+        print(
+            f"throughput {row['objective']}: {row['tuples_per_s']}/s "
+            f"({row['probes_per_tuple']} probes/tuple)"
+        )
+    print(f"summary.ok: {report['summary']['ok']} -> {args.out}")
+    return 0 if report["summary"]["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Linear objectives over the temporal attributes of a relation.
+
+An :class:`Objective` is what a ``MINIMIZE``/``MAXIMIZE`` directive
+optimizes: either a single temporal attribute (``name``) or a
+difference of two (``name - minus``).  Those are exactly the linear
+forms a difference bound matrix can answer *exactly* by shortest-path
+reasoning — richer linear combinations would need an LP/MILP solver
+(compare the bound-optimisation MILP of Cui et al.), which the paper's
+representation deliberately avoids.
+
+The textual form mirrors the directive grammar::
+
+    MINIMIZE t : EXISTS u. Trip(t, u)         -- single attribute
+    MAXIMIZE arr - dep : Trip(dep, arr)       -- difference
+
+:func:`parse_objective` splits the ``<objective> :`` prefix off such a
+directive body and returns the remaining query text.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.errors import ParseError
+
+_OBJECTIVE_BODY = r"""\s*
+        (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+        (?:\s*-\s*(?P<minus>[A-Za-z_][A-Za-z_0-9]*))?
+        \s*"""
+
+_OBJECTIVE_RE = re.compile(rf"^{_OBJECTIVE_BODY}:\s*", re.VERBOSE)
+
+_BARE_OBJECTIVE_RE = re.compile(rf"^{_OBJECTIVE_BODY}$", re.VERBOSE)
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A linear objective: ``name`` or the difference ``name - minus``.
+
+    Both components are *temporal variable names*; they must appear
+    free (and temporally sorted) in the query being optimized.
+    """
+
+    name: str
+    minus: str | None = None
+
+    @property
+    def is_difference(self) -> bool:
+        """True when the objective is a difference ``name - minus``."""
+        return self.minus is not None
+
+    @classmethod
+    def parse(cls, text: str) -> Objective:
+        """Parse a bare objective: ``"t"`` or ``"arr - dep"``."""
+        match = _BARE_OBJECTIVE_RE.match(text)
+        if match is None:
+            raise ParseError(
+                f"malformed objective {text!r}: expected 'var' or 'var - var'"
+            )
+        name, minus = match.group("name"), match.group("minus")
+        if minus == name:
+            raise ParseError(
+                f"objective {name!r} - {minus!r} is identically zero"
+            )
+        return cls(name=name, minus=minus)
+
+    def variables(self) -> tuple[str, ...]:
+        """The variable names the objective mentions."""
+        if self.minus is None:
+            return (self.name,)
+        return (self.name, self.minus)
+
+    def __str__(self) -> str:
+        if self.minus is None:
+            return self.name
+        return f"{self.name} - {self.minus}"
+
+
+def parse_objective(text: str) -> tuple[Objective, str]:
+    """Split ``<name> [- <name>] : <query>`` into objective and query.
+
+    Raises :class:`ParseError` when the objective prefix is malformed
+    (a ``MINIMIZE``/``MAXIMIZE`` directive requires one).
+    """
+    match = _OBJECTIVE_RE.match(text)
+    if match is None:
+        raise ParseError(
+            "expected an objective ('var' or 'var - var') followed by ':' "
+            "after MINIMIZE/MAXIMIZE"
+        )
+    name = match.group("name")
+    minus = match.group("minus")
+    if minus == name:
+        raise ParseError(
+            f"objective {name!r} - {minus!r} is identically zero"
+        )
+    return Objective(name=name, minus=minus), text[match.end():]

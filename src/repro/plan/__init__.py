@@ -35,6 +35,7 @@ from repro.plan.nodes import (
     Intersect,
     Join,
     Literal,
+    Optimize,
     PlanNode,
     Product,
     Project,
@@ -62,6 +63,7 @@ __all__ = [
     "Join",
     "Literal",
     "NativeEngine",
+    "Optimize",
     "PassReport",
     "PlanNode",
     "PlanReport",

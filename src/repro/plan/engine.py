@@ -49,6 +49,11 @@ class ExecutionContext:
     by common-subexpression elimination.  ``on_result`` / ``on_pair``
     are observation hooks: per-node results (EXPLAIN annotations, cost
     guards) and pairwise-op sizes (fuzzing's deterministic caps).
+
+    ``optimum`` is an *out* slot: engines return relations, so an
+    :class:`~repro.plan.nodes.Optimize` root deposits its scalar
+    :class:`~repro.optimize.core.OptimizationResult` here for the
+    evaluator to pick up after :meth:`Engine.run` returns.
     """
 
     relations: Mapping[str, GeneralizedRelation]
@@ -60,6 +65,7 @@ class ExecutionContext:
     memo: dict[int, GeneralizedRelation] | None = None
     on_result: Callable[[ir.PlanNode, GeneralizedRelation], None] | None = None
     on_pair: Callable[[ir.PlanNode, int, int], None] | None = None
+    optimum: object | None = None
 
     def domain_for(self, name: str) -> list:
         """The finite domain complementing data attribute ``name``."""
@@ -247,6 +253,18 @@ class NativeEngine(Engine):
             return algebra.join(*self._pair(node, ctx))
         if isinstance(node, ir.Product):
             return algebra.product(*self._pair(node, ctx))
+        if isinstance(node, ir.Optimize):
+            # Local import: repro.optimize sits above the plan layer.
+            from repro.optimize.core import optimize_relation
+            from repro.optimize.objective import Objective
+
+            child = self._exec(node.child, ctx)
+            objective = Objective(node.name, node.minus)
+            result = optimize_relation(
+                child, objective, node.sense, max_tuples=ctx.max_tuples
+            )
+            ctx.optimum = result
+            return result.argopt_restriction()
         raise ReproTypeError(  # pragma: no cover - exhaustive over nodes.py
             f"unexpected plan node: {type(node).__name__}"
         )

@@ -431,6 +431,50 @@ class Complement(PlanNode):
         return self.child.schema
 
 
+@dataclass(frozen=True)
+class Optimize(PlanNode):
+    """Optimize a linear objective over the child relation.
+
+    The root node a ``MINIMIZE``/``MAXIMIZE`` directive lowers to:
+    ``sense`` is ``"min"`` or ``"max"``, the objective is the temporal
+    attribute ``name`` or the difference ``name - minus``.  Relational
+    semantics: the argopt restriction of the child (the tuple attaining
+    the optimum, empty when the child is empty or the objective is
+    unbounded).  The scalar :class:`~repro.optimize.core.
+    OptimizationResult` is reported out of band through the execution
+    context (``ctx.optimum``), because engines return relations.
+
+    Like :class:`Complement`, a rewrite barrier — nothing pushes
+    through it — but rewrite passes still fire on the child.
+    """
+
+    op: ClassVar[str] = "optimize"
+
+    child: PlanNode = _child()
+    sense: str = "min"
+    name: str = ""
+    minus: str | None = None
+
+    def _infer_schema(self) -> Schema:
+        schema = self.child.schema
+        for attr in (self.name,) if self.minus is None else (
+            self.name,
+            self.minus,
+        ):
+            if attr not in schema.temporal_names:
+                raise SchemaError(
+                    f"objective attribute {attr!r} is not a temporal "
+                    f"attribute of {schema}"
+                )
+        return schema
+
+    def detail(self) -> str:
+        objective = (
+            self.name if self.minus is None else f"{self.name} - {self.minus}"
+        )
+        return f"{self.sense} {objective}"
+
+
 # ----------------------------------------------------------------------
 # binary operations
 # ----------------------------------------------------------------------

@@ -191,15 +191,62 @@ class Snapshot:
         """Evaluate a query against the pinned version.
 
         Accepts a query string or AST; returns the result relation.
-        Unlike :meth:`Database.query <repro.query.database.Database.query>`
+        A ``MINIMIZE <obj> : <q>`` / ``MAXIMIZE <obj> : <q>`` directive
+        returns the :class:`~repro.optimize.core.OptimizationResult`
+        instead (the served ``query`` op ships both faces).  Unlike
+        :meth:`Database.query <repro.query.database.Database.query>`
         this never sees uncommitted working-state mutations — only the
         pinned committed catalog.
         """
         if isinstance(query, str):
-            query = self.parse(query)
+            from repro.query.parser import Directive, split_directive
+
+            directive, text = split_directive(query)
+            if directive in (Directive.MINIMIZE, Directive.MAXIMIZE):
+                sense = "min" if directive is Directive.MINIMIZE else "max"
+                return self.optimize(
+                    text, sense=sense, engine=engine, optimize=optimize
+                )
+            query = self.parse(text)
         return self._evaluator(engine=engine, optimize=optimize).evaluate(
             query
         )
+
+    def optimize(
+        self, query, objective=None, *, sense="min", engine=None, optimize=None
+    ):
+        """Exact extremum of a linear objective over the pinned version.
+
+        Mirrors :meth:`Database.optimize
+        <repro.query.database.Database.optimize>`: ``objective`` is an
+        :class:`~repro.optimize.Objective`, its text form, or ``None``
+        to read it from the query's ``<obj> : <query>`` prefix.
+        """
+        from repro.obs import metrics
+        from repro.optimize import Objective, parse_objective
+        from repro.query.parser import Directive, split_directive
+
+        metrics().counter("optimize.queries").inc()
+        if isinstance(query, str):
+            directive, text = split_directive(query)
+            if directive is Directive.MINIMIZE:
+                sense = "min"
+            elif directive is Directive.MAXIMIZE:
+                sense = "max"
+            if objective is None:
+                objective, text = parse_objective(text)
+            query = self.parse(text)
+        if objective is None:
+            from repro.core.errors import EvaluationError
+
+            raise EvaluationError(
+                "optimize() needs an objective (a variable name or a "
+                "difference 'a - b')"
+            )
+        if isinstance(objective, str):
+            objective = Objective.parse(objective)
+        evaluator = self._evaluator(engine=engine, optimize=optimize)
+        return evaluator.optimize_query(query, objective, sense)
 
     def ask(self, query, *, engine=None, optimize=None) -> bool:
         """Evaluate a closed (yes/no) query against the pinned version."""

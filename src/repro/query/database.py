@@ -439,10 +439,14 @@ class Database:
         """Evaluate a query; the result schema is the free variables.
 
         A query string may carry a leading directive: ``EXPLAIN <q>``
-        returns the plan (see :meth:`explain`) and ``EXPLAIN ANALYZE
+        returns the plan (see :meth:`explain`), ``EXPLAIN ANALYZE
         <q>`` the instrumented :class:`~repro.query.explain.QueryTrace`
-        (span tree, timings, result).  Plain queries return the result
-        relation.
+        (span tree, timings, result), and ``MINIMIZE <obj> : <q>`` /
+        ``MAXIMIZE <obj> : <q>`` the exact extremum of a linear
+        objective as an :class:`~repro.optimize.core.
+        OptimizationResult` (see :meth:`optimize` and
+        ``docs/optimization.md``).  ``EXPLAIN [ANALYZE] MINIMIZE ...``
+        composes.  Plain queries return the result relation.
 
         ``engine`` selects a registered execution engine by name,
         ``optimize`` toggles the plan rewrite passes; both default to
@@ -453,12 +457,82 @@ class Database:
         self._check_open()
         if isinstance(query, str):
             directive, text = split_directive(query)
-            if directive is Directive.EXPLAIN:
-                return self.explain(text, engine=engine, optimize=optimize)
-            if directive is Directive.EXPLAIN_ANALYZE:
+            if directive in (Directive.EXPLAIN, Directive.EXPLAIN_ANALYZE):
+                inner, rest = split_directive(text)
+                if inner in (Directive.MINIMIZE, Directive.MAXIMIZE):
+                    from repro.optimize import parse_objective
+                    from repro.query.explain import optimize_trace
+
+                    objective, qtext = parse_objective(rest)
+                    trace = optimize_trace(
+                        self,
+                        qtext,
+                        objective,
+                        "min" if inner is Directive.MINIMIZE else "max",
+                        engine=engine,
+                        optimize=optimize,
+                    )
+                    if directive is Directive.EXPLAIN_ANALYZE:
+                        return trace
+                    return trace.plan_only()
+                if directive is Directive.EXPLAIN:
+                    return self.explain(text, engine=engine, optimize=optimize)
                 return self.trace(text, engine=engine, optimize=optimize)
+            if directive in (Directive.MINIMIZE, Directive.MAXIMIZE):
+                sense = "min" if directive is Directive.MINIMIZE else "max"
+                return self.optimize(
+                    text, sense=sense, engine=engine, optimize=optimize
+                )
             query = self.parse(text)
         return self._evaluator(engine=engine, optimize=optimize).evaluate(query)
+
+    def optimize(
+        self,
+        query: str | Query,
+        objective=None,
+        *,
+        sense: str = "min",
+        engine=None,
+        optimize=None,
+    ):
+        """Exact extremum of a linear objective over a query's result.
+
+        ``objective`` is a :class:`repro.optimize.Objective` or its
+        text form (``"t"``, ``"arr - dep"``); its variables must be
+        free temporal variables of the query.  When ``query`` is a
+        string and ``objective`` is ``None``, the objective is read
+        from the query's own ``<obj> : <query>`` prefix (the
+        ``MINIMIZE``/``MAXIMIZE`` directive body).  ``sense`` is
+        ``"min"`` or ``"max"``.
+
+        Returns an :class:`~repro.optimize.core.OptimizationResult`:
+        the exact optimum with a concrete witness point and the argopt
+        tuple, an unboundedness certificate, or an empty verdict —
+        never an approximation (``docs/optimization.md``).
+        """
+        self._check_open()
+        from repro.obs import metrics
+        from repro.optimize import Objective, parse_objective
+
+        metrics().counter("optimize.queries").inc()
+        if isinstance(query, str):
+            directive, text = split_directive(query)
+            if directive is Directive.MINIMIZE:
+                sense = "min"
+            elif directive is Directive.MAXIMIZE:
+                sense = "max"
+            if objective is None:
+                objective, text = parse_objective(text)
+            query = self.parse(text)
+        if objective is None:
+            raise EvaluationError(
+                "optimize() needs an objective (a variable name or a "
+                "difference 'a - b')"
+            )
+        if isinstance(objective, str):
+            objective = Objective.parse(objective)
+        evaluator = self._evaluator(engine=engine, optimize=optimize)
+        return evaluator.optimize_query(query, objective, sense)
 
     def ask(self, query: str | Query, *, engine=None, optimize=None) -> bool:
         """Evaluate a closed (yes/no) query — Theorem 4.1's setting."""

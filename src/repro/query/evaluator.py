@@ -154,6 +154,67 @@ class Evaluator:
             )
         return not self.evaluate(query).is_empty()
 
+    def optimize_query(self, query: Query, objective, sense: str):
+        """Exact extremum of ``objective`` over the query's result.
+
+        ``objective`` is a :class:`repro.optimize.Objective` whose
+        variables must be free *temporal* variables of the query;
+        ``sense`` is ``"min"`` or ``"max"``.  The query is planned and
+        rewritten exactly as :meth:`evaluate` would, then lowered under
+        an :class:`~repro.plan.nodes.Optimize` root; the engine
+        deposits the scalar in the execution context.  Returns the
+        :class:`~repro.optimize.core.OptimizationResult`.
+        """
+        from repro.plan.nodes import Optimize
+
+        constants = _data_constants(query)
+        if not constants <= self.data_domain:
+            self.data_domain = self.data_domain | constants
+        optimize = self._resolved_optimize()
+        engine = resolve_engine(self.engine)
+        with obs.span("query.evaluate", workers=self.workers or 0) as sp:
+            plan = Planner(self.relations).plan_query(query)
+            get_registry().counter("planner.plans").inc()
+            temporal = plan.schema.temporal_names
+            for var in objective.variables():
+                if var not in temporal:
+                    raise EvaluationError(
+                        f"objective variable {var!r} is not a free temporal "
+                        f"variable of the query (free temporal: "
+                        f"{', '.join(temporal) or 'none'})"
+                    )
+            detail = f"{sense} {objective}"
+            plan = Optimize(
+                child=plan,
+                sense=sense,
+                name=objective.name,
+                minus=objective.minus,
+                labels=(("optimize", detail),),
+            )
+            if optimize:
+                sp.set(engine=engine.name, optimized=True)
+                plan, _ = optimize_plan(
+                    plan,
+                    relations=self.relations,
+                    domain_size=len(self.data_domain),
+                )
+            ctx = self._context(optimize)
+            if self.workers is None:
+                engine.run(plan, ctx)
+            else:
+                from repro.perf.config import overrides
+
+                with overrides(workers=self.workers):
+                    engine.run(plan, ctx)
+            result = ctx.optimum
+            if result is None:  # pragma: no cover - engine contract
+                raise EvaluationError(
+                    f"engine {engine.name!r} did not produce an "
+                    "optimization result"
+                )
+            sp.set(optimum=str(result.value), status=result.status)
+            return result
+
     def plan(
         self, query: Query, *, optimize: bool | None = None
     ) -> tuple[PlanNode, PlanNode, tuple[PassReport, ...]]:

@@ -293,6 +293,43 @@ def explain_analyze(
     return QueryTrace(query=parsed, result=result, root=root)
 
 
+def optimize_trace(
+    db: Database,
+    query: str | Query,
+    objective,
+    sense: str,
+    *,
+    engine: str | Engine | None = None,
+    optimize: bool | None = None,
+) -> QueryTrace:
+    """EXPLAIN [ANALYZE] for a ``MINIMIZE``/``MAXIMIZE`` directive.
+
+    Runs the optimization under the trace recorder; the returned
+    :class:`QueryTrace` has the ``query.optimize`` node at the plan
+    root (above the query's own plan) and the argopt restriction as
+    its result relation.  ``plan_only()`` gives the plain-EXPLAIN
+    rendering.
+    """
+    if isinstance(query, str):
+        query = db.parse(query)
+    evaluator = Evaluator(
+        {name: db.relation(name) for name in db.names},
+        max_tuples=db.max_tuples,
+        max_extensions=db.max_extensions,
+        engine=engine,
+        optimize=optimize,
+    )
+    recorder = TraceRecorder()
+    with tracing(recorder):
+        outcome = evaluator.optimize_query(query, objective, sense)
+    root = recorder.root
+    if root is None:  # pragma: no cover - optimize_query opens a span
+        root = Span("query.evaluate", recorder)
+    return QueryTrace(
+        query=query, result=outcome.argopt_restriction(), root=root
+    )
+
+
 def plan_report(
     db: Database,
     query: str | Query,

@@ -126,6 +126,19 @@ class _RawQuant:
     body: object
 
 
+def _located(text: str, message: str, position: int) -> ParseError:
+    """A :class:`ParseError` carrying line/column, not just an offset.
+
+    Positions are byte offsets into ``text``; reporting them raw is
+    useless for multi-line queries, so every parser raise site goes
+    through here to translate the offset into 1-based line/column.
+    """
+    position = min(position, len(text))
+    line = text.count("\n", 0, position) + 1
+    column = position - text.rfind("\n", 0, position)
+    return ParseError(message, position, line=line, column=column)
+
+
 def _tokenize(text: str) -> list[_Token]:
     tokens: list[_Token] = []
     pos = 0
@@ -134,7 +147,7 @@ def _tokenize(text: str) -> list[_Token]:
         if match is None:
             if text[pos:].strip() == "":
                 break
-            raise ParseError(f"unexpected character {text[pos]!r}", pos)
+            raise _located(text, f"unexpected character {text[pos]!r}", pos)
         pos = match.end()
         if match.group("string") is not None:
             tokens.append(
@@ -160,17 +173,20 @@ class _Parser:
     def peek(self) -> _Token | None:
         return self.tokens[self.index] if self.index < len(self.tokens) else None
 
+    def error(self, message: str, position: int) -> ParseError:
+        return _located(self.text, message, position)
+
     def next(self) -> _Token:
         token = self.peek()
         if token is None:
-            raise ParseError("unexpected end of query", len(self.text))
+            raise self.error("unexpected end of query", len(self.text))
         self.index += 1
         return token
 
     def expect(self, text: str) -> None:
         token = self.next()
         if token.text != text:
-            raise ParseError(
+            raise self.error(
                 f"expected {text!r}, got {token.text!r}", token.position
             )
 
@@ -180,7 +196,7 @@ class _Parser:
             self.next()
             var_token = self.next()
             if var_token.kind != "name":
-                raise ParseError(
+                raise self.error(
                     "expected a variable after quantifier", var_token.position
                 )
             self.expect(".")
@@ -218,7 +234,7 @@ class _Parser:
     def factor(self):
         token = self.peek()
         if token is None:
-            raise ParseError("unexpected end of query", len(self.text))
+            raise self.error("unexpected end of query", len(self.text))
         if token.text == "~":
             self.next()
             return _RawNot(self.factor())
@@ -250,7 +266,7 @@ class _Parser:
         left = self.term()
         op_token = self.next()
         if op_token.text not in {"<=", ">=", "=", "<", ">", "!="}:
-            raise ParseError(
+            raise self.error(
                 f"expected a comparison, got {op_token.text!r}",
                 op_token.position,
             )
@@ -270,7 +286,7 @@ class _Parser:
             return _RawTerm(int_value=value + offset)
         if token.kind == "name":
             return _RawTerm(var=token.text, offset=self._optional_offset())
-        raise ParseError(f"unexpected token {token.text!r}", token.position)
+        raise self.error(f"unexpected token {token.text!r}", token.position)
 
     def _optional_offset(self) -> int:
         token = self.peek()
@@ -279,7 +295,7 @@ class _Parser:
             self.next()
             int_token = self.next()
             if int_token.kind != "int":
-                raise ParseError(
+                raise self.error(
                     "expected an integer offset", int_token.position
                 )
             return sign * int(int_token.text)
@@ -436,36 +452,63 @@ class Directive(enum.Enum):
     QUERY = "query"
     EXPLAIN = "explain"
     EXPLAIN_ANALYZE = "explain analyze"
+    MINIMIZE = "minimize"
+    MAXIMIZE = "maximize"
 
 
 _DIRECTIVE_RE = re.compile(
     r"^\s*explain\b(?P<analyze>\s+analyze\b)?\s*", re.IGNORECASE
 )
 
+_OPTIMIZE_RE = re.compile(
+    r"^\s*(?P<sense>minimize|maximize)\b\s*", re.IGNORECASE
+)
+
 
 def split_directive(text: str) -> tuple[Directive, str]:
-    """Split a leading ``EXPLAIN [ANALYZE]`` directive off a query string.
+    """Split a leading directive off a query string.
 
-    Returns the directive and the remaining query text.  ``EXPLAIN`` is
-    only a directive in head position followed by a query — a relation
-    actually *named* ``Explain`` still works, because a predicate atom
-    continues with ``(`` directly::
+    Recognizes ``EXPLAIN [ANALYZE]`` and ``MINIMIZE``/``MAXIMIZE``
+    (whose remainder is ``<objective> : <query>`` — see
+    :func:`repro.optimize.parse_objective`).  Returns the directive and
+    the remaining text.  A keyword is only a directive in head position
+    followed by a query — a relation actually *named* ``Explain`` or
+    ``Minimize`` still works, because a predicate atom continues with
+    ``(`` directly::
 
         split_directive("EXPLAIN ANALYZE EXISTS t. P(t)")
         (Directive.EXPLAIN_ANALYZE, "EXISTS t. P(t)")
+        split_directive("MINIMIZE t : Event(t)")
+        (Directive.MINIMIZE, "t : Event(t)")
         split_directive("Explain(t)")
         (Directive.QUERY, "Explain(t)")
+
+    ``EXPLAIN MINIMIZE obj : query`` composes: this function returns
+    :attr:`Directive.EXPLAIN` with ``MINIMIZE obj : query`` as the
+    rest; callers split again to find the optimization directive
+    underneath (:meth:`Database.query
+    <repro.query.database.Database.query>` does).
     """
     match = _DIRECTIVE_RE.match(text)
-    if match is None:
-        return Directive.QUERY, text
-    rest = text[match.end():]
-    if rest.startswith("("):
-        # "Explain(...)" / "Explain Analyze(...)" are predicate atoms.
-        return Directive.QUERY, text
-    if match.group("analyze"):
-        return Directive.EXPLAIN_ANALYZE, rest
-    return Directive.EXPLAIN, rest
+    if match is not None:
+        rest = text[match.end():]
+        if not rest.startswith("("):
+            # "Explain(...)" / "Explain Analyze(...)" are predicate atoms.
+            if match.group("analyze"):
+                return Directive.EXPLAIN_ANALYZE, rest
+            return Directive.EXPLAIN, rest
+    match = _OPTIMIZE_RE.match(text)
+    if match is not None:
+        rest = text[match.end():]
+        if not rest.startswith("("):
+            sense = match.group("sense").lower()
+            directive = (
+                Directive.MINIMIZE
+                if sense == "minimize"
+                else Directive.MAXIMIZE
+            )
+            return directive, rest
+    return Directive.QUERY, text
 
 
 def parse_query(text: str, schemas: dict[str, Schema]) -> Query:
@@ -474,8 +517,10 @@ def parse_query(text: str, schemas: dict[str, Schema]) -> Query:
     raw = parser.query()
     leftover = parser.peek()
     if leftover is not None:
-        raise ParseError(
-            f"trailing input starting at {leftover.text!r}", leftover.position
+        raise _located(
+            text,
+            f"trailing input starting at {leftover.text!r}",
+            leftover.position,
         )
     ctx = _SortContext(schemas)
     ctx.collect(raw)

@@ -117,9 +117,33 @@ class SyncClient:
         return jsonio.relation_from_dict(payload["relation"])
 
     def query(self, text: str) -> GeneralizedRelation:
-        """Evaluate an open query; returns the result relation."""
+        """Evaluate an open query; returns the result relation.
+
+        For a ``MINIMIZE``/``MAXIMIZE`` directive the returned relation
+        is the argopt restriction; use :meth:`optimize` to get the
+        scalar verdict (value, witness, certificate).
+        """
         payload = self._call("query", text=text)
         return jsonio.relation_from_dict(payload["result"])
+
+    def optimize(self, text: str) -> dict[str, Any]:
+        """Run a ``MINIMIZE``/``MAXIMIZE`` query; returns the verdict.
+
+        ``text`` must carry the directive (``"MINIMIZE t : Event(t)"``).
+        Returns the optimum payload — the JSON form of
+        :meth:`repro.optimize.core.OptimizationResult.to_dict`:
+        ``sense``, ``objective``, ``status``, exact ``value`` (or
+        ``"-inf"``/``"+inf"``), ``witness`` point, ``argopt`` tuple
+        text and the unboundedness ``certificate`` when there is one.
+        """
+        payload = self._call("query", text=text)
+        try:
+            return payload["optimum"]
+        except KeyError:
+            raise ServeError(
+                "optimize() needs a MINIMIZE/MAXIMIZE query; got a plain "
+                "query (use query() for those)"
+            ) from None
 
     def ask(self, text: str) -> bool:
         """Evaluate a closed (yes/no) query."""
@@ -266,6 +290,20 @@ class Client:
         """Evaluate an open query; returns the result relation."""
         payload = await self._call("query", text=text)
         return jsonio.relation_from_dict(payload["result"])
+
+    async def optimize(self, text: str) -> dict[str, Any]:
+        """Run a ``MINIMIZE``/``MAXIMIZE`` query; returns the verdict.
+
+        The awaitable twin of :meth:`SyncClient.optimize`.
+        """
+        payload = await self._call("query", text=text)
+        try:
+            return payload["optimum"]
+        except KeyError:
+            raise ServeError(
+                "optimize() needs a MINIMIZE/MAXIMIZE query; got a plain "
+                "query (use query() for those)"
+            ) from None
 
     async def ask(self, text: str) -> bool:
         """Evaluate a closed (yes/no) query."""

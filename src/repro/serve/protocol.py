@@ -39,13 +39,20 @@ op             request fields                  success fields
 ``release``    —                               ``version`` (current again)
 ``relation``   ``name``                        ``version``, ``relation``
 ``query``      ``text``                        ``version``, ``result``
+                                               (+ ``optimum`` for
+                                               MINIMIZE/MAXIMIZE)
 ``ask``        ``text``                        ``version``, ``answer``
 ``commit``     ``mutations`` (list of dicts)   ``version``, ``records``
 =============  ==============================  ============================
 
 ``query``/``ask``/``relation`` evaluate against the connection's
 pinned snapshot when one is held (``snapshot`` op), else against the
-latest committed version.  ``commit`` submits one transaction — a
+latest committed version.  A ``query`` whose text carries a
+``MINIMIZE``/``MAXIMIZE`` directive additionally answers with an
+``optimum`` object — the exact extremum verdict of
+:meth:`repro.optimize.core.OptimizationResult.to_dict` (value or
+``±inf``, witness point, argopt tuple, unboundedness certificate) —
+while ``result`` holds the argopt restriction relation.  ``commit`` submits one transaction — a
 mutation list in the JSON shape of
 :func:`repro.query.catalog.apply_mutations` — to the group-commit
 batcher; the response arrives only after the transaction is durable

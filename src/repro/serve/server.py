@@ -563,8 +563,23 @@ def _field(request: dict[str, Any], name: str, kind: type) -> Any:
 
 
 def _run_query(snap: Snapshot, text: str) -> dict[str, Any]:
-    """Worker-thread body for a ``query`` op: evaluate + serialize."""
+    """Worker-thread body for a ``query`` op: evaluate + serialize.
+
+    A ``MINIMIZE``/``MAXIMIZE`` directive ships both faces of the
+    answer: ``result`` holds the argopt restriction (a relation, like
+    any other query) and ``optimum`` the scalar verdict — value,
+    witness point, argopt provenance or unboundedness certificate
+    (``docs/optimization.md``).
+    """
     result = snap.query(text)
+    from repro.optimize import OptimizationResult
+
+    if isinstance(result, OptimizationResult):
+        return {
+            "version": snap.version,
+            "result": jsonio.relation_to_dict(result.argopt_restriction()),
+            "optimum": result.to_dict(),
+        }
     return {
         "version": snap.version,
         "result": jsonio.relation_to_dict(result),

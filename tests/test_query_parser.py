@@ -148,12 +148,31 @@ class TestErrors:
             parse('EXISTS x. Perform(t1, t2, x, "q") & Label(x + 1)')
 
     def test_trailing_garbage(self):
-        with pytest.raises(ParseError):
+        with pytest.raises(ParseError) as exc:
             parse("Tick(t) Tick(u)")
+        assert (exc.value.line, exc.value.column) == (1, 8)
+        assert "(at line 1, column 8)" in str(exc.value)
 
     def test_unclosed_paren(self):
-        with pytest.raises(ParseError):
+        with pytest.raises(ParseError) as exc:
             parse("(Tick(t)")
+        assert (exc.value.line, exc.value.column) == (1, 9)
+        assert "(at line 1, column 9)" in str(exc.value)
+
+    def test_multiline_error_reports_line_and_column(self):
+        # Position is line/column into the source, not a byte offset:
+        # the error is at column 8 of line 2, byte offset 17.
+        with pytest.raises(ParseError) as exc:
+            parse("EXISTS t.\nTick(t,")
+        assert (exc.value.line, exc.value.column) == (2, 8)
+        assert "(at line 2, column 8)" in str(exc.value)
+        assert "position" not in str(exc.value)
+
+    def test_bad_character_reports_location(self):
+        with pytest.raises(ParseError) as exc:
+            parse("Tick(t) %")
+        assert exc.value.line == 1
+        assert exc.value.column is not None
 
 
 class TestFreeVariables:

@@ -3,7 +3,7 @@
 
 Usage::
 
-    python tools/bench_gate.py [BENCH_perf.json]
+    python tools/bench_gate.py [BENCH_perf.json] [--opt BENCH_opt.json]
 
 Fails (exit 1) when any workload reports ``speedup < 1.0`` or
 ``parallel_speedup < 1.0`` — the optimization layer must never be slower
@@ -99,22 +99,66 @@ def planner_smoke() -> list[str]:
     return failures
 
 
+def gate_opt(report: dict) -> list[str]:
+    """Gate a ``BENCH_opt.json`` optimizer report (``--opt PATH``).
+
+    The optimizer makes exactness claims, so the gate is strict: every
+    scheduling scenario must agree with its oracle, the random-corpus
+    parity sweep must have zero failures, and ``summary.ok`` must hold.
+    """
+    failures: list[str] = []
+    scenarios = report.get("scenarios", [])
+    if not scenarios:
+        failures.append("opt: report has no scenarios")
+    for row in scenarios:
+        if not row.get("ok"):
+            failures.append(
+                f"opt scenario {row.get('name')}: {row.get('status')} "
+                f"{row.get('value')} disagreed with oracle "
+                f"{row.get('oracle')} / expected {row.get('expected')}"
+            )
+    corpus = report.get("corpus", {})
+    parity_failures = corpus.get("parity_failures")
+    if parity_failures != 0:
+        failures.append(
+            f"opt corpus: {parity_failures} parity failures in "
+            f"{corpus.get('parity_checks')} checks"
+        )
+    if not report.get("summary", {}).get("ok"):
+        failures.append("opt summary: ok is false")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     args = sys.argv[1:] if argv is None else argv
     smoke = "--no-smoke" not in args
     args = [a for a in args if a != "--no-smoke"]
+    opt_path = None
+    if "--opt" in args:
+        index = args.index("--opt")
+        try:
+            opt_path = args[index + 1]
+        except IndexError:
+            print("FAIL: --opt needs a BENCH_opt.json path")
+            return 1
+        del args[index : index + 2]
     path = args[0] if args else "BENCH_perf.json"
     with open(path) as handle:
         report = json.load(handle)
     failures = gate(report)
     if smoke:
         failures += planner_smoke()
+    if opt_path is not None:
+        with open(opt_path) as handle:
+            failures += gate_opt(json.load(handle))
     for line in failures:
         print(f"FAIL: {line}")
     if failures:
         return 1
     names = ", ".join(sorted(report["workloads"]))
     suffix = ", planner smoke ok" if smoke else ""
+    if opt_path is not None:
+        suffix += ", opt gate ok"
     print(f"bench gate ok ({names}{suffix})")
     return 0
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Documentation gates: markdown link integrity + API docstring coverage.
+"""Documentation gates: link integrity, docstrings, runnable examples.
 
 Run as ``make docs-check`` (CI runs it in the test job).  Two checks:
 
@@ -12,16 +12,35 @@ Run as ``make docs-check`` (CI runs it in the test job).  Two checks:
    public method of every exported class: the public surface has to be
    self-describing.
 
-Exit status 0 when both gates pass; 1 with a per-violation report
-otherwise.
+With ``--examples`` (run as ``make docs-examples``; CI's
+``docs-examples`` job) the script instead executes the documentation:
+
+3. **Executable examples** — every fenced ``python`` block runs in a
+   per-file cumulative namespace (so a page can build on its earlier
+   snippets) inside a scratch working directory, and every fenced
+   ``repro-shell`` block is replayed through the CLI
+   :class:`~repro.cli.Session`: lines starting with ``itql> `` are
+   commands, the lines after each command are the expected output
+   (compared verbatim; a line of ``...`` matches any remaining output
+   of that command).  Any exception, assertion failure, or output
+   drift fails the gate.  A ``<!-- docs-check: skip -->`` comment
+   before a fence marks the next block as non-runnable (pseudocode,
+   shell transcripts of long benchmarks, and so on).
+
+Exit status 0 when the selected gates pass; 1 with a per-violation
+report otherwise.
 """
 
 from __future__ import annotations
 
+import contextlib
 import inspect
+import io
+import os
 import pathlib
 import re
 import sys
+import tempfile
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -101,8 +120,192 @@ def check_docstrings() -> list[str]:
     return errors
 
 
-def main() -> int:
-    """Run both gates; print violations; exit nonzero on any."""
+# ----------------------------------------------------------------------
+# executable examples (--examples)
+# ----------------------------------------------------------------------
+
+#: Marks the next fenced block in the file as non-runnable.
+SKIP_MARKER = "<!-- docs-check: skip -->"
+
+#: Fence languages the example gate executes.
+RUNNABLE_LANGS = ("python", "repro-shell")
+
+#: The CLI prompt that introduces a command in a ``repro-shell`` block.
+PROMPT = "itql> "
+
+
+class Block:
+    """One fenced code block: language, dedented code, source line."""
+
+    __slots__ = ("lang", "code", "line", "skipped")
+
+    def __init__(self, lang: str, code: str, line: int, skipped: bool):
+        self.lang = lang
+        self.code = code
+        self.line = line
+        self.skipped = skipped
+
+
+def extract_blocks(text: str) -> list[Block]:
+    """Parse fenced code blocks (with skip markers) out of markdown.
+
+    Fences may be indented (inside lists); the indent is stripped from
+    the code.  A :data:`SKIP_MARKER` comment anywhere before a fence
+    marks that next fence as skipped.
+    """
+    blocks: list[Block] = []
+    skip_next = False
+    in_fence = False
+    lang = ""
+    indent = 0
+    start = 0
+    code_lines: list[str] = []
+    for number, line in enumerate(text.splitlines(), 1):
+        stripped = line.strip()
+        if not in_fence:
+            if stripped == SKIP_MARKER:
+                skip_next = True
+            elif stripped.startswith("```") and stripped != "```":
+                in_fence = True
+                lang = stripped[3:].strip()
+                indent = len(line) - len(line.lstrip())
+                start = number
+                code_lines = []
+            elif stripped == "```":
+                # A language-less opening fence: treat as non-runnable.
+                in_fence = True
+                lang = ""
+                indent = len(line) - len(line.lstrip())
+                start = number
+                code_lines = []
+        elif stripped == "```":
+            in_fence = False
+            blocks.append(
+                Block(lang, "\n".join(code_lines), start, skip_next)
+            )
+            skip_next = False
+        else:
+            code_lines.append(
+                line[indent:] if line[:indent].isspace() or not line[:indent]
+                else line
+            )
+    return blocks
+
+
+def _run_python_block(
+    path: pathlib.Path, block: Block, namespace: dict
+) -> list[str]:
+    """Execute one ``python`` block in the page's shared namespace."""
+    try:
+        code = compile(
+            block.code, f"{_display(path)}:{block.line}", "exec"
+        )
+        with contextlib.redirect_stdout(io.StringIO()):
+            exec(code, namespace)  # noqa: S102 — the docs are ours
+    except Exception as exc:  # noqa: BLE001 — report, don't crash
+        return [
+            f"{_display(path)}:{block.line}: python example failed: "
+            f"{type(exc).__name__}: {exc}"
+        ]
+    return []
+
+
+def _shell_steps(block: Block) -> list[tuple[str, list[str]]]:
+    """Split a ``repro-shell`` block into (command, expected lines)."""
+    steps: list[tuple[str, list[str]]] = []
+    for line in block.code.splitlines():
+        if line.startswith(PROMPT):
+            steps.append((line[len(PROMPT):].strip(), []))
+        elif steps and line.strip():
+            steps[-1][1].append(line.rstrip())
+    return steps
+
+
+def _output_matches(expected: list[str], actual: list[str]) -> bool:
+    """Compare expected transcript lines; ``...`` matches any tail."""
+    for position, want in enumerate(expected):
+        if want.strip() == "...":
+            return True
+        if position >= len(actual) or actual[position].rstrip() != want:
+            return False
+    return len(actual) == len(expected)
+
+
+def _run_shell_block(
+    path: pathlib.Path, block: Block, session
+) -> list[str]:
+    """Replay one ``repro-shell`` block through a CLI session."""
+    errors = []
+    for command, expected in _shell_steps(block):
+        response = session.execute(command)
+        actual = [
+            line.rstrip() for line in response.splitlines() if line.strip()
+        ]
+        if expected and not _output_matches(expected, actual):
+            want = "\n      ".join(expected)
+            got = "\n      ".join(actual) or "(no output)"
+            errors.append(
+                f"{_display(path)}:{block.line}: shell example drifted "
+                f"on {command!r}:\n    expected:\n      {want}\n"
+                f"    got:\n      {got}"
+            )
+    return errors
+
+
+def check_examples() -> tuple[list[str], int, int]:
+    """Run every fenced example; returns (errors, ran, skipped)."""
+    sys.path.insert(0, str(ROOT / "src"))
+    try:
+        from repro.cli import Session
+    finally:
+        sys.path.pop(0)
+    errors: list[str] = []
+    ran = skipped = 0
+    original_cwd = os.getcwd()
+    for path in iter_doc_files():
+        blocks = [
+            b for b in extract_blocks(path.read_text())
+            if b.lang in RUNNABLE_LANGS
+        ]
+        if not blocks:
+            continue
+        namespace: dict = {"__name__": "__docs__"}
+        session = Session()
+        with tempfile.TemporaryDirectory(prefix="docs-check-") as scratch:
+            os.chdir(scratch)
+            try:
+                for block in blocks:
+                    if block.skipped:
+                        skipped += 1
+                        continue
+                    ran += 1
+                    if block.lang == "python":
+                        errors += _run_python_block(path, block, namespace)
+                    else:
+                        errors += _run_shell_block(path, block, session)
+            finally:
+                os.chdir(original_cwd)
+    return errors, ran, skipped
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the selected gates; print violations; exit nonzero on any."""
+    args = sys.argv[1:] if argv is None else argv
+    if "--examples" in args:
+        errors, ran, skipped = check_examples()
+        for error in errors:
+            print(f"docs-check: {error}")
+        if errors:
+            print(
+                f"docs-check: FAILED ({len(errors)} broken example(s) "
+                f"out of {ran} run)"
+            )
+            return 1
+        print(
+            f"docs-check: OK — {ran} fenced example(s) executed "
+            f"({skipped} marked skip)"
+        )
+        return 0
     link_errors = check_links()
     doc_errors = check_docstrings()
     for error in link_errors + doc_errors:
